@@ -1,0 +1,221 @@
+//! # msaf-baselines
+//!
+//! Baseline FPGA architectures the paper positions itself against
+//! (Section 1), expressed in the same parameterised fabric model so the
+//! whole CAD flow runs unchanged on them:
+//!
+//! * [`lut4_synchronous`] — a conventional synchronous island FPGA
+//!   (MONTAGE/PGA-STC class, and the substrate of the paper's reference
+//!   \[3\], "Implementing asynchronous circuits on LUT based FPGAs"):
+//!   4-input single-output LUTs, a D flip-flop per logic element that
+//!   asynchronous logic cannot use, no PDE, and no intra-PLB feedback —
+//!   C-elements must round-trip through the routing network.
+//! * [`papa_like`] — a PAPA-class fabric (reference \[8\]): generous
+//!   multi-output LEs tuned for QDI pipelines but **no programmable
+//!   delay element**, so bundled-data micropipelines cannot be
+//!   implemented at all.
+//!
+//! [`compare_styles`] drives the X2 experiment: the same circuits
+//! compiled onto the paper's fabric and both baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use msaf_cad::flow::{compile, FlowError, FlowOptions};
+use msaf_cad::report::FlowReport;
+use msaf_fabric::arch::{ArchSpec, ImSpec, LeSpec, PlbSpec, SwitchBoxKind};
+use msaf_netlist::Netlist;
+
+/// A conventional synchronous LUT4 island FPGA.
+///
+/// Per logic element: one 4-input LUT, one output, one D flip-flop (idle
+/// under asynchronous logic — counted as wasted area by the PLB-slot
+/// filling ratio), no LUT2, no PDE; the local interconnect cannot loop an
+/// LE output back to its own inputs, so state-holding elements burn
+/// routing and pins.
+#[must_use]
+pub fn lut4_synchronous(width: usize, height: usize) -> ArchSpec {
+    ArchSpec {
+        name: format!("lut4-sync-{width}x{height}"),
+        width,
+        height,
+        channel_width: 12,
+        switchbox: SwitchBoxKind::Disjoint,
+        fc_out: 0.5,
+        fc_in: 1.0,
+        plb: PlbSpec {
+            les: 2,
+            le: LeSpec {
+                lut_inputs: 4,
+                lut_outputs: 1,
+                has_lut2: false,
+            },
+            pde: None,
+            im: ImSpec {
+                allows_feedback: false,
+            },
+            inputs: 8,
+            outputs: 4,
+            dffs: 2,
+        },
+    }
+}
+
+/// A PAPA-like QDI-pipeline fabric: multi-output 5-LUT cells with the
+/// validity LUT2 and IM feedback (good at dual-rail pipelines), but no
+/// PDE — single-style by construction.
+#[must_use]
+pub fn papa_like(width: usize, height: usize) -> ArchSpec {
+    ArchSpec {
+        name: format!("papa-like-{width}x{height}"),
+        width,
+        height,
+        channel_width: 12,
+        switchbox: SwitchBoxKind::Disjoint,
+        fc_out: 0.5,
+        fc_in: 1.0,
+        plb: PlbSpec {
+            les: 2,
+            le: LeSpec {
+                lut_inputs: 5,
+                lut_outputs: 3,
+                has_lut2: true,
+            },
+            pde: None,
+            im: ImSpec {
+                allows_feedback: true,
+            },
+            inputs: 9,
+            outputs: 6,
+            dffs: 0,
+        },
+    }
+}
+
+/// One row of the X2 comparison table.
+#[derive(Debug)]
+pub struct CompareRow {
+    /// Architecture name.
+    pub arch: String,
+    /// Circuit name.
+    pub circuit: String,
+    /// Compile outcome.
+    pub outcome: Result<FlowReport, FlowError>,
+}
+
+impl CompareRow {
+    /// Formats the row for the experiment table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.outcome {
+            Ok(r) => format!(
+                "{:<22} {:<28} {:>4} LEs {:>4} PLBs  fill {:>5.1}%  slot {:>5.1}%",
+                self.arch,
+                self.circuit,
+                r.les,
+                r.plbs,
+                100.0 * r.utilization.filling.input_pin,
+                100.0 * r.utilization.filling.plb_slot,
+            ),
+            Err(e) => format!("{:<22} {:<28} UNMAPPABLE: {e}", self.arch, self.circuit),
+        }
+    }
+}
+
+/// Compiles each named circuit onto each architecture template.
+#[must_use]
+pub fn compare_styles(circuits: &[(&str, Netlist)], archs: &[ArchSpec]) -> Vec<CompareRow> {
+    let mut rows = Vec::new();
+    for arch in archs {
+        for (name, nl) in circuits {
+            let opts = FlowOptions {
+                arch: arch.clone(),
+                ..FlowOptions::default()
+            };
+            rows.push(CompareRow {
+                arch: arch.name.clone(),
+                circuit: (*name).to_string(),
+                outcome: compile(nl, &opts).map(|c| c.report),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_cells::fulladder::{micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY};
+
+    #[test]
+    fn baseline_archs_are_valid() {
+        lut4_synchronous(4, 4).assert_valid();
+        papa_like(4, 4).assert_valid();
+    }
+
+    #[test]
+    fn qdi_fa_needs_more_les_on_lut4() {
+        let paper = compile(&qdi_full_adder(), &FlowOptions::default()).unwrap();
+        let lut4 = compile(
+            &qdi_full_adder(),
+            &FlowOptions {
+                arch: lut4_synchronous(1, 1),
+                ..FlowOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            lut4.report.les > paper.report.les,
+            "LUT4 ({}) must need more LEs than the paper fabric ({})",
+            lut4.report.les,
+            paper.report.les
+        );
+        // And more PLBs: the reference-[3] observation that most of a
+        // synchronous FPGA's resources go unexploited by async logic.
+        assert!(lut4.report.plbs > paper.report.plbs);
+        // The idle DFFs are counted as unusable slots: with 2 DFFs out of
+        // 4 slots per PLB, the slot ratio can never exceed 50 %.
+        assert!(lut4.report.utilization.filling.plb_slot <= 0.5);
+    }
+
+    #[test]
+    fn micropipeline_fails_on_pde_less_fabrics() {
+        for arch in [lut4_synchronous(1, 1), papa_like(1, 1)] {
+            let res = compile(
+                &micropipeline_full_adder(SAFE_FA_MATCHED_DELAY),
+                &FlowOptions {
+                    arch,
+                    ..FlowOptions::default()
+                },
+            );
+            assert!(
+                matches!(res, Err(FlowError::Bitgen(_))),
+                "bundled data must be unmappable without a PDE"
+            );
+        }
+    }
+
+    #[test]
+    fn papa_handles_qdi() {
+        let res = compile(
+            &qdi_full_adder(),
+            &FlowOptions {
+                arch: papa_like(1, 1),
+                ..FlowOptions::default()
+            },
+        );
+        assert!(res.is_ok(), "{:?}", res.err().map(|e| e.to_string()));
+    }
+
+    #[test]
+    fn compare_table_renders() {
+        let circuits = vec![("qdi_fa", qdi_full_adder())];
+        let archs = vec![ArchSpec::paper(1, 1), lut4_synchronous(1, 1)];
+        let rows = compare_styles(&circuits, &archs);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let text = row.render();
+            assert!(text.contains("qdi_fa"), "{text}");
+        }
+    }
+}

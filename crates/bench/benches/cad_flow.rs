@@ -1,0 +1,73 @@
+//! Criterion benches for the CAD pipeline stages (B1–B4): technology
+//! mapping, packing+placement, routing, and the full flow, on the
+//! paper's two full adders and a 8-bit QDI ripple adder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msaf_bench::workloads::{adder, figure3};
+use msaf_cad::bitgen::bind;
+use msaf_cad::flow::{compile, FlowOptions};
+use msaf_cad::pack::pack;
+use msaf_cad::place::place;
+use msaf_cad::route::{route, RouteOptions};
+use msaf_cad::techmap::map;
+use msaf_fabric::arch::ArchSpec;
+use msaf_fabric::rrg::Rrg;
+use std::hint::black_box;
+
+fn bench_techmap(c: &mut Criterion) {
+    let arch = ArchSpec::paper(8, 8);
+    let qdi = figure3("qdi").unwrap();
+    let adder8 = adder("qdi", 8).unwrap();
+    c.bench_function("techmap/qdi_full_adder", |b| {
+        b.iter(|| map(black_box(&qdi), &arch).unwrap())
+    });
+    c.bench_function("techmap/qdi_adder_8b", |b| {
+        b.iter(|| map(black_box(&adder8), &arch).unwrap())
+    });
+}
+
+fn bench_pack_place(c: &mut Criterion) {
+    // 14x14: enough perimeter pads (56) for the 8-bit adder's 53 I/Os.
+    let arch = ArchSpec::paper(14, 14);
+    let nl = adder("qdi", 8).unwrap();
+    let mapped = map(&nl, &arch).unwrap();
+    c.bench_function("pack/qdi_adder_8b", |b| {
+        b.iter(|| pack(black_box(&mapped), &arch).unwrap())
+    });
+    let packed = pack(&mapped, &arch).unwrap();
+    c.bench_function("place/qdi_adder_8b", |b| {
+        b.iter(|| place(black_box(&mapped), &packed, &arch, 7).unwrap())
+    });
+}
+
+fn bench_route(c: &mut Criterion) {
+    // 8x8: 32 pads cover the 4-bit adder's 29 I/Os.
+    let arch = ArchSpec::paper(8, 8);
+    let nl = adder("qdi", 4).unwrap();
+    let mapped = map(&nl, &arch).unwrap();
+    let packed = pack(&mapped, &arch).unwrap();
+    let placement = place(&mapped, &packed, &arch, 7).unwrap();
+    let rrg = Rrg::build(&arch);
+    let binding = bind(&mapped, &packed, &placement, &arch, &rrg).unwrap();
+    c.bench_function("route/qdi_adder_4b", |b| {
+        b.iter(|| route(&rrg, black_box(&binding.requests), &RouteOptions::default()).unwrap())
+    });
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let qdi = figure3("qdi").unwrap();
+    let mp = figure3("micropipeline").unwrap();
+    c.bench_function("flow/qdi_full_adder", |b| {
+        b.iter(|| compile(black_box(&qdi), &FlowOptions::default()).unwrap())
+    });
+    c.bench_function("flow/micropipeline_full_adder", |b| {
+        b.iter(|| compile(black_box(&mp), &FlowOptions::default()).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_techmap, bench_pack_place, bench_route, bench_full_flow
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the simulator (B5–B6): token throughput on QDI
+//! and bundled FIFOs, plus one full delay-insensitivity stress.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msaf_cells::bundled::bundled_fifo;
+use msaf_cells::wchb::wchb_fifo;
+use msaf_sim::ditest::{di_stress, DiConfig};
+use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn inputs(tokens: u64, mask: u64) -> BTreeMap<String, Vec<u64>> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "in".to_string(),
+        (0..tokens).map(|i| (i * 7 + 3) & mask).collect(),
+    );
+    m
+}
+
+fn bench_token_runs(c: &mut Criterion) {
+    let qdi = wchb_fifo(4, 4);
+    let ins = inputs(32, 0xF);
+    c.bench_function("sim/wchb_fifo_d4_w4_32tok", |b| {
+        b.iter(|| {
+            token_run(
+                black_box(&qdi),
+                &PerKindDelay::new(),
+                &ins,
+                &TokenRunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    let bd = bundled_fifo(4, 4, 16);
+    c.bench_function("sim/bundled_fifo_d4_w4_32tok", |b| {
+        b.iter(|| {
+            token_run(
+                black_box(&bd),
+                &PerKindDelay::new(),
+                &ins,
+                &TokenRunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_di_stress(c: &mut Criterion) {
+    let qdi = wchb_fifo(2, 2);
+    let ins = inputs(8, 0x3);
+    let cfg = DiConfig {
+        seeds: (0..8).collect(),
+        delay_lo: 1,
+        delay_hi: 20,
+        ..DiConfig::default()
+    };
+    c.bench_function("sim/di_stress_wchb_8seeds", |b| {
+        b.iter(|| di_stress(black_box(&qdi), &ins, &cfg).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_token_runs, bench_di_stress
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! X3: the Section-2 robustness claim made executable — QDI circuits
+//! produce *correct* token streams under adversarial per-gate delays;
+//! bundled-data circuits are correct only while the PDE margin covers
+//! the worst-case datapath delay.
+
+use msaf_bench::workloads::fa_tokens;
+use msaf_cells::fulladder::{full_adder_reference, micropipeline_full_adder, qdi_full_adder};
+use msaf_sim::{token_run, RandomDelay, TokenRunOptions};
+use std::collections::BTreeMap;
+
+/// Counts seeds whose "res" stream equals the mathematically correct one.
+fn correct_runs(nl: &msaf_netlist::Netlist, seeds: u64, lo: u64, hi: u64) -> (u64, u64) {
+    let mut inputs = BTreeMap::new();
+    inputs.insert("op".to_string(), fa_tokens());
+    let want: Vec<u64> = fa_tokens().into_iter().map(full_adder_reference).collect();
+    let mut ok = 0;
+    for seed in 0..seeds {
+        let model = RandomDelay::new(seed, lo, hi);
+        if let Ok(run) = token_run(nl, &model, &inputs, &TokenRunOptions::default()) {
+            if run.outputs["res"].values() == want {
+                ok += 1;
+            }
+        }
+    }
+    (ok, seeds)
+}
+
+fn main() {
+    const SEEDS: u64 = 16;
+    println!("=== X3: correctness under adversarial delays (spread 1..25, {SEEDS} seeds) ===");
+
+    let (ok, n) = correct_runs(&qdi_full_adder(), SEEDS, 1, 25);
+    println!(
+        "qdi_full_adder               : {ok:>2}/{n} runs correct -> {}",
+        if ok == n { "DELAY-INSENSITIVE" } else { "FAILS" }
+    );
+
+    println!();
+    println!("micropipeline_full_adder vs PDE margin:");
+    for taps in [1u32, 4, 8, 12, 20, 40, 60, 80] {
+        let nl = micropipeline_full_adder(taps);
+        let (ok, n) = correct_runs(&nl, SEEDS, 1, 25);
+        println!(
+            "  matched delay {:>3} units   : {ok:>2}/{n} runs correct{}",
+            taps,
+            if ok == n { "  (margin covers worst-case datapath)" } else { "" }
+        );
+    }
+    println!();
+    println!("reading: QDI correctness is delay-independent; bundled data is a");
+    println!("timing assumption — correctness rises with the programmed margin");
+    println!("and reaches 100% only once the PDE covers the worst-case path.");
+}

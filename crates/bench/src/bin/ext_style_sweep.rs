@@ -1,0 +1,34 @@
+//! X1: filling ratio and resource scaling vs adder width, both styles —
+//! the sweep the 2-page paper had no room for.
+
+use msaf_bench::workloads::adder;
+use msaf_cad::flow::{compile, FlowOptions};
+
+fn main() {
+    println!("=== X1: style sweep over ripple-adder width ===");
+    println!(
+        "{:<14} {:>5} {:>6} {:>6} {:>10} {:>11} {:>10}",
+        "style", "width", "LEs", "PLBs", "fill", "wirelength", "depth"
+    );
+    for style in ["qdi", "micropipeline"] {
+        for width in [1usize, 2, 4, 8, 12, 16] {
+            let nl = adder(style, width).unwrap();
+            match compile(&nl, &FlowOptions::default()) {
+                Ok(c) => println!(
+                    "{:<14} {:>5} {:>6} {:>6} {:>9.1}% {:>11} {:>10}",
+                    style,
+                    width,
+                    c.report.les,
+                    c.report.plbs,
+                    100.0 * c.report.filling_ratio(),
+                    c.report.wirelength,
+                    c.report.timing.levels
+                ),
+                // A real architectural limit, not a tool failure: e.g. a
+                // 16-bit bundled ripple needs a matched delay beyond the
+                // 64-unit PDE chain.
+                Err(e) => println!("{:<14} {:>5}  UNMAPPABLE: {e}", style, width),
+            }
+        }
+    }
+}

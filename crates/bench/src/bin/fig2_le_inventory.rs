@@ -1,0 +1,45 @@
+//! E2 / Figure 2: the logic element — multi-output LUT7-3 plus the
+//! validity LUT2-1 — demonstrated by programming one LE as a dual-rail
+//! function pair with validity, the paper's motivating use.
+
+use msaf_fabric::arch::ArchSpec;
+use msaf_fabric::le::{LeConfig, LeOutput, LUT2_OR};
+use msaf_netlist::LutTable;
+
+fn main() {
+    let le = ArchSpec::paper(1, 1).plb.le;
+    println!("=== E2 / Figure 2: logic element structure ===");
+    println!("LUT inputs            : {}", le.lut_inputs);
+    println!("LUT outputs           : {} (A, B subtrees + root)", le.lut_outputs);
+    println!("subtree window        : {} shared inputs", le.subtree_inputs());
+    println!("validity LUT2-1       : {}", le.has_lut2);
+    println!("configuration bits    : {}", le.config_bits());
+    println!();
+
+    // Program the LE as one dual-rail XOR pair + validity — the paper's
+    // "1 of N encoding supported at the hardware level".
+    let mut cfg = LeConfig::default();
+    cfg.lut.set_a(&LutTable::from_fn(4, |v| {
+        // true rail of xor(a,b) in dual-rail: a_t b_f | a_f b_t, rails on
+        // pins [a_t, a_f, b_t, b_f]
+        (v[0] & v[3]) | (v[1] & v[2])
+    }));
+    cfg.lut.set_b(&LutTable::from_fn(4, |v| (v[0] & v[2]) | (v[1] & v[3])));
+    cfg.lut2 = LUT2_OR;
+    cfg.used_outputs = vec![LeOutput::A, LeOutput::B, LeOutput::Lut2];
+
+    println!("demo: dual-rail XOR pair in one LE (pins: a_t a_f b_t b_f)");
+    println!("  a  b  | xor_t xor_f valid");
+    for (a, b) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)] {
+        let mut pins = [false; 7];
+        pins[0] = a == 1;
+        pins[1] = a == 0;
+        pins[2] = b == 1;
+        pins[3] = b == 0;
+        let (t, f, _, valid) = cfg.eval_all(&pins);
+        println!("  {a}  {b}  |   {}     {}     {}", u8::from(t), u8::from(f), u8::from(valid));
+    }
+    println!("(neutral spacer: all rails low -> valid 0)");
+    let (t, f, _, valid) = cfg.eval_all(&[false; 7]);
+    println!("  -  -  |   {}     {}     {}", u8::from(t), u8::from(f), u8::from(valid));
+}

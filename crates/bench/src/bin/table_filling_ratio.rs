@@ -1,0 +1,49 @@
+//! E5: the paper's headline table — "overall filling ratio of 51% for
+//! the micropipeline circuits and 76% for the QDI circuits" — on the
+//! Figure-3 full adders plus the n-bit ripple sweep.
+
+use msaf_bench::workloads::{adder, figure3};
+use msaf_cad::flow::{compile, FlowOptions};
+
+fn main() {
+    println!("=== E5: filling ratio (paper: micropipeline 51%, QDI 76%) ===");
+    println!(
+        "{:<28} {:>5} {:>5} {:>10} {:>10} {:>10}",
+        "circuit", "LEs", "PLBs", "input-pin", "output-tap", "plb-slot"
+    );
+    let mut rows = Vec::new();
+    for style in ["micropipeline", "qdi"] {
+        rows.push((format!("{style}_full_adder"), figure3(style).unwrap()));
+        for width in [2usize, 4, 8] {
+            rows.push((format!("{style}_adder_{width}b"), adder(style, width).unwrap()));
+        }
+    }
+    let mut fa_ratios = std::collections::BTreeMap::new();
+    for (name, nl) in rows {
+        let compiled = compile(&nl, &FlowOptions::default()).expect("flow");
+        let f = &compiled.report.utilization.filling;
+        println!(
+            "{:<28} {:>5} {:>5} {:>9.1}% {:>9.1}% {:>9.1}%",
+            name,
+            compiled.report.les,
+            compiled.report.plbs,
+            100.0 * f.input_pin,
+            100.0 * f.output_tap,
+            100.0 * f.plb_slot
+        );
+        if name.ends_with("full_adder") {
+            fa_ratios.insert(name.clone(), f.input_pin);
+        }
+    }
+    println!();
+    let qdi = fa_ratios["qdi_full_adder"];
+    let mp = fa_ratios["micropipeline_full_adder"];
+    println!("paper     : micropipeline 51.0%  qdi 76.0%  (gap 25.0 points)");
+    println!(
+        "reproduced: micropipeline {:>4.1}%  qdi {:>4.1}%  (gap {:>4.1} points, input-pin metric)",
+        100.0 * mp,
+        100.0 * qdi,
+        100.0 * (qdi - mp)
+    );
+    assert!(qdi > mp, "shape check: QDI must fill better");
+}

@@ -1,0 +1,14 @@
+//! # msaf-bench
+//!
+//! Experiment harness: one binary per paper figure/table (see DESIGN.md's
+//! experiment index) plus shared workload builders reused by the
+//! Criterion benches. Run e.g.:
+//!
+//! ```text
+//! cargo run -p msaf-bench --bin table_filling_ratio
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;

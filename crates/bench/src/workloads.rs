@@ -1,0 +1,49 @@
+//! Shared circuit/workload builders for the experiment binaries and
+//! Criterion benches.
+
+use msaf_cells::adders::{bundled_ripple_adder, qdi_ripple_adder, suggested_bundled_adder_delay};
+use msaf_cells::fulladder::{micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY};
+use msaf_netlist::Netlist;
+
+/// The two Figure-3 adders, by style name.
+#[must_use]
+pub fn figure3(style: &str) -> Option<Netlist> {
+    match style {
+        "qdi" => Some(qdi_full_adder()),
+        "micropipeline" => Some(micropipeline_full_adder(SAFE_FA_MATCHED_DELAY)),
+        _ => None,
+    }
+}
+
+/// `width`-bit ripple adder in the given style.
+#[must_use]
+pub fn adder(style: &str, width: usize) -> Option<Netlist> {
+    match style {
+        "qdi" => Some(qdi_ripple_adder(width)),
+        "micropipeline" => Some(bundled_ripple_adder(
+            width,
+            suggested_bundled_adder_delay(width),
+        )),
+        _ => None,
+    }
+}
+
+/// All operand tokens for a full adder.
+#[must_use]
+pub fn fa_tokens() -> Vec<u64> {
+    (0..8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn styles_resolve() {
+        assert!(figure3("qdi").is_some());
+        assert!(figure3("micropipeline").is_some());
+        assert!(figure3("sync").is_none());
+        assert!(adder("qdi", 4).is_some());
+        assert_eq!(fa_tokens().len(), 8);
+    }
+}

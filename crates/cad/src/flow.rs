@@ -1,0 +1,267 @@
+//! The end-to-end compile flow: netlist in, programmed fabric out.
+
+use crate::bitgen::{assemble, bind, BitgenError};
+use crate::pack::{pack, PackedDesign, PackError};
+use crate::place::{place, Placement, PlaceError};
+use crate::report::FlowReport;
+use crate::route::{route, RouteError, RouteOptions};
+use crate::techmap::{map, MapError, MappedDesign};
+use crate::timing::analyze;
+use msaf_fabric::arch::ArchSpec;
+use msaf_fabric::bitstream::FabricConfig;
+use msaf_fabric::rrg::Rrg;
+use msaf_fabric::utilization::Utilization;
+use msaf_netlist::Netlist;
+
+/// Options for [`compile`].
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Architecture template; `width`/`height`/`channel_width` are
+    /// overridden by the sizing policy unless pinned below.
+    pub arch: ArchSpec,
+    /// Placement seed.
+    pub seed: u64,
+    /// Pin the grid to exactly this size (default: smallest square that
+    /// fits the packed PLBs and perimeter I/O).
+    pub grid: Option<(usize, usize)>,
+    /// Pin the channel width (default: template's width, doubled on
+    /// routing failure up to three times).
+    pub channel_width: Option<usize>,
+    /// Router knobs.
+    pub route: RouteOptions,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            arch: ArchSpec::paper(1, 1),
+            seed: 1,
+            grid: None,
+            channel_width: None,
+            route: RouteOptions::default(),
+        }
+    }
+}
+
+/// Errors from [`compile`].
+#[derive(Debug)]
+pub enum FlowError {
+    /// Technology mapping failed.
+    Map(MapError),
+    /// Packing failed.
+    Pack(PackError),
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing failed at the final channel width.
+    Route(RouteError),
+    /// Bit generation failed.
+    Bitgen(BitgenError),
+    /// The final bitstream failed its own consistency check (a flow bug).
+    Check(String),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Map(e) => write!(f, "techmap: {e}"),
+            FlowError::Pack(e) => write!(f, "pack: {e}"),
+            FlowError::Place(e) => write!(f, "place: {e}"),
+            FlowError::Route(e) => write!(f, "route: {e}"),
+            FlowError::Bitgen(e) => write!(f, "bitgen: {e}"),
+            FlowError::Check(e) => write!(f, "bitstream check: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Everything the flow produced, for inspection and verification.
+#[derive(Debug)]
+pub struct CompiledDesign {
+    /// The sized architecture actually used.
+    pub arch: ArchSpec,
+    /// Mapping result.
+    pub mapped: MappedDesign,
+    /// Packing result.
+    pub packed: PackedDesign,
+    /// Placement result.
+    pub placement: Placement,
+    /// The final bitstream.
+    pub config: FabricConfig,
+    /// Summary numbers.
+    pub report: FlowReport,
+}
+
+/// Smallest grid fitting `plbs` logic blocks and `io` perimeter pads.
+fn size_grid(plbs: usize, io: usize) -> (usize, usize) {
+    let mut w = (plbs as f64).sqrt().ceil() as usize;
+    let mut h = w;
+    while w * h < plbs {
+        w += 1;
+    }
+    // Perimeter pads: 2w + 2h.
+    while 2 * (w + h) < io {
+        w += 1;
+        h += 1;
+    }
+    (w.max(1), h.max(1))
+}
+
+/// Compiles `netlist` onto the architecture family of
+/// [`FlowOptions::arch`].
+///
+/// # Errors
+///
+/// See [`FlowError`]; routing failures trigger up to three automatic
+/// channel-width doublings before giving up (unless the width is
+/// pinned).
+pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, FlowError> {
+    let mapped = map(netlist, &opts.arch).map_err(FlowError::Map)?;
+    let packed = pack(&mapped, &opts.arch).map_err(FlowError::Pack)?;
+
+    // I/O signal count: PIs plus non-PI POs.
+    let mut io = mapped.pis.len();
+    for po in &mapped.pos {
+        if !mapped.pis.contains(po) {
+            io += 1;
+        }
+    }
+    let (w, h) = opts.grid.unwrap_or_else(|| size_grid(packed.plb_count(), io));
+
+    let mut arch = opts.arch.clone();
+    arch.width = w;
+    arch.height = h;
+    if let Some(cw) = opts.channel_width {
+        arch.channel_width = cw;
+    }
+    arch.name = format!("{}-{w}x{h}", opts.arch.name);
+
+    let placement = place(&mapped, &packed, &arch, opts.seed).map_err(FlowError::Place)?;
+
+    // Route, widening channels on congestion failure.
+    let mut attempts = if opts.channel_width.is_some() { 1 } else { 4 };
+    let (rrg, binding, routed) = loop {
+        let rrg = Rrg::build(&arch);
+        let binding =
+            bind(&mapped, &packed, &placement, &arch, &rrg).map_err(FlowError::Bitgen)?;
+        match route(&rrg, &binding.requests, &opts.route) {
+            Ok(routed) => break (rrg, binding, routed),
+            Err(e) => {
+                attempts -= 1;
+                if attempts == 0 {
+                    return Err(FlowError::Route(e));
+                }
+                arch.channel_width *= 2;
+            }
+        }
+    };
+
+    let config = assemble(binding, routed.trees);
+    config.check(&rrg).map_err(FlowError::Check)?;
+
+    let timing = analyze(&mapped);
+    let utilization = Utilization::of(&config);
+    let report = FlowReport {
+        design: netlist.name().to_string(),
+        arch: arch.name.clone(),
+        source_gates: netlist.gates().len(),
+        les: mapped.les.len(),
+        les_paired: mapped.les.iter().filter(|le| le.funcs.len() >= 2).count(),
+        lut2_used: mapped
+            .les
+            .iter()
+            .filter(|le| {
+                le.funcs
+                    .iter()
+                    .any(|f| f.tap == msaf_fabric::le::LeOutput::Lut2)
+            })
+            .count(),
+        pdes: mapped.pdes.len(),
+        plbs: packed.plb_count(),
+        grid: (arch.width, arch.height),
+        place_cost: placement.cost,
+        route_iterations: routed.iterations,
+        wirelength: config.total_wirelength(),
+        utilization,
+        timing,
+    };
+
+    Ok(CompiledDesign {
+        arch,
+        mapped,
+        packed,
+        placement,
+        config,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_cells::adders::qdi_ripple_adder;
+    use msaf_cells::fulladder::{micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY};
+
+    #[test]
+    fn compile_qdi_fa_end_to_end() {
+        let compiled = compile(&qdi_full_adder(), &FlowOptions::default()).unwrap();
+        assert!(compiled.report.plbs >= 3);
+        assert!(compiled.report.filling_ratio() > 0.5);
+        assert!(compiled.report.wirelength > 0);
+    }
+
+    #[test]
+    fn compile_micropipeline_fa_end_to_end() {
+        let compiled = compile(
+            &micropipeline_full_adder(SAFE_FA_MATCHED_DELAY),
+            &FlowOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(compiled.report.pdes, 1);
+        assert!(compiled.config.plbs.iter().any(|p| p.pde.is_used()));
+    }
+
+    #[test]
+    fn headline_filling_ratio_gap() {
+        // The E5 reproduction at flow level: QDI fills clearly better.
+        let qdi = compile(&qdi_full_adder(), &FlowOptions::default()).unwrap();
+        let mp = compile(
+            &micropipeline_full_adder(SAFE_FA_MATCHED_DELAY),
+            &FlowOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            qdi.report.filling_ratio() > mp.report.filling_ratio() + 0.1,
+            "QDI {:.2} vs micropipeline {:.2}",
+            qdi.report.filling_ratio(),
+            mp.report.filling_ratio()
+        );
+    }
+
+    #[test]
+    fn compile_wider_adder() {
+        let compiled = compile(&qdi_ripple_adder(4), &FlowOptions::default()).unwrap();
+        assert!(compiled.report.plbs > 10);
+        assert!(compiled.arch.width * compiled.arch.height >= compiled.report.plbs);
+    }
+
+    #[test]
+    fn pinned_grid_respected() {
+        let opts = FlowOptions {
+            grid: Some((6, 6)),
+            ..FlowOptions::default()
+        };
+        let compiled = compile(&qdi_full_adder(), &opts).unwrap();
+        assert_eq!(compiled.report.grid, (6, 6));
+    }
+
+    #[test]
+    fn grid_sizing_policy() {
+        assert_eq!(size_grid(1, 4), (1, 1));
+        assert_eq!(size_grid(4, 8), (2, 2));
+        assert_eq!(size_grid(5, 8), (3, 3));
+        // I/O-bound growth.
+        let (w, h) = size_grid(1, 40);
+        assert!(2 * (w + h) >= 40);
+    }
+}

@@ -1,0 +1,43 @@
+//! # msaf-cad
+//!
+//! CAD flow targeting the MSAF fabric, reproduction of *"FPGA
+//! architecture for multi-style asynchronous logic"* (DATE 2005).
+//!
+//! Pipeline (see [`flow::compile`]):
+//!
+//! 1. **Technology mapping** ([`techmap`]) — gates → LE functions. This
+//!    stage embodies the paper's architectural bets: dual-rail function
+//!    pairs share one LUT7-3's input port (two LUT6 taps), completion/
+//!    validity OR2s are absorbed into the free LUT2-1, C-elements and
+//!    latches fold into looped LUTs via the IM feedback path, inverters
+//!    vanish into downstream LUTs, and `Delay` gates become PDE requests.
+//! 2. **Packing** ([`pack`]) — LEs pairwise into PLBs, PDEs attached,
+//!    respecting the IM's external pin budget.
+//! 3. **Placement** ([`place`]) — simulated annealing over the island
+//!    grid, half-perimeter wirelength objective, I/O pads on the
+//!    perimeter.
+//! 4. **Routing** ([`route`]) — PathFinder negotiated congestion over the
+//!    fabric's routing resource graph.
+//! 5. **Timing** ([`timing`]) — static analysis + programming of the
+//!    PDE tap counts that implement the bundled-data timing assumptions.
+//! 6. **Bit generation** ([`bitgen`]) — assembling the
+//!    [`msaf_fabric::FabricConfig`].
+//! 7. **Verification** ([`verify`]) — extract the programmed fabric back
+//!    to a netlist and compare token streams against the source circuit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitgen;
+pub mod flow;
+pub mod pack;
+pub mod place;
+pub mod report;
+pub mod route;
+pub mod techmap;
+pub mod timing;
+pub mod verify;
+
+pub use flow::{compile, CompiledDesign, FlowError, FlowOptions};
+pub use report::FlowReport;
+pub use techmap::{MapError, MappedDesign, SignalId};

@@ -1,0 +1,303 @@
+//! Packing: mapped LEs → PLBs (two LEs + one PDE each in the paper's
+//! architecture), maximising intra-PLB connectivity so the IM absorbs
+//! nets that would otherwise burn routing tracks and PLB pins.
+
+use crate::techmap::{MappedDesign, SignalId};
+use msaf_fabric::arch::ArchSpec;
+use std::collections::HashSet;
+
+/// One packed PLB: indices into [`MappedDesign::les`] / `pdes`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedPlb {
+    /// LEs in this PLB (at most `arch.plb.les`).
+    pub les: Vec<usize>,
+    /// PDE request hosted here, if any.
+    pub pde: Option<usize>,
+}
+
+/// The packing result.
+#[derive(Debug, Clone, Default)]
+pub struct PackedDesign {
+    /// The PLBs, in creation order (placement assigns coordinates).
+    pub plbs: Vec<PackedPlb>,
+}
+
+/// Errors from [`pack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// A single LE's external connectivity exceeds the PLB pin budget —
+    /// the architecture is too narrow for the design.
+    PinOverflow {
+        /// The offending LE index.
+        le: usize,
+        /// External inputs needed.
+        needs: usize,
+        /// Pins available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::PinOverflow {
+                le,
+                needs,
+                available,
+            } => write!(
+                f,
+                "LE {le} needs {needs} external inputs, PLB offers {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// External I/O demand of a tentative PLB (a set of LEs + optional PDE).
+fn plb_io(design: &MappedDesign, les: &[usize], pde: Option<usize>) -> (usize, usize) {
+    let mut produced: HashSet<SignalId> = HashSet::new();
+    let mut consumed: HashSet<SignalId> = HashSet::new();
+    for &li in les {
+        for s in design.les[li].output_signals() {
+            produced.insert(s);
+        }
+        for s in design.les[li].input_signals() {
+            consumed.insert(s);
+        }
+    }
+    if let Some(pi) = pde {
+        produced.insert(design.pdes[pi].output);
+        consumed.insert(design.pdes[pi].input);
+    }
+    // External inputs: consumed but not produced here and not constant.
+    let ext_in = consumed
+        .iter()
+        .filter(|s| {
+            !produced.contains(s)
+                && !matches!(
+                    design.producers[s.index()],
+                    crate::techmap::Producer::Const(_)
+                )
+        })
+        .count();
+    // External outputs: produced here and needed elsewhere (or a PO).
+    let mut needed_elsewhere: HashSet<SignalId> = HashSet::new();
+    for (oli, le) in design.les.iter().enumerate() {
+        if les.contains(&oli) {
+            continue;
+        }
+        for s in le.input_signals() {
+            needed_elsewhere.insert(s);
+        }
+    }
+    for (opi, p) in design.pdes.iter().enumerate() {
+        if pde == Some(opi) {
+            continue;
+        }
+        needed_elsewhere.insert(p.input);
+    }
+    for &po in &design.pos {
+        needed_elsewhere.insert(po);
+    }
+    let ext_out = produced
+        .iter()
+        .filter(|s| needed_elsewhere.contains(s))
+        .count();
+    (ext_in, ext_out)
+}
+
+/// Signals shared between two LEs (affinity score).
+fn affinity(design: &MappedDesign, a: usize, b: usize) -> usize {
+    let ia: HashSet<SignalId> = design.les[a]
+        .input_signals()
+        .into_iter()
+        .chain(design.les[a].output_signals())
+        .collect();
+    design.les[b]
+        .input_signals()
+        .into_iter()
+        .chain(design.les[b].output_signals())
+        .filter(|s| ia.contains(s))
+        .count()
+}
+
+/// Packs `design` for `arch`.
+///
+/// Greedy: seed each PLB with the first unpacked LE, then add the
+/// highest-affinity partners that keep the external pin demand within
+/// the PLB budget. PDEs are attached to the PLB with the strongest
+/// affinity (producer or consumer of the delayed signal inside).
+///
+/// # Errors
+///
+/// [`PackError::PinOverflow`] when a single LE cannot fit any PLB.
+pub fn pack(design: &MappedDesign, arch: &ArchSpec) -> Result<PackedDesign, PackError> {
+    let per_plb = arch.plb.les;
+    let in_budget = arch.plb.inputs;
+    let out_budget = arch.plb.outputs;
+
+    let mut packed: Vec<PackedPlb> = Vec::new();
+    let mut placed = vec![false; design.les.len()];
+
+    for seed in 0..design.les.len() {
+        if placed[seed] {
+            continue;
+        }
+        let (si, so) = plb_io(design, &[seed], None);
+        if si > in_budget || so > out_budget {
+            return Err(PackError::PinOverflow {
+                le: seed,
+                needs: si.max(so),
+                available: in_budget.min(out_budget),
+            });
+        }
+        let mut les = vec![seed];
+        placed[seed] = true;
+        while les.len() < per_plb {
+            let mut best: Option<(usize, usize)> = None; // (le, affinity)
+            for cand in 0..design.les.len() {
+                if placed[cand] {
+                    continue;
+                }
+                let mut trial = les.clone();
+                trial.push(cand);
+                let (ti, to) = plb_io(design, &trial, None);
+                if ti > in_budget || to > out_budget {
+                    continue;
+                }
+                let a = affinity(design, seed, cand);
+                if best.is_none_or(|(_, ba)| a > ba) {
+                    best = Some((cand, a));
+                }
+            }
+            match best {
+                Some((cand, _)) => {
+                    placed[cand] = true;
+                    les.push(cand);
+                }
+                None => break,
+            }
+        }
+        packed.push(PackedPlb { les, pde: None });
+    }
+
+    // Attach PDEs.
+    for (pi, pde) in design.pdes.iter().enumerate() {
+        let mut best: Option<(usize, usize)> = None; // (plb, score)
+        for (bi, plb) in packed.iter().enumerate() {
+            if plb.pde.is_some() || arch.plb.pde.is_none() {
+                continue;
+            }
+            // Score: the PDE's input produced here, or output consumed here.
+            let mut score = 0;
+            for &li in &plb.les {
+                if design.les[li].output_signals().contains(&pde.input) {
+                    score += 2;
+                }
+                if design.les[li].input_signals().contains(&pde.output) {
+                    score += 1;
+                }
+            }
+            // Keep pin budget honest with the PDE included.
+            let (ti, to) = plb_io(design, &plb.les, Some(pi));
+            if ti > in_budget || to > out_budget {
+                continue;
+            }
+            if best.is_none_or(|(_, bs)| score > bs) {
+                best = Some((bi, score));
+            }
+        }
+        match best {
+            Some((bi, _)) => packed[bi].pde = Some(pi),
+            None => {
+                // No existing PLB can host it: dedicate a fresh one.
+                packed.push(PackedPlb {
+                    les: Vec::new(),
+                    pde: Some(pi),
+                });
+            }
+        }
+    }
+
+    Ok(PackedDesign { plbs: packed })
+}
+
+impl PackedDesign {
+    /// Number of PLBs used.
+    #[must_use]
+    pub fn plb_count(&self) -> usize {
+        self.plbs.len()
+    }
+
+    /// External inputs/outputs of PLB `i` under `design`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn io_of(&self, design: &MappedDesign, i: usize) -> (usize, usize) {
+        plb_io(design, &self.plbs[i].les, self.plbs[i].pde)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::techmap::map;
+    use msaf_cells::adders::qdi_ripple_adder;
+    use msaf_cells::fulladder::{micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY};
+
+    fn arch() -> ArchSpec {
+        ArchSpec::paper(8, 8)
+    }
+
+    #[test]
+    fn qdi_fa_packs_into_few_plbs() {
+        let mapped = map(&qdi_full_adder(), &arch()).unwrap();
+        let packed = pack(&mapped, &arch()).unwrap();
+        let le_total: usize = packed.plbs.iter().map(|p| p.les.len()).sum();
+        assert_eq!(le_total, mapped.les.len(), "every LE packed exactly once");
+        assert!(
+            packed.plb_count() <= mapped.les.len().div_ceil(2) + 1,
+            "packing should pair LEs: {} PLBs for {} LEs",
+            packed.plb_count(),
+            mapped.les.len()
+        );
+    }
+
+    #[test]
+    fn micropipeline_fa_gets_its_pde() {
+        let mapped = map(&micropipeline_full_adder(SAFE_FA_MATCHED_DELAY), &arch()).unwrap();
+        let packed = pack(&mapped, &arch()).unwrap();
+        let pdes: Vec<usize> = packed.plbs.iter().filter_map(|p| p.pde).collect();
+        assert_eq!(pdes, vec![0], "the one PDE request must be placed");
+    }
+
+    #[test]
+    fn pin_budgets_respected() {
+        let mapped = map(&qdi_ripple_adder(4), &arch()).unwrap();
+        let packed = pack(&mapped, &arch()).unwrap();
+        for i in 0..packed.plb_count() {
+            let (pin, pout) = packed.io_of(&mapped, i);
+            assert!(pin <= arch().plb.inputs, "PLB {i} inputs {pin}");
+            assert!(pout <= arch().plb.outputs, "PLB {i} outputs {pout}");
+        }
+    }
+
+    #[test]
+    fn no_pde_arch_gives_pde_its_own_plb_entry() {
+        // On a PDE-less architecture the packer cannot place PDEs into
+        // any PLB; they end up in fresh (invalid) PLBs, which the bitgen
+        // stage rejects — here we just confirm the packer isolates them.
+        let a = ArchSpec::no_pde(8, 8);
+        let mapped = map(&micropipeline_full_adder(SAFE_FA_MATCHED_DELAY), &a).unwrap();
+        let packed = pack(&mapped, &a).unwrap();
+        let orphan = packed
+            .plbs
+            .iter()
+            .find(|p| p.pde.is_some())
+            .expect("PDE isolated");
+        assert!(orphan.les.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! The flow report: one struct carrying every number the experiment
+//! binaries print — mapping statistics, the paper's filling ratios,
+//! placement/routing quality and timing.
+
+use crate::timing::TimingReport;
+use msaf_fabric::utilization::Utilization;
+use std::fmt;
+
+/// Summary of one complete compile.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Source-netlist gate count.
+    pub source_gates: usize,
+    /// Mapped logic elements.
+    pub les: usize,
+    /// LEs carrying two or more functions (pairing success measure).
+    pub les_paired: usize,
+    /// LUT2 outputs in use.
+    pub lut2_used: usize,
+    /// PDE requests.
+    pub pdes: usize,
+    /// PLBs used after packing.
+    pub plbs: usize,
+    /// Grid dimensions chosen.
+    pub grid: (usize, usize),
+    /// Final placement cost (HPWL).
+    pub place_cost: f64,
+    /// Router iterations to congestion-free.
+    pub route_iterations: usize,
+    /// Total routed wirelength.
+    pub wirelength: usize,
+    /// Fabric utilisation including the paper's filling ratios.
+    pub utilization: Utilization,
+    /// Static timing.
+    pub timing: TimingReport,
+}
+
+impl FlowReport {
+    /// The headline filling ratio (input-pin occupancy — see
+    /// `msaf_fabric::utilization` for the definition and alternatives).
+    #[must_use]
+    pub fn filling_ratio(&self) -> f64 {
+        self.utilization.filling.input_pin
+    }
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design           : {}", self.design)?;
+        writeln!(f, "architecture     : {}", self.arch)?;
+        writeln!(f, "source gates     : {}", self.source_gates)?;
+        writeln!(
+            f,
+            "logic elements   : {} ({} paired, {} LUT2 used)",
+            self.les, self.les_paired, self.lut2_used
+        )?;
+        writeln!(f, "PDEs             : {}", self.pdes)?;
+        writeln!(
+            f,
+            "PLBs             : {} on a {}x{} grid",
+            self.plbs, self.grid.0, self.grid.1
+        )?;
+        writeln!(f, "placement HPWL   : {:.1}", self.place_cost)?;
+        writeln!(
+            f,
+            "routing          : {} iterations, wirelength {}",
+            self.route_iterations, self.wirelength
+        )?;
+        writeln!(
+            f,
+            "timing           : {} levels, critical delay {}",
+            self.timing.levels, self.timing.critical_delay
+        )?;
+        writeln!(f, "{}", self.utilization)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_fabric::arch::ArchSpec;
+    use msaf_fabric::bitstream::FabricConfig;
+
+    #[test]
+    fn display_contains_key_lines() {
+        let cfg = FabricConfig::empty("d", ArchSpec::paper(2, 2));
+        let report = FlowReport {
+            design: "d".into(),
+            arch: "msaf-2x2".into(),
+            source_gates: 10,
+            les: 4,
+            les_paired: 2,
+            lut2_used: 1,
+            pdes: 0,
+            plbs: 2,
+            grid: (2, 2),
+            place_cost: 12.5,
+            route_iterations: 3,
+            wirelength: 40,
+            utilization: Utilization::of(&cfg),
+            timing: crate::timing::TimingReport {
+                levels: 2,
+                critical_delay: 9,
+                critical_signal: None,
+            },
+        };
+        let text = report.to_string();
+        for needle in ["design", "logic elements", "filling ratio", "routing"] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+        assert_eq!(report.filling_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! PathFinder negotiated-congestion routing over the fabric's routing
+//! resource graph.
+//!
+//! Classic iteration: route every net by Dijkstra with a cost that mixes
+//! base cost, *present* congestion (sharing this iteration) and
+//! *history* (sharing in past iterations); rip up and repeat with rising
+//! congestion pressure until no wire is shared.
+
+use msaf_fabric::bitstream::RouteTree;
+use msaf_fabric::rrg::{NodeId, Rrg, RrNodeKind};
+use std::collections::{BinaryHeap, HashMap};
+
+/// One net to route.
+#[derive(Debug, Clone)]
+pub struct RouteRequest {
+    /// Design net name (for reports and errors).
+    pub net: String,
+    /// Source node (`Opin` or input `Pad`).
+    pub source: NodeId,
+    /// Sink nodes (`Ipin`s / output `Pad`s).
+    pub sinks: Vec<NodeId>,
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOptions {
+    /// Maximum rip-up iterations before giving up.
+    pub max_iterations: usize,
+    /// Present-congestion multiplier growth per iteration.
+    pub pres_fac_mult: f64,
+    /// History increment per overused node per iteration.
+    pub hist_fac: f64,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 40,
+            pres_fac_mult: 1.8,
+            hist_fac: 0.4,
+        }
+    }
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// A sink was unreachable from its source (disconnected graph or
+    /// exhausted capacity).
+    Unreachable {
+        /// The net.
+        net: String,
+    },
+    /// Congestion did not resolve within the iteration budget.
+    Unroutable {
+        /// Wires still overused at the end.
+        overused: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unreachable { net } => write!(f, "net '{net}' has unreachable sinks"),
+            RouteError::Unroutable { overused } => {
+                write!(f, "congestion unresolved: {overused} wires overused")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Result of a successful routing run.
+#[derive(Debug, Clone)]
+pub struct RoutingResult {
+    /// One tree per request, in request order.
+    pub trees: Vec<RouteTree>,
+    /// PathFinder iterations used.
+    pub iterations: usize,
+}
+
+/// True when a node is congestion-managed (wires only; pins and pads are
+/// dedicated by construction).
+fn is_wire(kind: RrNodeKind) -> bool {
+    matches!(kind, RrNodeKind::HWire { .. } | RrNodeKind::VWire { .. })
+}
+
+/// Routes all `requests` over `rrg`.
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route(
+    rrg: &Rrg,
+    requests: &[RouteRequest],
+    opts: &RouteOptions,
+) -> Result<RoutingResult, RouteError> {
+    let n = rrg.len();
+    let mut history = vec![0.0f64; n];
+    let mut occupancy = vec![0u32; n];
+    let mut trees: Vec<Option<Vec<(NodeId, Option<NodeId>)>>> = vec![None; requests.len()];
+    let mut pres_fac = 1.0f64;
+
+    for iteration in 0..opts.max_iterations {
+        // Rip up everything (occupancy rebuilt as nets are rerouted).
+        occupancy.iter_mut().for_each(|o| *o = 0);
+
+        for (ri, req) in requests.iter().enumerate() {
+            let tree = route_net(rrg, req, &occupancy, &history, pres_fac)
+                .ok_or_else(|| RouteError::Unreachable {
+                    net: req.net.clone(),
+                })?;
+            for (node, _) in &tree {
+                if is_wire(rrg.kind(*node)) {
+                    occupancy[node.index()] += 1;
+                }
+            }
+            trees[ri] = Some(tree);
+        }
+
+        // Congestion check.
+        let mut overused = 0;
+        for i in 0..n {
+            if occupancy[i] > 1 {
+                overused += 1;
+                history[i] += opts.hist_fac * f64::from(occupancy[i] - 1);
+            }
+        }
+        if overused == 0 {
+            let trees = trees
+                .iter()
+                .zip(requests)
+                .map(|(t, req)| to_route_tree(rrg, req, t.as_ref().expect("routed")))
+                .collect();
+            return Ok(RoutingResult {
+                trees,
+                iterations: iteration + 1,
+            });
+        }
+        pres_fac *= opts.pres_fac_mult;
+    }
+
+    let overused = occupancy.iter().filter(|&&o| o > 1).count();
+    Err(RouteError::Unroutable { overused })
+}
+
+/// Dijkstra-grown route tree for one net: returns `(node, parent)` pairs
+/// in discovery order (source first, parent `None`).
+fn route_net(
+    rrg: &Rrg,
+    req: &RouteRequest,
+    occupancy: &[u32],
+    history: &[f64],
+    pres_fac: f64,
+) -> Option<Vec<(NodeId, Option<NodeId>)>> {
+    let node_cost = |id: NodeId, in_tree: bool| -> f64 {
+        if in_tree {
+            return 0.0;
+        }
+        let base = 1.0;
+        let i = id.index();
+        let present = if is_wire(rrg.kind(id)) {
+            1.0 + pres_fac * f64::from(occupancy[i])
+        } else {
+            1.0
+        };
+        (base + history[i]) * present
+    };
+
+    let mut tree: Vec<(NodeId, Option<NodeId>)> = vec![(req.source, None)];
+    let mut in_tree = vec![false; rrg.len()];
+    in_tree[req.source.index()] = true;
+
+    let mut remaining: Vec<NodeId> = req.sinks.clone();
+    while !remaining.is_empty() {
+        // Dijkstra from the whole current tree to the nearest remaining sink.
+        #[derive(PartialEq)]
+        struct Entry(f64, NodeId);
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| other.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        for (node, _) in &tree {
+            dist.insert(*node, 0.0);
+            heap.push(Entry(0.0, *node));
+        }
+        let mut found: Option<NodeId> = None;
+        while let Some(Entry(d, u)) = heap.pop() {
+            if d > *dist.get(&u).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            if remaining.contains(&u) && !in_tree[u.index()] {
+                found = Some(u);
+                break;
+            }
+            for &v in rrg.neighbors(u) {
+                // Expansion discipline: a sink pin/pad may only be entered
+                // if it is one of ours; wires are fair game; other nets'
+                // pins are never crossed (pins have a single user).
+                let vk = rrg.kind(v);
+                let enterable = match vk {
+                    RrNodeKind::HWire { .. } | RrNodeKind::VWire { .. } => true,
+                    _ => remaining.contains(&v) || in_tree[v.index()],
+                };
+                if !enterable {
+                    continue;
+                }
+                let nd = d + node_cost(v, in_tree[v.index()]);
+                if nd < *dist.get(&v).unwrap_or(&f64::INFINITY) {
+                    dist.insert(v, nd);
+                    prev.insert(v, u);
+                    heap.push(Entry(nd, v));
+                }
+            }
+        }
+        let sink = found?;
+        // Walk back to the tree, adding path nodes.
+        let mut path = vec![sink];
+        let mut cur = sink;
+        while let Some(&p) = prev.get(&cur) {
+            if in_tree[p.index()] {
+                path.push(p);
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        // path[0] is in the tree; append the rest.
+        for w in path.windows(2) {
+            let (parent, child) = (w[0], w[1]);
+            if !in_tree[child.index()] {
+                in_tree[child.index()] = true;
+                tree.push((child, Some(parent)));
+            }
+        }
+        remaining.retain(|&s| s != sink);
+    }
+    Some(tree)
+}
+
+fn to_route_tree(
+    rrg: &Rrg,
+    req: &RouteRequest,
+    tree: &[(NodeId, Option<NodeId>)],
+) -> RouteTree {
+    RouteTree {
+        net: req.net.clone(),
+        source: rrg.kind(req.source),
+        sinks: req.sinks.iter().map(|&s| rrg.kind(s)).collect(),
+        nodes: tree.iter().map(|(n, _)| rrg.kind(*n)).collect(),
+        edges: tree
+            .iter()
+            .filter_map(|(n, p)| p.map(|p| (rrg.kind(p), rrg.kind(*n))))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_fabric::arch::ArchSpec;
+
+    fn small_rrg() -> Rrg {
+        let mut a = ArchSpec::paper(2, 2);
+        a.channel_width = 4;
+        Rrg::build(&a)
+    }
+
+    #[test]
+    fn single_net_routes() {
+        let g = small_rrg();
+        let src = g.node(RrNodeKind::Pad { id: 0 }).unwrap();
+        let dst = g.node(RrNodeKind::Ipin { x: 1, y: 1, pin: 3 }).unwrap();
+        let res = route(
+            &g,
+            &[RouteRequest {
+                net: "n".into(),
+                source: src,
+                sinks: vec![dst],
+            }],
+            &RouteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(res.trees.len(), 1);
+        let t = &res.trees[0];
+        assert_eq!(t.source, RrNodeKind::Pad { id: 0 });
+        assert!(t.wirelength() >= 1);
+        assert!(t.sinks.contains(&RrNodeKind::Ipin { x: 1, y: 1, pin: 3 }));
+    }
+
+    #[test]
+    fn multi_sink_net_routes_as_tree() {
+        let g = small_rrg();
+        let src = g.node(RrNodeKind::Opin { x: 0, y: 0, pin: 0 }).unwrap();
+        let sinks = vec![
+            g.node(RrNodeKind::Ipin { x: 1, y: 0, pin: 0 }).unwrap(),
+            g.node(RrNodeKind::Ipin { x: 1, y: 1, pin: 1 }).unwrap(),
+            g.node(RrNodeKind::Pad { id: 5 }).unwrap(),
+        ];
+        let res = route(
+            &g,
+            &[RouteRequest {
+                net: "fanout".into(),
+                source: src,
+                sinks: sinks.clone(),
+            }],
+            &RouteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(res.trees[0].sinks.len(), 3);
+        // Every edge's parent appears before the child (tree property).
+        let t = &res.trees[0];
+        for (p, c) in &t.edges {
+            let pi = t.nodes.iter().position(|n| n == p).unwrap();
+            let ci = t.nodes.iter().position(|n| n == c).unwrap();
+            assert!(pi < ci, "parent after child");
+        }
+    }
+
+    #[test]
+    fn congestion_negotiated() {
+        // Many nets from the same tile; they must spread across tracks
+        // with no wire shared.
+        let g = small_rrg();
+        let mut reqs = Vec::new();
+        for pin in 0..6 {
+            reqs.push(RouteRequest {
+                net: format!("n{pin}"),
+                source: g.node(RrNodeKind::Opin { x: 0, y: 0, pin }).unwrap(),
+                sinks: vec![g
+                    .node(RrNodeKind::Ipin { x: 1, y: 1, pin })
+                    .unwrap()],
+            });
+        }
+        let res = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        // No wire appears in two different trees.
+        let mut used = std::collections::HashMap::new();
+        for t in &res.trees {
+            for n in &t.nodes {
+                if matches!(n, RrNodeKind::HWire { .. } | RrNodeKind::VWire { .. }) {
+                    if let Some(other) = used.insert(*n, t.net.clone()) {
+                        panic!("wire {n:?} shared by {other} and {}", t.net);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_capacity_reported() {
+        // Channel width 1 cannot carry 6 parallel nets between the same
+        // pair of tiles.
+        let mut a = ArchSpec::paper(2, 1);
+        a.channel_width = 1;
+        let g = Rrg::build(&a);
+        let mut reqs = Vec::new();
+        for pin in 0..6 {
+            reqs.push(RouteRequest {
+                net: format!("n{pin}"),
+                source: g.node(RrNodeKind::Opin { x: 0, y: 0, pin }).unwrap(),
+                sinks: vec![g.node(RrNodeKind::Ipin { x: 1, y: 0, pin }).unwrap()],
+            });
+        }
+        let err = route(&g, &reqs, &RouteOptions::default()).unwrap_err();
+        assert!(matches!(err, RouteError::Unroutable { .. }));
+    }
+}

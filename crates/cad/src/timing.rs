@@ -1,0 +1,162 @@
+//! Static timing analysis over a mapped design.
+//!
+//! Asynchronous circuits have no clock period, but two timing questions
+//! remain: (a) how deep is the combinational logic between state-holding
+//! elements (reported, and useful to compare styles), and (b) what
+//! matched delay must each PDE realise to uphold its bundling constraint
+//! (programmed into tap counts by the bit generator).
+//!
+//! The delay model mirrors the simulator's LUT timing: a `k`-input LE
+//! function costs `1 + k` units; LUT2 functions cost 1; PDEs cost their
+//! programmed amount.
+
+use crate::techmap::{MappedDesign, Producer};
+use msaf_fabric::le::LeOutput;
+use std::collections::HashMap;
+
+/// Result of [`analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Combinational depth in LE levels (longest chain of non-feedback
+    /// functions).
+    pub levels: usize,
+    /// Estimated critical combinational delay (LE delay units).
+    pub critical_delay: u64,
+    /// Name of the signal ending the critical path.
+    pub critical_signal: Option<String>,
+}
+
+/// Delay of one LE function under the analysis model.
+fn func_delay(tap: LeOutput, arity: usize) -> u64 {
+    match tap {
+        LeOutput::Lut2 => 1,
+        _ => 1 + arity as u64,
+    }
+}
+
+/// Computes arrival times over the mapped design, cutting feedback
+/// functions (they are state-holding endpoints, like registers in
+/// synchronous STA).
+#[must_use]
+pub fn analyze(design: &MappedDesign) -> TimingReport {
+    // arrival[signal] = worst-case delay from any PI / state output.
+    let mut arrival: HashMap<usize, u64> = HashMap::new();
+    for &pi in &design.pis {
+        arrival.insert(pi.index(), 0);
+    }
+    // Feedback outputs and PDE outputs are launch points.
+    for le in &design.les {
+        for f in &le.funcs {
+            if f.feedback {
+                arrival.insert(f.output.index(), 0);
+            }
+        }
+    }
+    for p in &design.pdes {
+        arrival.insert(p.output.index(), 0);
+    }
+    for (s, prod) in design.producers.iter().enumerate() {
+        if matches!(prod, Producer::Const(_)) {
+            arrival.insert(s, 0);
+        }
+    }
+
+    // Iterate to fixpoint (the non-feedback func graph is a DAG, so at
+    // most |funcs| sweeps).
+    let mut levels_of: HashMap<usize, usize> = HashMap::new();
+    let total_funcs: usize = design.les.iter().map(|le| le.funcs.len()).sum();
+    for _ in 0..=total_funcs {
+        let mut changed = false;
+        for le in &design.les {
+            for f in &le.funcs {
+                if f.feedback {
+                    continue;
+                }
+                let Some(worst) = f
+                    .inputs
+                    .iter()
+                    .map(|s| arrival.get(&s.index()).copied())
+                    .collect::<Option<Vec<u64>>>()
+                    .map(|v| v.into_iter().max().unwrap_or(0))
+                else {
+                    continue; // some input not yet resolved
+                };
+                let t = worst + func_delay(f.tap, f.inputs.len());
+                let lv = f
+                    .inputs
+                    .iter()
+                    .map(|s| levels_of.get(&s.index()).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
+                if arrival.get(&f.output.index()) != Some(&t) {
+                    arrival.insert(f.output.index(), t);
+                    changed = true;
+                }
+                levels_of.insert(f.output.index(), lv);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let (mut critical_delay, mut critical_signal, mut levels) = (0u64, None, 0usize);
+    for (s, &t) in &arrival {
+        if t > critical_delay {
+            critical_delay = t;
+            critical_signal = Some(design.signal_names[*s].clone());
+        }
+        levels = levels.max(levels_of.get(s).copied().unwrap_or(0));
+    }
+    TimingReport {
+        levels,
+        critical_delay,
+        critical_signal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::techmap::map;
+    use msaf_cells::adders::{bundled_ripple_adder, suggested_bundled_adder_delay};
+    use msaf_cells::fulladder::qdi_full_adder;
+    use msaf_fabric::arch::ArchSpec;
+
+    #[test]
+    fn qdi_fa_depth() {
+        let mapped = map(&qdi_full_adder(), &ArchSpec::paper(4, 4)).unwrap();
+        let report = analyze(&mapped);
+        // Minterm C-elements are launch points; the OR network behind
+        // them is 1-2 levels deep.
+        assert!(report.levels >= 1 && report.levels <= 3, "{report:?}");
+        assert!(report.critical_delay > 0);
+        assert!(report.critical_signal.is_some());
+    }
+
+    #[test]
+    fn deeper_adders_have_longer_paths() {
+        let arch = ArchSpec::paper(8, 8);
+        let d4 = analyze(&map(&bundled_ripple_adder(4, suggested_bundled_adder_delay(4)), &arch).unwrap());
+        let d8 = analyze(&map(&bundled_ripple_adder(8, suggested_bundled_adder_delay(8)), &arch).unwrap());
+        assert!(
+            d8.critical_delay > d4.critical_delay,
+            "8-bit ripple {} must exceed 4-bit {}",
+            d8.critical_delay,
+            d4.critical_delay
+        );
+        assert!(d8.levels > d4.levels);
+    }
+
+    #[test]
+    fn empty_design_reports_zero() {
+        let mut nl = msaf_netlist::Netlist::new("empty");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(msaf_netlist::GateKind::Buf, "b", &[a]);
+        nl.mark_output(y);
+        let mapped = map(&nl, &ArchSpec::paper(2, 2)).unwrap();
+        let report = analyze(&mapped);
+        assert_eq!(report.levels, 1); // the kept passthrough LUT1
+    }
+}

@@ -1,0 +1,210 @@
+//! Post-bitstream verification: extract the programmed fabric back into
+//! a netlist, rebuild the handshake channels on it, and compare token
+//! streams against the source circuit under the same environment.
+//!
+//! This is the end-to-end functional check of the whole flow — if the
+//! extracted fabric transfers the same tokens, the mapping, packing,
+//! placement, routing and bit generation are all correct for this
+//! design.
+
+use crate::techmap::MappedDesign;
+use msaf_fabric::bitstream::FabricConfig;
+use msaf_fabric::extract::{extract_netlist, ExtractError};
+use msaf_netlist::{Channel, NetId, Netlist};
+use msaf_sim::{token_run, DelayModel, TokenRunError, TokenRunOptions};
+use std::collections::BTreeMap;
+
+/// Errors from [`verify_tokens`].
+#[derive(Debug)]
+pub enum VerifyError {
+    /// Bitstream extraction failed.
+    Extract(ExtractError),
+    /// A channel net could not be located on the extracted design.
+    MissingPad {
+        /// The channel.
+        channel: String,
+        /// The unresolvable signal name.
+        signal: String,
+    },
+    /// The source-circuit simulation failed.
+    Original(TokenRunError),
+    /// The fabric simulation failed.
+    Fabric(TokenRunError),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Extract(e) => write!(f, "extraction failed: {e}"),
+            VerifyError::MissingPad { channel, signal } => {
+                write!(f, "channel '{channel}': no pad for signal '{signal}'")
+            }
+            VerifyError::Original(e) => write!(f, "source simulation failed: {e}"),
+            VerifyError::Fabric(e) => write!(f, "fabric simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// True when every output channel produced identical token values.
+    pub matches: bool,
+    /// Token values per output channel on the source circuit.
+    pub original: BTreeMap<String, Vec<u64>>,
+    /// Token values per output channel on the programmed fabric.
+    pub fabric: BTreeMap<String, Vec<u64>>,
+    /// Glitch counts `(source, fabric)` — hazard comparison.
+    pub glitches: (usize, usize),
+}
+
+/// Rebuilds the source netlist's channels on the extracted design.
+fn remap_channels(
+    original: &Netlist,
+    mapped: &MappedDesign,
+    config: &FabricConfig,
+    extracted: &mut Netlist,
+    pad_nets: &std::collections::HashMap<usize, NetId>,
+) -> Result<(), VerifyError> {
+    for ch in original.channels() {
+        let remap_net = |net: NetId| -> Result<NetId, VerifyError> {
+            let signal = mapped.signal_of_net(net);
+            let name = mapped.signal_name(signal);
+            let pad = config
+                .pad_for_net(name)
+                .ok_or_else(|| VerifyError::MissingPad {
+                    channel: ch.name().to_string(),
+                    signal: name.to_string(),
+                })?;
+            pad_nets
+                .get(&pad.pad)
+                .copied()
+                .ok_or_else(|| VerifyError::MissingPad {
+                    channel: ch.name().to_string(),
+                    signal: name.to_string(),
+                })
+        };
+        let data = ch
+            .data()
+            .iter()
+            .map(|&n| remap_net(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        let req = ch.req().map(remap_net).transpose()?;
+        let ack = remap_net(ch.ack())?;
+        extracted.add_channel(Channel::new(
+            ch.name(),
+            ch.dir(),
+            ch.protocol(),
+            ch.encoding(),
+            req,
+            ack,
+            data,
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the same token experiment on the source circuit and on the
+/// programmed fabric, comparing the observed output streams.
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify_tokens(
+    original: &Netlist,
+    mapped: &MappedDesign,
+    config: &FabricConfig,
+    inputs: &BTreeMap<String, Vec<u64>>,
+    model: &dyn DelayModel,
+    opts: &TokenRunOptions,
+) -> Result<VerifyReport, VerifyError> {
+    let golden = token_run(original, model, inputs, opts).map_err(VerifyError::Original)?;
+
+    let design = extract_netlist(config).map_err(VerifyError::Extract)?;
+    let mut extracted = design.netlist;
+    remap_channels(original, mapped, config, &mut extracted, &design.pad_nets)?;
+    let fabric_run = token_run(&extracted, model, inputs, opts).map_err(VerifyError::Fabric)?;
+
+    let original_values: BTreeMap<String, Vec<u64>> = golden
+        .outputs
+        .iter()
+        .map(|(k, v)| (k.clone(), v.values()))
+        .collect();
+    let fabric_values: BTreeMap<String, Vec<u64>> = fabric_run
+        .outputs
+        .iter()
+        .map(|(k, v)| (k.clone(), v.values()))
+        .collect();
+    Ok(VerifyReport {
+        matches: original_values == fabric_values,
+        original: original_values,
+        fabric: fabric_values,
+        glitches: (golden.glitches, fabric_run.glitches),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitgen::{assemble, bind};
+    use crate::pack::pack;
+    use crate::place::place;
+    use crate::route::{route, RouteOptions};
+    use crate::techmap::map;
+    use msaf_cells::fulladder::{
+        full_adder_reference, micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY,
+    };
+    use msaf_fabric::arch::ArchSpec;
+    use msaf_fabric::rrg::Rrg;
+    use msaf_sim::PerKindDelay;
+
+    fn compile_and_verify(nl: &Netlist, arch: &ArchSpec) -> VerifyReport {
+        let mapped = map(nl, arch).unwrap();
+        let packed = pack(&mapped, arch).unwrap();
+        let placement = place(&mapped, &packed, arch, 5).unwrap();
+        let rrg = Rrg::build(arch);
+        let binding = bind(&mapped, &packed, &placement, arch, &rrg).unwrap();
+        let routed = route(&rrg, &binding.requests, &RouteOptions::default()).unwrap();
+        let config = assemble(binding, routed.trees);
+        config.check(&rrg).unwrap();
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), (0..8).collect::<Vec<u64>>());
+        verify_tokens(
+            nl,
+            &mapped,
+            &config,
+            &inputs,
+            &PerKindDelay::new(),
+            &TokenRunOptions::default(),
+        )
+        .expect("verification runs")
+    }
+
+    #[test]
+    fn qdi_fa_fabric_matches_source() {
+        let report = compile_and_verify(&qdi_full_adder(), &ArchSpec::paper(4, 4));
+        assert!(
+            report.matches,
+            "original {:?} vs fabric {:?}",
+            report.original, report.fabric
+        );
+        let want: Vec<u64> = (0..8).map(full_adder_reference).collect();
+        assert_eq!(report.fabric["res"], want);
+    }
+
+    #[test]
+    fn micropipeline_fa_fabric_matches_source() {
+        let report = compile_and_verify(
+            &micropipeline_full_adder(SAFE_FA_MATCHED_DELAY),
+            &ArchSpec::paper(4, 4),
+        );
+        assert!(
+            report.matches,
+            "original {:?} vs fabric {:?}",
+            report.original, report.fabric
+        );
+    }
+}

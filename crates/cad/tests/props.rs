@@ -1,0 +1,111 @@
+//! Property-based end-to-end check: for random combinational netlists,
+//! the programmed fabric computes exactly the same function as the
+//! source circuit on every tested input vector.
+//!
+//! This is the strongest automated statement about the CAD flow: it
+//! covers technology mapping (pairing, LUT2 absorption, inverter
+//! folding), packing, placement, routing and bit generation in one
+//! functional oracle.
+
+use msaf_cad::flow::{compile, FlowOptions};
+use msaf_fabric::extract::extract_netlist;
+use msaf_netlist::{GateKind, NetId, Netlist};
+use msaf_sim::settle::{settle, SettleState};
+use proptest::prelude::*;
+
+/// Builds a random combinational netlist from generator choices.
+fn random_comb(n_inputs: usize, picks: &[(u8, u16, u16)]) -> Netlist {
+    let mut nl = Netlist::new("prop_comb");
+    let mut nets: Vec<NetId> = (0..n_inputs)
+        .map(|i| nl.add_input(format!("pi{i}")))
+        .collect();
+    for (gi, &(kind_sel, s0, s1)) in picks.iter().enumerate() {
+        let a = nets[s0 as usize % nets.len()];
+        let b = nets[s1 as usize % nets.len()];
+        let (kind, ins) = match kind_sel % 6 {
+            0 => (GateKind::Not, vec![a]),
+            1 => (GateKind::And, vec![a, b]),
+            2 => (GateKind::Or, vec![a, b]),
+            3 => (GateKind::Xor, vec![a, b]),
+            4 => (GateKind::Nand, vec![a, b]),
+            _ => (GateKind::Nor, vec![a, b]),
+        };
+        let (_, y) = nl.add_gate_new(kind, format!("g{gi}"), &ins);
+        nets.push(y);
+    }
+    // Mark the last few nets as outputs (and any dangling ones to keep
+    // validation clean).
+    let danglers: Vec<NetId> = nl
+        .iter_nets()
+        .filter(|(_, n)| n.sinks().is_empty())
+        .map(|(id, _)| id)
+        .collect();
+    for id in danglers {
+        nl.mark_output(id);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn fabric_matches_source_on_random_combinational_logic(
+        n_inputs in 2usize..5,
+        picks in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 2..14),
+        vectors in proptest::collection::vec(any::<u32>(), 4),
+    ) {
+        let nl = random_comb(n_inputs, &picks);
+        prop_assume!(nl.validate().is_ok());
+        // PI-as-PO passthroughs are unsupported by the binder; these
+        // netlists never alias through Bufs, but a dangling PI becomes an
+        // output above — skip such cases.
+        prop_assume!(nl.outputs().iter().all(|po| !nl.net(*po).is_primary_input()));
+
+        let compiled = compile(&nl, &FlowOptions::default()).expect("flow compiles");
+        let extracted = extract_netlist(&compiled.config).expect("extracts");
+        let fab = &extracted.netlist;
+        prop_assert!(fab.validate().is_ok(), "{}", fab.validate());
+
+        for &vector in &vectors {
+            // Drive the same PI values on both, by name.
+            let src_assign: Vec<(NetId, bool)> = nl
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, &pi)| (pi, (vector >> i) & 1 == 1))
+                .collect();
+            let fab_assign: Vec<(NetId, bool)> = nl
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, &pi)| {
+                    let name = nl.net(pi).name();
+                    let fpi = fab.find_net(name).expect("PI name preserved");
+                    (fpi, (vector >> i) & 1 == 1)
+                })
+                .collect();
+
+            let mut s1 = SettleState::reset(&nl);
+            let v1 = settle(&nl, &src_assign, &mut s1).expect("source settles");
+            let mut s2 = SettleState::reset(fab);
+            let v2 = settle(fab, &fab_assign, &mut s2).expect("fabric settles");
+
+            for &po in nl.outputs() {
+                let signal = compiled.mapped.signal_of_net(po);
+                let name = compiled.mapped.signal_name(signal);
+                let pad = compiled
+                    .config
+                    .pad_for_net(name)
+                    .expect("PO bound to a pad");
+                let fab_net = extracted.pad_nets[&pad.pad];
+                prop_assert_eq!(
+                    v1[po.index()],
+                    v2[fab_net.index()],
+                    "vector {:#b}, output '{}' diverged",
+                    vector,
+                    nl.net(po).name()
+                );
+            }
+        }
+    }
+}

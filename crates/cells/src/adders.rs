@@ -1,0 +1,262 @@
+//! Parameterised n-bit ripple-carry adders in both styles — the workload
+//! generators behind the filling-ratio sweep (experiment X1).
+//!
+//! Token layout for both styles, on an `n`-bit adder:
+//!
+//! * input channel `"op"`: bits `0..n` = `a`, bits `n..2n` = `b`,
+//!   bit `2n` = `cin` (width `2n+1`);
+//! * output channel `"res"`: bits `0..n` = `sum`, bit `n` = `cout`
+//!   (width `n+1`).
+
+use crate::bundled::bundled_stage;
+use crate::dualrail::{dims, dr_channel_data, dr_inputs, Dr};
+use msaf_netlist::{
+    Channel, ChannelDir, Encoding, GateKind, LutTable, NetId, Netlist, Protocol,
+};
+
+/// Reference behaviour: the result token for one operand token of an
+/// `n`-bit ripple adder (see module docs for the layouts).
+#[must_use]
+pub fn ripple_adder_reference(width: usize, token: u64) -> u64 {
+    let mask = (1u64 << width) - 1;
+    let a = token & mask;
+    let b = (token >> width) & mask;
+    let cin = (token >> (2 * width)) & 1;
+    a + b + cin // sum occupies bits 0..width, carry lands on bit `width`
+}
+
+/// Builds an `n`-bit **QDI dual-rail DIMS** ripple-carry adder.
+///
+/// Every bit position is one shared-minterm DIMS block producing `sum[i]`
+/// and the next carry — eight 3-input C-elements plus rail-OR gates, the
+/// direct n-bit generalisation of Figure 3b.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds 20 (token payloads are `u64` and
+/// need `2n+1` bits).
+#[must_use]
+pub fn qdi_ripple_adder(width: usize) -> Netlist {
+    assert!((1..=20).contains(&width), "width must be in 1..=20");
+    let mut nl = Netlist::new(format!("qdi_ripple_adder_{width}"));
+    let a = dr_inputs(&mut nl, "a", width);
+    let b = dr_inputs(&mut nl, "b", width);
+    let cin = dr_inputs(&mut nl, "cin", 1)[0];
+    let res_ack = nl.add_input("res_ack");
+
+    let mut carry = cin;
+    let mut sums: Vec<Dr> = Vec::with_capacity(width);
+    for i in 0..width {
+        let outs = dims(
+            &mut nl,
+            &format!("fa{i}"),
+            &[a[i], b[i], carry],
+            &[
+                ("sum", &|v: &[bool]| v[0] ^ v[1] ^ v[2]),
+                ("carry", &|v: &[bool]| {
+                    (v[0] & v[1]) | (v[0] & v[2]) | (v[1] & v[2])
+                }),
+            ],
+        );
+        sums.push(outs[0]);
+        carry = outs[1];
+    }
+    let mut out_bits = sums.clone();
+    out_bits.push(carry);
+    for d in &out_bits {
+        nl.mark_output(d.t);
+        nl.mark_output(d.f);
+    }
+
+    let mut in_bits = a;
+    in_bits.extend(b);
+    in_bits.push(cin);
+    nl.add_channel(Channel::new(
+        "op",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::DualRail {
+            width: 2 * width + 1,
+        },
+        None,
+        res_ack,
+        dr_channel_data(&in_bits),
+    ));
+    nl.add_channel(Channel::new(
+        "res",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::DualRail { width: width + 1 },
+        None,
+        res_ack,
+        dr_channel_data(&out_bits),
+    ));
+    nl
+}
+
+/// Builds an `n`-bit **micropipeline bundled-data** ripple-carry adder:
+/// one latch stage capturing `a`, `b`, `cin`, single-rail ripple logic,
+/// and a matched delay covering the worst-case carry chain.
+///
+/// `matched_delay` should grow with `width`; see
+/// [`suggested_bundled_adder_delay`].
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds 20.
+#[must_use]
+pub fn bundled_ripple_adder(width: usize, matched_delay: u32) -> Netlist {
+    assert!((1..=20).contains(&width), "width must be in 1..=20");
+    let mut nl = Netlist::new(format!("bundled_ripple_adder_{width}"));
+    let req = nl.add_input("op_req");
+    let mut data_in: Vec<NetId> = Vec::with_capacity(2 * width + 1);
+    for i in 0..width {
+        data_in.push(nl.add_input(format!("a{i}")));
+    }
+    for i in 0..width {
+        data_in.push(nl.add_input(format!("b{i}")));
+    }
+    data_in.push(nl.add_input("cin"));
+    let res_ack = nl.add_input("res_ack");
+
+    let stage = bundled_stage(&mut nl, "st", req, &data_in, res_ack, matched_delay);
+    let la = &stage.data_out[..width];
+    let lb = &stage.data_out[width..2 * width];
+    let lcin = stage.data_out[2 * width];
+
+    let mut carry = lcin;
+    let mut outs: Vec<NetId> = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let (_, sum) = nl.add_gate_new(GateKind::Xor, format!("fa{i}_sum"), &[la[i], lb[i], carry]);
+        let (_, c) = nl.add_gate_new(
+            GateKind::Lut(LutTable::majority3()),
+            format!("fa{i}_cout"),
+            &[la[i], lb[i], carry],
+        );
+        outs.push(sum);
+        carry = c;
+    }
+    outs.push(carry);
+
+    for &n in &outs {
+        nl.mark_output(n);
+    }
+    nl.mark_output(stage.req_out);
+    nl.mark_output(stage.ack_in);
+
+    nl.add_channel(Channel::new(
+        "op",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::Bundled {
+            width: 2 * width + 1,
+        },
+        Some(req),
+        stage.ack_in,
+        data_in,
+    ));
+    nl.add_channel(Channel::new(
+        "res",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::Bundled { width: width + 1 },
+        Some(stage.req_out),
+        res_ack,
+        outs,
+    ));
+    nl
+}
+
+/// A matched-delay tap count that covers the `width`-bit ripple datapath
+/// under [`msaf_sim::PerKindDelay`]: latch (3) + `width` majority LUTs
+/// (4 each) + final XOR (3) + slack.
+#[must_use]
+pub fn suggested_bundled_adder_delay(width: usize) -> u32 {
+    (3 + 4 * width as u32 + 3) + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_sim::{token_run, PerKindDelay};
+    use std::collections::BTreeMap;
+
+    fn tokens_for(width: usize) -> Vec<u64> {
+        // Corner cases plus a spread of operands.
+        let mask = (1u64 << width) - 1;
+        let mut toks = vec![
+            0,
+            mask,                      // a = max, b = 0
+            mask << width,             // a = 0, b = max
+            (mask << width) | mask,    // both max -> carry out
+            (1 << (2 * width)) | mask, // cin=1 + a=max -> long carry chain
+        ];
+        toks.push((0b101 & mask) | ((0b011 & mask) << width));
+        toks.dedup();
+        toks
+    }
+
+    fn check_style(width: usize, qdi: bool) {
+        let nl = if qdi {
+            qdi_ripple_adder(width)
+        } else {
+            bundled_ripple_adder(width, suggested_bundled_adder_delay(width))
+        };
+        let v = nl.validate();
+        assert!(v.is_ok(), "{v}");
+        let toks = tokens_for(width);
+        let want: Vec<u64> = toks
+            .iter()
+            .map(|&t| ripple_adder_reference(width, t))
+            .collect();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), toks);
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_eq!(report.outputs["res"].values(), want, "width {width}");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn qdi_adders_compute_correct_sums() {
+        for width in [1, 2, 4, 8] {
+            check_style(width, true);
+        }
+    }
+
+    #[test]
+    fn bundled_adders_compute_correct_sums() {
+        for width in [1, 2, 4, 8] {
+            check_style(width, false);
+        }
+    }
+
+    #[test]
+    fn reference_layouts() {
+        // width 4: a=0b1111, b=0b0001 -> sum 0b0000 carry 1.
+        let t = 0b0001_1111;
+        assert_eq!(ripple_adder_reference(4, t), 0b1_0000);
+        // cin adds one.
+        let t_cin = (1 << 8) | t;
+        assert_eq!(ripple_adder_reference(4, t_cin), 0b1_0001);
+    }
+
+    #[test]
+    fn qdi_gate_count_scales_linearly() {
+        let g4 = qdi_ripple_adder(4).gates().len();
+        let g8 = qdi_ripple_adder(8).gates().len();
+        let per_bit = g8 - g4;
+        assert_eq!(per_bit % 4, 0, "4 bits difference");
+        // Each DIMS FA: 8 C3 + 4 ORs = 12 gates.
+        assert_eq!(per_bit / 4, 12);
+    }
+
+    #[test]
+    fn bundled_width1_equals_figure3_adder_plus_channel_shape() {
+        let nl = bundled_ripple_adder(1, suggested_bundled_adder_delay(1));
+        // 3 data bits in (a, b, cin), 2 out (sum, cout).
+        let chans = nl.channels();
+        assert_eq!(chans[0].encoding(), Encoding::Bundled { width: 3 });
+        assert_eq!(chans[1].encoding(), Encoding::Bundled { width: 2 });
+    }
+}

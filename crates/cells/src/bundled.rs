@@ -1,0 +1,237 @@
+//! 4-phase bundled-data (micropipeline) stages and FIFOs.
+//!
+//! The controller is the *simple 4-phase latch controller* (Sparsø &
+//! Furber): a C-element joining the incoming request with the inverted
+//! downstream acknowledge. Its output opens the stage's transparent
+//! latches, acknowledges upstream, and — after a **matched delay**
+//! (the fabric's programmable delay element) — requests downstream. The
+//! matched delay is the timing assumption that makes micropipelines
+//! cheaper than QDI and is exactly what the paper's PDE exists for.
+
+use msaf_netlist::{GateKind, NetId, Netlist};
+
+/// Nets of one bundled-data pipeline stage.
+#[derive(Debug, Clone)]
+pub struct BundledStage {
+    /// Acknowledge to the upstream producer (the controller state).
+    pub ack_in: NetId,
+    /// Request to the downstream consumer (controller through the
+    /// matched delay).
+    pub req_out: NetId,
+    /// Latched data towards downstream.
+    pub data_out: Vec<NetId>,
+    /// The controller C-element's output net (latch enable).
+    pub enable: NetId,
+}
+
+/// Builds one 4-phase bundled-data stage.
+///
+/// * `req_in` — upstream request;
+/// * `data_in` — upstream data bundle;
+/// * `ack_out` — downstream acknowledge (primary input or a later stage's
+///   `ack_in`);
+/// * `matched_delay` — transport delay inserted between the controller
+///   and `req_out`; must cover the latch propagation plus any downstream
+///   combinational logic fed from `data_out` (the CAD timing pass computes
+///   and programs this on the fabric).
+pub fn bundled_stage(
+    nl: &mut Netlist,
+    prefix: &str,
+    req_in: NetId,
+    data_in: &[NetId],
+    ack_out: NetId,
+    matched_delay: u32,
+) -> BundledStage {
+    let (_, nack) = nl.add_gate_new(GateKind::Not, format!("{prefix}_nack"), &[ack_out]);
+    let (_, enable) = nl.add_gate_new(
+        GateKind::Celement,
+        format!("{prefix}_ctl"),
+        &[req_in, nack],
+    );
+    let data_out = data_in
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let (_, q) =
+                nl.add_gate_new(GateKind::Latch, format!("{prefix}_lat{i}"), &[enable, d]);
+            q
+        })
+        .collect();
+    let (_, req_out) = nl.add_gate_new(
+        GateKind::Delay(matched_delay),
+        format!("{prefix}_match"),
+        &[enable],
+    );
+    let (_, ack_in) = nl.add_gate_new(GateKind::Buf, format!("{prefix}_ackb"), &[enable]);
+    BundledStage {
+        ack_in,
+        req_out,
+        data_out,
+        enable,
+    }
+}
+
+/// Builds a complete `depth`-stage, `width`-bit micropipeline FIFO as a
+/// standalone netlist with bundled channels `"in"` and `"out"`.
+///
+/// # Panics
+///
+/// Panics if `depth` or `width` is zero.
+#[must_use]
+pub fn bundled_fifo(depth: usize, width: usize, matched_delay: u32) -> Netlist {
+    assert!(depth >= 1, "FIFO needs at least one stage");
+    assert!(width >= 1, "FIFO needs at least one data bit");
+    let mut nl = Netlist::new(format!("bundled_fifo_d{depth}_w{width}"));
+    let req_in = nl.add_input("in_req");
+    let data_in: Vec<NetId> = (0..width)
+        .map(|i| nl.add_input(format!("in_d{i}")))
+        .collect();
+    let out_ack = nl.add_input("out_ack");
+
+    // Build back-to-front so each stage's ack_out exists first: stage k's
+    // downstream ack is stage k+1's controller. Collect the stage chain by
+    // first creating placeholder order front-to-back instead: we must wire
+    // stage k's ack_out to stage k+1's ack_in, which doesn't exist yet.
+    // Trick: build stages front-to-back but give each stage a fresh
+    // "ack hole" net, then buffer the downstream ack into the hole.
+    let holes: Vec<NetId> = (0..depth)
+        .map(|k| nl.add_net(format!("s{k}_ack_hole")))
+        .collect();
+    let mut req = req_in;
+    let mut data = data_in.clone();
+    let mut stages = Vec::with_capacity(depth);
+    for (k, hole) in holes.iter().enumerate() {
+        let stage = bundled_stage(
+            &mut nl,
+            &format!("s{k}"),
+            req,
+            &data,
+            *hole,
+            matched_delay,
+        );
+        req = stage.req_out;
+        data = stage.data_out.clone();
+        stages.push(stage);
+    }
+    // Fill the holes: stage k's downstream ack is stage k+1's ack_in; the
+    // last stage's is the environment's out_ack.
+    for k in 0..depth {
+        let src = if k + 1 < depth {
+            stages[k + 1].ack_in
+        } else {
+            out_ack
+        };
+        let hole = holes[k];
+        nl.add_gate(GateKind::Buf, format!("s{k}_ack_fill"), &[src], hole);
+    }
+
+    for &d in &data {
+        nl.mark_output(d);
+    }
+    nl.mark_output(req);
+    nl.mark_output(stages[0].ack_in);
+
+    use msaf_netlist::{Channel, ChannelDir, Encoding, Protocol};
+    nl.add_channel(Channel::new(
+        "in",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::Bundled { width },
+        Some(req_in),
+        stages[0].ack_in,
+        data_in,
+    ));
+    nl.add_channel(Channel::new(
+        "out",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::Bundled { width },
+        Some(req),
+        out_ack,
+        data,
+    ));
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_sim::{token_run, FixedDelay, PerKindDelay};
+    use std::collections::BTreeMap;
+
+    fn run_fifo(depth: usize, width: usize, delay: u32, tokens: Vec<u64>) -> Vec<u64> {
+        let nl = bundled_fifo(depth, width, delay);
+        let v = nl.validate();
+        assert!(v.is_ok(), "{v}");
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), tokens);
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        report.outputs["out"].values()
+    }
+
+    #[test]
+    fn single_stage_transfers_tokens() {
+        assert_eq!(run_fifo(1, 4, 16, vec![5, 9, 0, 15]), vec![5, 9, 0, 15]);
+    }
+
+    #[test]
+    fn deep_fifo_transfers_tokens() {
+        let tokens: Vec<u64> = (0..12).map(|i| i % 8).collect();
+        assert_eq!(run_fifo(4, 3, 16, tokens.clone()), tokens);
+    }
+
+    #[test]
+    fn wide_fifo_transfers_tokens() {
+        assert_eq!(run_fifo(2, 8, 16, vec![0xAB, 0x5A, 0xFF]), vec![0xAB, 0x5A, 0xFF]);
+    }
+
+    #[test]
+    fn insufficient_matched_delay_corrupts_data() {
+        // With per-kind delays, a latch takes 3 units; a matched delay of
+        // 1 lets req_out overtake the data through the latches.
+        let nl = bundled_fifo(1, 2, 1);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), vec![1, 2, 3, 1, 2]);
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_ne!(
+            report.outputs["out"].values(),
+            vec![1, 2, 3, 1, 2],
+            "a too-short matched delay must corrupt the bundle"
+        );
+    }
+
+    #[test]
+    fn stage_handshake_signals_exist() {
+        let mut nl = Netlist::new("stage");
+        let req = nl.add_input("req");
+        let d = nl.add_input("d");
+        let ack = nl.add_input("ack");
+        let s = bundled_stage(&mut nl, "s0", req, &[d], ack, 8);
+        for n in [s.ack_in, s.req_out, s.data_out[0]] {
+            nl.mark_output(n);
+        }
+        assert!(nl.validate().is_ok());
+        // The matched delay is a transport Delay gate with the right tap.
+        let delay_gate = nl.find_gate("s0_match").unwrap();
+        assert!(matches!(nl.gate(delay_gate).kind(), GateKind::Delay(8)));
+    }
+
+    #[test]
+    fn fifo_with_unit_delays_is_fast_but_correct() {
+        assert_eq!(
+            run_fifo_fixed(2, 2, 4, vec![1, 2, 3]),
+            vec![1, 2, 3]
+        );
+    }
+
+    fn run_fifo_fixed(depth: usize, width: usize, delay: u32, tokens: Vec<u64>) -> Vec<u64> {
+        let nl = bundled_fifo(depth, width, delay);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), tokens);
+        let report = token_run(&nl, &FixedDelay::new(1), &inputs, &Default::default())
+            .expect("token run");
+        report.outputs["out"].values()
+    }
+}

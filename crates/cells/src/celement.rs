@@ -1,0 +1,141 @@
+//! Muller C-element constructions.
+//!
+//! The paper's PLB realises memory elements "by mapping looped
+//! combinatorial logic using the interconnection matrix integrated into
+//! the PLB" (Section 3). [`celement_lut`] is that construction at the
+//! netlist level: a majority LUT whose output feeds back into one of its
+//! own inputs, marked as an intentional feedback point. [`celement2`] is
+//! the behavioural primitive; the technology mapper turns the primitive
+//! into the looped-LUT form when targeting the fabric.
+
+use msaf_netlist::{GateId, GateKind, LutTable, NetId, Netlist};
+
+/// Adds a primitive 2-input C-element. Returns `(gate, output)`.
+pub fn celement2(nl: &mut Netlist, name: &str, a: NetId, b: NetId) -> (GateId, NetId) {
+    nl.add_gate_new(GateKind::Celement, name, &[a, b])
+}
+
+/// Adds a 2-input C-element realised as a looped majority LUT —
+/// the fabric-level structure from the paper. Returns `(gate, output)`.
+///
+/// The gate is marked as a feedback point so validation and levelisation
+/// accept the combinational loop.
+pub fn celement_lut(nl: &mut Netlist, name: &str, a: NetId, b: NetId) -> (GateId, NetId) {
+    let y = nl.add_net(format!("{name}_y"));
+    let gate = nl.add_gate(GateKind::Lut(LutTable::majority3()), name, &[a, b, y], y);
+    nl.mark_feedback(gate);
+    (gate, y)
+}
+
+/// Builds a balanced tree of 2-input C-elements over `items`
+/// (n-input C behaviour with 2-input cells). Returns the root net.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn celement_tree(nl: &mut Netlist, prefix: &str, items: &[NetId]) -> NetId {
+    assert!(!items.is_empty(), "C-element tree needs at least one input");
+    let mut layer = items.to_vec();
+    let mut level = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let (_, y) = celement2(nl, &format!("{prefix}_{level}_{i}"), pair[0], pair[1]);
+                next.push(y);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_sim::{FixedDelay, Simulator};
+
+    fn settle(sim: &mut Simulator<'_>) {
+        sim.settle(100_000).expect("settles");
+    }
+
+    #[test]
+    fn primitive_and_lut_forms_agree() {
+        let mut nl = Netlist::new("agree");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, y_prim) = celement2(&mut nl, "cp", a, b);
+        let (_, y_lut) = celement_lut(&mut nl, "cl", a, b);
+        nl.mark_output(y_prim);
+        nl.mark_output(y_lut);
+        assert!(nl.validate().is_ok(), "{}", nl.validate());
+
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle(&mut sim);
+        // Walk the full 4-phase cycle, checking agreement at each step.
+        for (va, vb) in [
+            (true, false),
+            (true, true),
+            (false, true),
+            (false, false),
+            (true, true),
+            (true, false),
+            (false, false),
+        ] {
+            sim.set_input(a, va, 0);
+            sim.set_input(b, vb, 0);
+            settle(&mut sim);
+            assert_eq!(
+                sim.value(y_prim),
+                sim.value(y_lut),
+                "divergence at a={va} b={vb}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_completes_only_when_all_high() {
+        let mut nl = Netlist::new("tree");
+        let ins: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let root = celement_tree(&mut nl, "t", &ins);
+        nl.mark_output(root);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle(&mut sim);
+        for (k, &i) in ins.iter().enumerate() {
+            assert!(!sim.value(root), "root rose after only {k} inputs");
+            sim.set_input(i, true, 0);
+            settle(&mut sim);
+        }
+        assert!(sim.value(root));
+        // Falls only when all fall.
+        sim.set_input(ins[0], false, 0);
+        settle(&mut sim);
+        assert!(sim.value(root), "tree must hold until all inputs fall");
+        for &i in &ins[1..] {
+            sim.set_input(i, false, 0);
+        }
+        settle(&mut sim);
+        assert!(!sim.value(root));
+    }
+
+    #[test]
+    fn tree_of_one_is_identity() {
+        let mut nl = Netlist::new("t1");
+        let a = nl.add_input("a");
+        let y = celement_tree(&mut nl, "t", &[a]);
+        assert_eq!(y, a);
+    }
+
+    #[test]
+    fn lut_form_is_feedback_marked() {
+        let mut nl = Netlist::new("fb");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (g, _) = celement_lut(&mut nl, "c", a, b);
+        assert!(nl.gate(g).is_feedback());
+        assert_eq!(nl.gate(g).inputs()[2], nl.gate(g).output());
+    }
+}

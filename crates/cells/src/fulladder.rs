@@ -1,0 +1,262 @@
+//! The paper's Figure 3: a 1-bit full adder in two asynchronous styles.
+//!
+//! * **Figure 3a — micropipeline / bundled data**: single-rail sum and
+//!   carry logic behind a latch stage driven by a simple 4-phase
+//!   controller, with a programmable delay element implementing the
+//!   bundling timing assumption.
+//! * **Figure 3b — QDI / dual-rail**: DIMS logic — eight 3-input Muller
+//!   C-elements (one per input minterm, *shared* between the sum and
+//!   carry outputs) and the OR trees collecting each rail.
+//!
+//! Both use the 4-phase protocol, as in the paper. Token payloads pack the
+//! operands as bit 0 = `a`, bit 1 = `b`, bit 2 = `cin`; results as
+//! bit 0 = `sum`, bit 1 = `cout`.
+
+use crate::bundled::bundled_stage;
+use crate::dualrail::{dims, dr_channel_data, dr_inputs};
+use msaf_netlist::{
+    Channel, ChannelDir, Encoding, GateKind, LutTable, Netlist, Protocol,
+};
+
+/// Reference behaviour shared by tests and experiments: `(sum, cout)` of
+/// one full-adder token (bit 0 = a, bit 1 = b, bit 2 = cin), packed as
+/// bit 0 = sum, bit 1 = cout.
+#[must_use]
+pub fn full_adder_reference(token: u64) -> u64 {
+    let a = token & 1;
+    let b = (token >> 1) & 1;
+    let c = (token >> 2) & 1;
+    let sum = a ^ b ^ c;
+    let cout = (a & b) | (a & c) | (b & c);
+    sum | (cout << 1)
+}
+
+/// Builds the **QDI dual-rail** full adder of Figure 3b as a standalone
+/// netlist with channels `"op"` (dual-rail\[3\], a/b/cin) and `"res"`
+/// (dual-rail\[2\], sum/cout).
+///
+/// The input acknowledge *is* the environment's output acknowledge —
+/// legal because DIMS logic is weak-conditioned: valid outputs imply all
+/// inputs were consumed, neutral outputs imply the spacer arrived
+/// everywhere.
+#[must_use]
+pub fn qdi_full_adder() -> Netlist {
+    let mut nl = Netlist::new("qdi_full_adder");
+    let ins = dr_inputs(&mut nl, "op", 3); // [a, b, cin]
+    let res_ack = nl.add_input("res_ack");
+
+    let outs = dims(
+        &mut nl,
+        "fa",
+        &ins,
+        &[
+            ("sum", &|v: &[bool]| v[0] ^ v[1] ^ v[2]),
+            ("cout", &|v: &[bool]| {
+                (v[0] & v[1]) | (v[0] & v[2]) | (v[1] & v[2])
+            }),
+        ],
+    );
+    for d in &outs {
+        nl.mark_output(d.t);
+        nl.mark_output(d.f);
+    }
+
+    // Weak-conditioned DIMS logic needs no dedicated input acknowledge:
+    // the environment's output ack doubles as the operand ack, exactly as
+    // in the paper's Figure 3b (no ack logic drawn).
+    nl.add_channel(Channel::new(
+        "op",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::DualRail { width: 3 },
+        None,
+        res_ack,
+        dr_channel_data(&ins),
+    ));
+    nl.add_channel(Channel::new(
+        "res",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::DualRail { width: 2 },
+        None,
+        res_ack,
+        dr_channel_data(&outs),
+    ));
+    nl
+}
+
+/// Builds the **micropipeline bundled-data** full adder of Figure 3a as a
+/// standalone netlist with channels `"op"` (bundled\[3\] + req) and
+/// `"res"` (bundled\[2\] + req).
+///
+/// `matched_delay` is the programmable-delay-element tap setting covering
+/// the latch + adder-logic propagation; too small a value breaks the
+/// bundling constraint and corrupts tokens (see tests).
+#[must_use]
+pub fn micropipeline_full_adder(matched_delay: u32) -> Netlist {
+    let mut nl = Netlist::new("micropipeline_full_adder");
+    let req = nl.add_input("op_req");
+    let a = nl.add_input("op_a");
+    let b = nl.add_input("op_b");
+    let cin = nl.add_input("op_cin");
+    let res_ack = nl.add_input("res_ack");
+
+    let stage = bundled_stage(&mut nl, "st", req, &[a, b, cin], res_ack, matched_delay);
+    let (la, lb, lc) = (stage.data_out[0], stage.data_out[1], stage.data_out[2]);
+
+    let (_, sum) = nl.add_gate_new(GateKind::Xor, "fa_sum", &[la, lb, lc]);
+    let (_, cout) = nl.add_gate_new(
+        GateKind::Lut(LutTable::majority3()),
+        "fa_cout",
+        &[la, lb, lc],
+    );
+
+    for n in [sum, cout, stage.req_out, stage.ack_in] {
+        nl.mark_output(n);
+    }
+
+    nl.add_channel(Channel::new(
+        "op",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::Bundled { width: 3 },
+        Some(req),
+        stage.ack_in,
+        vec![a, b, cin],
+    ));
+    nl.add_channel(Channel::new(
+        "res",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::Bundled { width: 2 },
+        Some(stage.req_out),
+        res_ack,
+        vec![sum, cout],
+    ));
+    nl
+}
+
+/// A matched-delay tap setting that safely covers the full-adder datapath
+/// under the [`msaf_sim::PerKindDelay`] technology model: latch (3) +
+/// LUT3 (4) + slack.
+pub const SAFE_FA_MATCHED_DELAY: u32 = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_sim::ditest::{di_stress, DiConfig};
+    use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
+    use std::collections::BTreeMap;
+
+    fn all_ops() -> Vec<u64> {
+        (0..8).collect()
+    }
+
+    fn expected() -> Vec<u64> {
+        all_ops().into_iter().map(full_adder_reference).collect()
+    }
+
+    #[test]
+    fn reference_truth_table() {
+        // (a,b,cin) -> (sum, cout)
+        assert_eq!(full_adder_reference(0b000), 0b00);
+        assert_eq!(full_adder_reference(0b001), 0b01);
+        assert_eq!(full_adder_reference(0b011), 0b10);
+        assert_eq!(full_adder_reference(0b111), 0b11);
+    }
+
+    #[test]
+    fn qdi_adder_truth_table() {
+        let nl = qdi_full_adder();
+        let v = nl.validate();
+        assert!(v.is_ok(), "{v}");
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), all_ops());
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_eq!(report.outputs["res"].values(), expected());
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn qdi_adder_is_delay_insensitive() {
+        let nl = qdi_full_adder();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), all_ops());
+        let cfg = DiConfig {
+            seeds: (0..10).collect(),
+            delay_lo: 1,
+            delay_hi: 30,
+            ..DiConfig::default()
+        };
+        let report = di_stress(&nl, &inputs, &cfg).expect("reference");
+        assert!(report.is_delay_insensitive(), "{:?}", report.failures);
+        assert_eq!(report.reference["res"], expected());
+    }
+
+    #[test]
+    fn micropipeline_adder_truth_table() {
+        let nl = micropipeline_full_adder(SAFE_FA_MATCHED_DELAY);
+        let v = nl.validate();
+        assert!(v.is_ok(), "{v}");
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), all_ops());
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_eq!(report.outputs["res"].values(), expected());
+    }
+
+    #[test]
+    fn micropipeline_adder_fails_with_short_delay() {
+        // The timing-assumption failure mode: delay of 1 cannot cover
+        // latch(3)+logic(4) under the per-kind model.
+        let nl = micropipeline_full_adder(1);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), all_ops());
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_ne!(
+            report.outputs["res"].values(),
+            expected(),
+            "bundling violation must corrupt results"
+        );
+    }
+
+    #[test]
+    fn micropipeline_adder_is_not_delay_insensitive() {
+        // Even with a normally-safe margin, adversarial per-gate delays
+        // (up to 30 units on the datapath vs the fixed 12-tap match)
+        // break the bundling constraint — the fundamental contrast with
+        // the QDI version.
+        let nl = micropipeline_full_adder(SAFE_FA_MATCHED_DELAY);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), all_ops());
+        let cfg = DiConfig {
+            seeds: (0..16).collect(),
+            delay_lo: 1,
+            delay_hi: 30,
+            opts: TokenRunOptions::default(),
+        };
+        let report = di_stress(&nl, &inputs, &cfg).expect("reference");
+        assert!(
+            !report.is_delay_insensitive(),
+            "bundled data must not survive adversarial delays"
+        );
+    }
+
+    #[test]
+    fn gate_inventories_match_figure3() {
+        use msaf_netlist::NetlistStats;
+        // Fig 3b: 8 minterm C-elements; sum/cout rails each OR 4 minterms.
+        let qdi = NetlistStats::of(&qdi_full_adder());
+        assert_eq!(qdi.kind_count("c"), 8);
+        assert_eq!(qdi.kind_count("or"), 4);
+        // Fig 3a: controller C-element, 3 latches, XOR + majority, PDE.
+        let mp = NetlistStats::of(&micropipeline_full_adder(SAFE_FA_MATCHED_DELAY));
+        assert_eq!(mp.kind_count("c"), 1);
+        assert_eq!(mp.kind_count("latch"), 3);
+        assert_eq!(mp.kind_count("xor"), 1);
+        assert_eq!(mp.kind_count("lut"), 1);
+        assert_eq!(mp.kind_count("delay"), 1);
+    }
+}

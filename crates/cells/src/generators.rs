@@ -1,0 +1,254 @@
+//! Additional parameterised workloads: parity trees and multiplexer
+//! trees, in both asynchronous styles. Used by the architecture-ablation
+//! and baseline-comparison experiments to exercise shapes other than
+//! adders (wide completion trees, deep single-rail logic).
+
+use crate::bundled::bundled_stage;
+use crate::dualrail::{dims, dr_channel_data, dr_inputs, Dr};
+use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, NetId, Netlist, Protocol};
+
+/// Reference: parity (XOR-reduce) of the low `width` bits of `token`.
+#[must_use]
+pub fn parity_reference(width: usize, token: u64) -> u64 {
+    (token & ((1u64 << width) - 1)).count_ones() as u64 & 1
+}
+
+/// Reference: mux-tree output — `token` packs `2^sel_bits` data bits then
+/// `sel_bits` select bits; the selected data bit is returned.
+#[must_use]
+pub fn muxtree_reference(sel_bits: usize, token: u64) -> u64 {
+    let n = 1usize << sel_bits;
+    let sel = (token >> n) & ((1u64 << sel_bits) - 1);
+    (token >> sel) & 1
+}
+
+/// Builds a `width`-input **QDI dual-rail** parity tree (balanced tree of
+/// DIMS XOR2 blocks). Channels: `"op"` dual-rail\[width\] → `"res"`
+/// dual-rail\[1\].
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `width > 32`.
+#[must_use]
+pub fn qdi_parity_tree(width: usize) -> Netlist {
+    assert!((2..=32).contains(&width), "width must be in 2..=32");
+    let mut nl = Netlist::new(format!("qdi_parity_{width}"));
+    let ins = dr_inputs(&mut nl, "x", width);
+    let res_ack = nl.add_input("res_ack");
+
+    let mut layer: Vec<Dr> = ins.clone();
+    let mut level = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let y = dims(
+                    &mut nl,
+                    &format!("x{level}_{i}"),
+                    pair,
+                    &[("xor", &|v: &[bool]| v[0] ^ v[1])],
+                )[0];
+                next.push(y);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    let out = layer[0];
+
+    nl.mark_output(out.t);
+    nl.mark_output(out.f);
+    nl.add_channel(Channel::new(
+        "op",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::DualRail { width },
+        None,
+        res_ack,
+        dr_channel_data(&ins),
+    ));
+    nl.add_channel(Channel::new(
+        "res",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::DualRail { width: 1 },
+        None,
+        res_ack,
+        dr_channel_data(&[out]),
+    ));
+    nl
+}
+
+/// Builds a `width`-input **micropipeline bundled-data** parity tree
+/// behind one latch stage. Channels: `"op"` bundled\[width\] → `"res"`
+/// bundled\[1\].
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `width > 32`.
+#[must_use]
+pub fn bundled_parity_tree(width: usize, matched_delay: u32) -> Netlist {
+    assert!((2..=32).contains(&width), "width must be in 2..=32");
+    let mut nl = Netlist::new(format!("bundled_parity_{width}"));
+    let req = nl.add_input("op_req");
+    let data_in: Vec<NetId> = (0..width)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+    let res_ack = nl.add_input("res_ack");
+    let stage = bundled_stage(&mut nl, "st", req, &data_in, res_ack, matched_delay);
+
+    let (_, out) = nl.add_gate_new(GateKind::Xor, "parity", &stage.data_out);
+
+    for n in [out, stage.req_out, stage.ack_in] {
+        nl.mark_output(n);
+    }
+    nl.add_channel(Channel::new(
+        "op",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::Bundled { width },
+        Some(req),
+        stage.ack_in,
+        data_in,
+    ));
+    nl.add_channel(Channel::new(
+        "res",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::Bundled { width: 1 },
+        Some(stage.req_out),
+        res_ack,
+        vec![out],
+    ));
+    nl
+}
+
+/// Builds a **QDI dual-rail** 2^sel_bits:1 multiplexer tree from DIMS
+/// MUX2 blocks. Channel `"op"` packs data bits then select bits.
+///
+/// # Panics
+///
+/// Panics if `sel_bits` is 0 or greater than 3.
+#[must_use]
+pub fn qdi_mux_tree(sel_bits: usize) -> Netlist {
+    assert!((1..=3).contains(&sel_bits), "sel_bits must be in 1..=3");
+    let n = 1usize << sel_bits;
+    let mut nl = Netlist::new(format!("qdi_mux{n}"));
+    let data = dr_inputs(&mut nl, "d", n);
+    let sel = dr_inputs(&mut nl, "s", sel_bits);
+    let res_ack = nl.add_input("res_ack");
+
+    // Level k halves the candidates using select bit k.
+    let mut layer = data.clone();
+    for (k, &s) in sel.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (i, pair) in layer.chunks(2).enumerate() {
+            let y = dims(
+                &mut nl,
+                &format!("m{k}_{i}"),
+                &[s, pair[0], pair[1]],
+                // v = [sel, d0, d1]
+                &[("mux", &|v: &[bool]| if v[0] { v[2] } else { v[1] })],
+            )[0];
+            next.push(y);
+        }
+        layer = next;
+    }
+    let out = layer[0];
+
+    nl.mark_output(out.t);
+    nl.mark_output(out.f);
+
+    let mut bits = data;
+    bits.extend(sel);
+    nl.add_channel(Channel::new(
+        "op",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::DualRail {
+            width: n + sel_bits,
+        },
+        None,
+        res_ack,
+        dr_channel_data(&bits),
+    ));
+    nl.add_channel(Channel::new(
+        "res",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::DualRail { width: 1 },
+        None,
+        res_ack,
+        dr_channel_data(&[out]),
+    ));
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_sim::{token_run, PerKindDelay};
+    use std::collections::BTreeMap;
+
+    fn run(nl: &Netlist, toks: Vec<u64>) -> Vec<u64> {
+        let v = nl.validate();
+        assert!(v.is_ok(), "{v}");
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), toks);
+        token_run(nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run")
+            .outputs["res"]
+            .values()
+    }
+
+    #[test]
+    fn qdi_parity_matches_reference() {
+        let nl = qdi_parity_tree(5);
+        let toks: Vec<u64> = vec![0, 1, 0b10110, 0b11111, 0b01010];
+        let want: Vec<u64> = toks.iter().map(|&t| parity_reference(5, t)).collect();
+        assert_eq!(run(&nl, toks), want);
+    }
+
+    #[test]
+    fn bundled_parity_matches_reference() {
+        let nl = bundled_parity_tree(6, 24);
+        let toks: Vec<u64> = vec![0, 0b111111, 0b101010, 0b000111];
+        let want: Vec<u64> = toks.iter().map(|&t| parity_reference(6, t)).collect();
+        assert_eq!(run(&nl, toks), want);
+    }
+
+    #[test]
+    fn qdi_mux_selects_correctly() {
+        let nl = qdi_mux_tree(2);
+        // 4 data bits + 2 select bits.
+        let toks: Vec<u64> = vec![
+            0b00_1010, // sel=0 -> d0=0
+            0b01_1010, // sel=1 -> d1=1
+            0b10_1010, // sel=2 -> d2=0
+            0b11_1010, // sel=3 -> d3=1
+        ];
+        let want: Vec<u64> = toks.iter().map(|&t| muxtree_reference(2, t)).collect();
+        assert_eq!(run(&nl, toks), want);
+        assert_eq!(want, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn references_agree_with_manual_cases() {
+        assert_eq!(parity_reference(4, 0b1011), 1);
+        assert_eq!(parity_reference(4, 0b1111), 0);
+        assert_eq!(muxtree_reference(1, 0b0_10), 0b0);
+        assert_eq!(muxtree_reference(1, 0b1_10), 0b1);
+    }
+
+    #[test]
+    fn parity_tree_sizes() {
+        // width w QDI parity: w-1 XOR2 DIMS blocks, each 4 C + 2 OR.
+        let nl = qdi_parity_tree(8);
+        use msaf_netlist::NetlistStats;
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.kind_count("c"), 7 * 4);
+        assert_eq!(st.kind_count("or"), 7 * 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! Weak-conditioned half-buffer (WCHB) QDI pipeline stages and FIFOs.
+//!
+//! The WCHB is the canonical QDI pipeline buffer: each output rail is a
+//! C-element joining the corresponding input rail with the inverted
+//! downstream acknowledge, and the upstream acknowledge is the completion
+//! detection of the stage's own outputs. No timing assumption anywhere —
+//! this is the style that must keep working under the random-delay stress
+//! of `msaf_sim::ditest`.
+
+use crate::celement::celement_tree;
+use crate::dualrail::{dr_channel_data, dr_inputs, Dr};
+use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, NetId, Netlist, Protocol};
+
+/// Builds one WCHB stage over `width` dual-rail bits.
+///
+/// * `ins` — upstream rails;
+/// * `ack_out` — downstream acknowledge (active high);
+///
+/// Returns `(outs, ack_in)` where `ack_in` (completion of this stage) is
+/// the acknowledge towards upstream.
+pub fn wchb_stage(
+    nl: &mut Netlist,
+    prefix: &str,
+    ins: &[Dr],
+    ack_out: NetId,
+) -> (Vec<Dr>, NetId) {
+    let (_, en) = nl.add_gate_new(GateKind::Not, format!("{prefix}_en"), &[ack_out]);
+    let outs: Vec<Dr> = ins
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let (_, t) = nl.add_gate_new(
+                GateKind::Celement,
+                format!("{prefix}_b{i}_ct"),
+                &[d.t, en],
+            );
+            let (_, f) = nl.add_gate_new(
+                GateKind::Celement,
+                format!("{prefix}_b{i}_cf"),
+                &[d.f, en],
+            );
+            Dr { t, f }
+        })
+        .collect();
+    // Completion: per-bit validity, then a C-element tree.
+    let validities: Vec<NetId> = outs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let (_, v) =
+                nl.add_gate_new(GateKind::Or, format!("{prefix}_b{i}_v"), &[d.t, d.f]);
+            v
+        })
+        .collect();
+    let ack_in = celement_tree(nl, &format!("{prefix}_done"), &validities);
+    (outs, ack_in)
+}
+
+/// Builds a complete `depth`-stage, `width`-bit WCHB FIFO as a standalone
+/// netlist with dual-rail channels `"in"` and `"out"`.
+///
+/// # Panics
+///
+/// Panics if `depth` or `width` is zero.
+#[must_use]
+pub fn wchb_fifo(depth: usize, width: usize) -> Netlist {
+    assert!(depth >= 1, "FIFO needs at least one stage");
+    assert!(width >= 1, "FIFO needs at least one bit");
+    let mut nl = Netlist::new(format!("wchb_fifo_d{depth}_w{width}"));
+    let ins = dr_inputs(&mut nl, "in_d", width);
+    let out_ack = nl.add_input("out_ack");
+
+    // Ack holes filled once downstream stages exist (same trick as the
+    // bundled FIFO: stages are built front-to-back).
+    let holes: Vec<NetId> = (0..depth)
+        .map(|k| nl.add_net(format!("s{k}_ack_hole")))
+        .collect();
+    let mut rails = ins.clone();
+    let mut acks = Vec::with_capacity(depth);
+    for (k, &hole) in holes.iter().enumerate() {
+        let (outs, ack_in) = wchb_stage(&mut nl, &format!("s{k}"), &rails, hole);
+        rails = outs;
+        acks.push(ack_in);
+    }
+    for k in 0..depth {
+        let src = if k + 1 < depth { acks[k + 1] } else { out_ack };
+        nl.add_gate(GateKind::Buf, format!("s{k}_ack_fill"), &[src], holes[k]);
+    }
+
+    for d in &rails {
+        nl.mark_output(d.t);
+        nl.mark_output(d.f);
+    }
+    nl.mark_output(acks[0]);
+
+    nl.add_channel(Channel::new(
+        "in",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::DualRail { width },
+        None,
+        acks[0],
+        dr_channel_data(&ins),
+    ));
+    nl.add_channel(Channel::new(
+        "out",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::DualRail { width },
+        None,
+        out_ack,
+        dr_channel_data(&rails),
+    ));
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_sim::ditest::{di_stress, DiConfig};
+    use msaf_sim::{token_run, PerKindDelay};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn fifo_transfers_tokens() {
+        let nl = wchb_fifo(3, 2);
+        let v = nl.validate();
+        assert!(v.is_ok(), "{v}");
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), vec![0, 1, 2, 3, 2, 1]);
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_eq!(report.outputs["out"].values(), vec![0, 1, 2, 3, 2, 1]);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn single_stage_works() {
+        let nl = wchb_fifo(1, 1);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), vec![1, 0, 1]);
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_eq!(report.outputs["out"].values(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn wchb_is_delay_insensitive() {
+        // The headline QDI property: token streams invariant under random
+        // per-gate delays.
+        let nl = wchb_fifo(2, 2);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), vec![3, 0, 1, 2]);
+        let cfg = DiConfig {
+            seeds: (0..12).collect(),
+            delay_lo: 1,
+            delay_hi: 25,
+            ..DiConfig::default()
+        };
+        let report = di_stress(&nl, &inputs, &cfg).expect("reference run");
+        assert!(report.is_delay_insensitive(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn stage_gate_budget() {
+        // Per bit: 2 rail C-elements + 1 validity OR; plus completion tree
+        // (w-1 C-elements) + 1 enable inverter.
+        let mut nl = Netlist::new("budget");
+        let ins = dr_inputs(&mut nl, "x", 4);
+        let ack = nl.add_input("ack");
+        let before = nl.gates().len();
+        let _ = wchb_stage(&mut nl, "s", &ins, ack);
+        let added = nl.gates().len() - before;
+        assert_eq!(added, 4 * 3 + 3 + 1);
+    }
+}
+
+/// Builds a 1-of-4 encoded WCHB FIFO (`digits` radix-4 digits wide,
+/// `depth` stages): the paper's "multi-rail (1 of N encoding)" support,
+/// exercised end to end. Channels `"in"`/`"out"` use
+/// [`Encoding::OneOfN`] with `n = 4`.
+///
+/// Structure per stage and digit: four rail C-elements sharing the
+/// inverted downstream ack (one per rail value), a 4-input OR validity,
+/// and a completion tree across digits.
+///
+/// # Panics
+///
+/// Panics if `depth` or `digits` is zero.
+#[must_use]
+pub fn one_of_four_fifo(depth: usize, digits: usize) -> Netlist {
+    assert!(depth >= 1, "FIFO needs at least one stage");
+    assert!(digits >= 1, "FIFO needs at least one digit");
+    let mut nl = Netlist::new(format!("oo4_fifo_d{depth}_w{digits}"));
+    // Input rails, value order within each digit.
+    let mut rails: Vec<Vec<NetId>> = (0..digits)
+        .map(|d| {
+            (0..4)
+                .map(|v| nl.add_input(format!("in_d{d}_v{v}")))
+                .collect()
+        })
+        .collect();
+    let out_ack = nl.add_input("out_ack");
+
+    let holes: Vec<NetId> = (0..depth)
+        .map(|k| nl.add_net(format!("s{k}_ack_hole")))
+        .collect();
+    let mut acks = Vec::with_capacity(depth);
+    for (k, &hole) in holes.iter().enumerate() {
+        let (_, en) = nl.add_gate_new(GateKind::Not, format!("s{k}_en"), &[hole]);
+        let mut next_rails = Vec::with_capacity(digits);
+        let mut validities = Vec::with_capacity(digits);
+        for (d, digit_rails) in rails.iter().enumerate() {
+            let outs: Vec<NetId> = digit_rails
+                .iter()
+                .enumerate()
+                .map(|(v, &r)| {
+                    let (_, y) = nl.add_gate_new(
+                        GateKind::Celement,
+                        format!("s{k}_d{d}_c{v}"),
+                        &[r, en],
+                    );
+                    y
+                })
+                .collect();
+            let (_, valid) = nl.add_gate_new(GateKind::Or, format!("s{k}_d{d}_v"), &outs);
+            validities.push(valid);
+            next_rails.push(outs);
+        }
+        let ack_in = celement_tree(&mut nl, &format!("s{k}_done"), &validities);
+        acks.push(ack_in);
+        rails = next_rails;
+    }
+    for k in 0..depth {
+        let src = if k + 1 < depth { acks[k + 1] } else { out_ack };
+        nl.add_gate(GateKind::Buf, format!("s{k}_ack_fill"), &[src], holes[k]);
+    }
+
+    let flat_out: Vec<NetId> = rails.iter().flatten().copied().collect();
+    for &r in &flat_out {
+        nl.mark_output(r);
+    }
+    nl.mark_output(acks[0]);
+
+    let flat_in: Vec<NetId> = (0..digits)
+        .flat_map(|d| (0..4).map(move |v| (d, v)))
+        .map(|(d, v)| nl.find_net(&format!("in_d{d}_v{v}")).expect("input rail"))
+        .collect();
+    nl.add_channel(Channel::new(
+        "in",
+        ChannelDir::Input,
+        Protocol::FourPhase,
+        Encoding::OneOfN { n: 4, digits },
+        None,
+        acks[0],
+        flat_in,
+    ));
+    nl.add_channel(Channel::new(
+        "out",
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::OneOfN { n: 4, digits },
+        None,
+        out_ack,
+        flat_out,
+    ));
+    nl
+}
+
+#[cfg(test)]
+mod oo4_tests {
+    use super::*;
+    use msaf_sim::ditest::{di_stress, DiConfig};
+    use msaf_sim::{token_run, PerKindDelay};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn one_of_four_fifo_transfers_tokens() {
+        let nl = one_of_four_fifo(2, 2);
+        let v = nl.validate();
+        assert!(v.is_ok(), "{v}");
+        // Two radix-4 digits: token = d0 + 4*d1, values 0..16.
+        let toks: Vec<u64> = vec![0, 5, 15, 9, 3];
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), toks.clone());
+        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
+            .expect("token run");
+        assert_eq!(report.outputs["out"].values(), toks);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn one_of_four_fifo_is_delay_insensitive() {
+        let nl = one_of_four_fifo(1, 1);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), vec![2, 0, 3, 1]);
+        let cfg = DiConfig {
+            seeds: (0..10).collect(),
+            delay_lo: 1,
+            delay_hi: 20,
+            ..DiConfig::default()
+        };
+        let report = di_stress(&nl, &inputs, &cfg).expect("reference");
+        assert!(report.is_delay_insensitive(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn one_of_four_gate_budget() {
+        // Per stage: digits × (4 C + 1 OR) + (digits-1) completion C +
+        // 1 inverter + 1 ack fill.
+        let nl = one_of_four_fifo(1, 3);
+        use msaf_netlist::NetlistStats;
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.kind_count("c"), 3 * 4 + 2);
+        assert_eq!(st.kind_count("or"), 3);
+    }
+}

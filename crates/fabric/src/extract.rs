@@ -1,0 +1,553 @@
+//! Netlist extraction: turn a programmed fabric back into a flat
+//! [`Netlist`] whose gates are the configured LUT taps, LUT2s and PDEs,
+//! and whose connectivity follows the IM crosspoints and route trees.
+//!
+//! The extracted netlist is what gets simulated in the "post-layout"
+//! verification step: if it produces the same token streams as the
+//! original circuit, the whole map/pack/place/route/bitgen pipeline is
+//! functionally correct.
+
+use crate::bitstream::{FabricConfig, PadDir};
+use crate::le::LeOutput;
+use crate::plb::{ImSink, ImSource};
+use crate::rrg::RrNodeKind;
+use msaf_netlist::{GateKind, LutTable, NetId, Netlist};
+use std::collections::HashMap;
+
+/// Result of [`extract_netlist`].
+#[derive(Debug)]
+pub struct ExtractedDesign {
+    /// The extracted flat netlist.
+    pub netlist: Netlist,
+    /// Pad index → the extracted net bound to it (primary inputs map to
+    /// their PI net, outputs to the driven net).
+    pub pad_nets: HashMap<usize, NetId>,
+}
+
+/// Errors during extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// An IM sink references a PLB input pin that no route tree drives.
+    UnroutedInput {
+        /// Tile coordinates.
+        x: usize,
+        /// Tile coordinates.
+        y: usize,
+        /// The floating PLB input pin.
+        pin: usize,
+    },
+    /// A route tree starts at a PLB output pin whose IM leaves it
+    /// undriven.
+    UndrivenOutput {
+        /// Tile coordinates.
+        x: usize,
+        /// Tile coordinates.
+        y: usize,
+        /// The undriven PLB output pin.
+        pin: usize,
+    },
+    /// A route tree references a pad with no assignment.
+    UnassignedPad(usize),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::UnroutedInput { x, y, pin } => {
+                write!(f, "PLB ({x},{y}) input pin {pin} used by IM but unrouted")
+            }
+            ExtractError::UndrivenOutput { x, y, pin } => {
+                write!(f, "PLB ({x},{y}) output pin {pin} routed but undriven")
+            }
+            ExtractError::UnassignedPad(p) => write!(f, "pad {p} routed but unassigned"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extracts the functional netlist of `config`.
+///
+/// # Errors
+///
+/// Returns an [`ExtractError`] when the bitstream is internally
+/// inconsistent (floating pins, unassigned pads).
+pub fn extract_netlist(config: &FabricConfig) -> Result<ExtractedDesign, ExtractError> {
+    let arch = &config.arch;
+    let mut nl = Netlist::new(format!("{}@{}", config.design, arch.name));
+
+    // 1. Primary inputs from pad assignments.
+    let mut pad_nets: HashMap<usize, NetId> = HashMap::new();
+    for pad in &config.pads {
+        if pad.dir == PadDir::Input {
+            let net = nl.add_input(pad.net.clone());
+            pad_nets.insert(pad.pad, net);
+        }
+    }
+
+    // 2. Internal nets for every used LE tap and PDE.
+    let mut tap_net: HashMap<(usize, usize, usize, LeOutput), NetId> = HashMap::new();
+    let mut pde_net: HashMap<(usize, usize), NetId> = HashMap::new();
+    for y in 0..arch.height {
+        for x in 0..arch.width {
+            let plb = config.plb(x, y);
+            for (li, le) in plb.les.iter().enumerate() {
+                let mut taps = le.used_outputs.clone();
+                // The LUT2 physically reads taps A and B.
+                if taps.contains(&LeOutput::Lut2) {
+                    for need in [LeOutput::A, LeOutput::B] {
+                        if !taps.contains(&need) {
+                            taps.push(need);
+                        }
+                    }
+                }
+                for tap in taps {
+                    let name = format!("p{x}_{y}_le{li}_{tap:?}").to_lowercase();
+                    tap_net.insert((x, y, li, tap), nl.add_net(name));
+                }
+            }
+            if plb.pde.is_used() || plb.im_source(ImSink::PdeIn).is_some() {
+                pde_net.insert((x, y), nl.add_net(format!("p{x}_{y}_pde")));
+            }
+        }
+    }
+
+    // 3. Resolve routing: which net arrives at each PLB input pin / pad.
+    // A route source is an Opin (resolved through that PLB's IM) or an
+    // input pad.
+    let resolve_opin = |x: usize, y: usize, pin: usize| -> Result<ImSource, ExtractError> {
+        config
+            .plb(x, y)
+            .im_source(ImSink::PlbOut(pin))
+            .ok_or(ExtractError::UndrivenOutput { x, y, pin })
+    };
+    // Const gates are shared lazily.
+    let mut const_nets: HashMap<bool, NetId> = HashMap::new();
+    let mut get_const = |nl: &mut Netlist, v: bool| -> NetId {
+        if let Some(&n) = const_nets.get(&v) {
+            return n;
+        }
+        let (_, n) = nl.add_gate_new(GateKind::Const(v), format!("const{}", u8::from(v)), &[]);
+        const_nets.insert(v, n);
+        n
+    };
+
+    let source_to_net = |nl: &mut Netlist,
+                         get_const: &mut dyn FnMut(&mut Netlist, bool) -> NetId,
+                         x: usize,
+                         y: usize,
+                         src: ImSource,
+                         tap_net: &HashMap<(usize, usize, usize, LeOutput), NetId>,
+                         pde_net: &HashMap<(usize, usize), NetId>,
+                         ipin_net: &HashMap<(usize, usize, usize), NetId>|
+     -> Result<NetId, ExtractError> {
+        match src {
+            ImSource::PlbInput(pin) => ipin_net
+                .get(&(x, y, pin))
+                .copied()
+                .ok_or(ExtractError::UnroutedInput { x, y, pin }),
+            ImSource::LeOut(le, tap) => Ok(*tap_net
+                .get(&(x, y, le, tap))
+                .expect("tap net pre-created for used taps")),
+            ImSource::PdeOut => Ok(*pde_net.get(&(x, y)).expect("pde net pre-created")),
+            ImSource::Const(v) => Ok(get_const(nl, v)),
+        }
+    };
+
+    let mut ipin_net: HashMap<(usize, usize, usize), NetId> = HashMap::new();
+    let mut pad_out_src: HashMap<usize, NetId> = HashMap::new();
+    for tree in &config.routes {
+        let src_net = match tree.source {
+            RrNodeKind::Pad { id } => *pad_nets
+                .get(&id)
+                .ok_or(ExtractError::UnassignedPad(id))?,
+            RrNodeKind::Opin { x, y, pin } => {
+                let src = resolve_opin(x, y, pin)?;
+                source_to_net(
+                    &mut nl,
+                    &mut get_const,
+                    x,
+                    y,
+                    src,
+                    &tap_net,
+                    &pde_net,
+                    &ipin_net,
+                )
+                // Opin sources never need ipin resolution of their own
+                // tile's inputs... except PlbInput passthrough, which does.
+                // Handled below by the two-pass loop.
+                .map_err(|e| e)?
+            }
+            ref other => panic!("route source must be Opin or Pad, got {other:?}"),
+        };
+        for sink in &tree.sinks {
+            match sink {
+                RrNodeKind::Ipin { x, y, pin } => {
+                    ipin_net.insert((*x, *y, *pin), src_net);
+                }
+                RrNodeKind::Pad { id } => {
+                    pad_out_src.insert(*id, src_net);
+                }
+                other => panic!("route sink must be Ipin or Pad, got {other:?}"),
+            }
+        }
+    }
+
+    // 4. Create gates PLB by PLB.
+    for y in 0..arch.height {
+        for x in 0..arch.width {
+            let plb = config.plb(x, y);
+            for (li, le) in plb.les.iter().enumerate() {
+                // Which pins are connected through the IM?
+                let pin_src: Vec<Option<ImSource>> = (0..arch.plb.le.lut_inputs)
+                    .map(|pin| plb.im_source(ImSink::LeIn { le: li, pin }))
+                    .collect();
+                let mut taps: Vec<LeOutput> = le.used_outputs.clone();
+                if taps.contains(&LeOutput::Lut2) {
+                    for need in [LeOutput::A, LeOutput::B] {
+                        if !taps.contains(&need) {
+                            taps.push(need);
+                        }
+                    }
+                }
+                taps.sort();
+                taps.dedup();
+                for tap in taps {
+                    let out = tap_net[&(x, y, li, tap)];
+                    if tap == LeOutput::Lut2 {
+                        let a = tap_net[&(x, y, li, LeOutput::A)];
+                        let b = tap_net[&(x, y, li, LeOutput::B)];
+                        let table = LutTable::new(2, u128::from(le.lut2 & 0xF));
+                        nl.add_gate(
+                            GateKind::Lut(table),
+                            format!("p{x}_{y}_le{li}_lut2"),
+                            &[a, b],
+                            out,
+                        );
+                        continue;
+                    }
+                    // Window size: subtrees see 6 pins, the root all 7.
+                    let window = match tap {
+                        LeOutput::A | LeOutput::B => arch.plb.le.subtree_inputs(),
+                        _ => arch.plb.le.lut_inputs,
+                    };
+                    // Only pins the tap's function actually depends on
+                    // become netlist edges: a pin wired through the IM for
+                    // the *partner* function is physically present but
+                    // functionally vacuous for this tap, and treating it
+                    // as a dependency would fabricate structural cycles
+                    // between paired functions.
+                    let full = le.lut.tap_table(tap);
+                    let connected: Vec<usize> = (0..window)
+                        .filter(|&p| pin_src[p].is_some() && full.depends_on(p))
+                        .collect();
+                    // Reduce the table to the connected pins (unconnected
+                    // pins read as 0).
+                    let reduced = LutTable::from_fn(connected.len(), |vals| {
+                        let mut pins = vec![false; window];
+                        for (slot, &p) in connected.iter().enumerate() {
+                            pins[p] = vals[slot];
+                        }
+                        full.eval(&pins)
+                    });
+                    let mut input_nets = Vec::with_capacity(connected.len());
+                    let mut feedback = false;
+                    for &p in &connected {
+                        let src = pin_src[p].expect("connected");
+                        let net = source_to_net(
+                            &mut nl,
+                            &mut get_const,
+                            x,
+                            y,
+                            src,
+                            &tap_net,
+                            &pde_net,
+                            &ipin_net,
+                        )?;
+                        if net == out {
+                            feedback = true;
+                        }
+                        // Feedback from a *different* tap of the same LE
+                        // also forms a loop broken at this LE.
+                        if let ImSource::LeOut(sle, _) = src {
+                            if sle == li {
+                                feedback = true;
+                            }
+                        }
+                        input_nets.push(net);
+                    }
+                    let gate = nl.add_gate(
+                        GateKind::Lut(reduced),
+                        format!("p{x}_{y}_le{li}_{tap:?}").to_lowercase(),
+                        &input_nets,
+                        out,
+                    );
+                    if feedback {
+                        nl.mark_feedback(gate);
+                    }
+                }
+            }
+            // PDE.
+            if let Some(&out) = pde_net.get(&(x, y)) {
+                let src = plb
+                    .im_source(ImSink::PdeIn)
+                    .expect("PDE net exists only when IM drives it or taps it");
+                let in_net = source_to_net(
+                    &mut nl,
+                    &mut get_const,
+                    x,
+                    y,
+                    src,
+                    &tap_net,
+                    &pde_net,
+                    &ipin_net,
+                )?;
+                let delay = plb
+                    .pde
+                    .delay(arch.plb.pde.as_ref().expect("PDE present"))
+                    .min(u64::from(u32::MAX)) as u32;
+                nl.add_gate(
+                    GateKind::Delay(delay),
+                    format!("p{x}_{y}_pde"),
+                    &[in_net],
+                    out,
+                );
+            }
+        }
+    }
+
+    // 5. Primary outputs.
+    for pad in &config.pads {
+        if pad.dir == PadDir::Output {
+            let net = *pad_out_src
+                .get(&pad.pad)
+                .ok_or(ExtractError::UnassignedPad(pad.pad))?;
+            nl.mark_output(net);
+            pad_nets.insert(pad.pad, net);
+        }
+    }
+
+    Ok(ExtractedDesign {
+        netlist: nl,
+        pad_nets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSpec;
+    use crate::bitstream::PadAssignment;
+    use crate::bitstream::RouteTree;
+    use crate::le::{LeOutput, LUT2_OR};
+    use msaf_netlist::LutTable;
+    use msaf_sim::{FixedDelay, Simulator};
+
+    /// Hand-programs a 1×1 fabric: LE0.A = AND(in0,in1), LE0.B =
+    /// XOR(in0,in1), LUT2 = OR(A,B), A -> out pad, LUT2 -> out pad.
+    fn tiny_config() -> FabricConfig {
+        let mut arch = ArchSpec::paper(1, 1);
+        arch.channel_width = 4;
+        let mut cfg = FabricConfig::empty("tiny", arch);
+        {
+            let plb = cfg.plb_mut(0, 0);
+            plb.les[0]
+                .lut
+                .set_a(&LutTable::from_fn(2, |v| v[0] & v[1]));
+            plb.les[0]
+                .lut
+                .set_b(&LutTable::from_fn(2, |v| v[0] ^ v[1]));
+            plb.les[0].lut2 = LUT2_OR;
+            plb.les[0].used_outputs = vec![LeOutput::A, LeOutput::Lut2];
+            plb.les[0].pins_used = [true, true, false, false, false, false, false];
+            plb.im_connect(ImSink::LeIn { le: 0, pin: 0 }, ImSource::PlbInput(0));
+            plb.im_connect(ImSink::LeIn { le: 0, pin: 1 }, ImSource::PlbInput(1));
+            plb.im_connect(ImSink::PlbOut(0), ImSource::LeOut(0, LeOutput::A));
+            plb.im_connect(ImSink::PlbOut(1), ImSource::LeOut(0, LeOutput::Lut2));
+        }
+        // Pads 0,1 drive inputs; pads 2,3 take outputs. Route trees are
+        // functional stubs (nodes/edges left minimal — extraction only
+        // reads sources and sinks).
+        cfg.pads = vec![
+            PadAssignment {
+                pad: 0,
+                net: "a".into(),
+                dir: PadDir::Input,
+            },
+            PadAssignment {
+                pad: 1,
+                net: "b".into(),
+                dir: PadDir::Input,
+            },
+            PadAssignment {
+                pad: 2,
+                net: "and_y".into(),
+                dir: PadDir::Output,
+            },
+            PadAssignment {
+                pad: 3,
+                net: "valid_y".into(),
+                dir: PadDir::Output,
+            },
+        ];
+        cfg.routes = vec![
+            RouteTree {
+                net: "a".into(),
+                source: RrNodeKind::Pad { id: 0 },
+                sinks: vec![RrNodeKind::Ipin { x: 0, y: 0, pin: 0 }],
+                nodes: vec![],
+                edges: vec![],
+            },
+            RouteTree {
+                net: "b".into(),
+                source: RrNodeKind::Pad { id: 1 },
+                sinks: vec![RrNodeKind::Ipin { x: 0, y: 0, pin: 1 }],
+                nodes: vec![],
+                edges: vec![],
+            },
+            RouteTree {
+                net: "and_y".into(),
+                source: RrNodeKind::Opin { x: 0, y: 0, pin: 0 },
+                sinks: vec![RrNodeKind::Pad { id: 2 }],
+                nodes: vec![],
+                edges: vec![],
+            },
+            RouteTree {
+                net: "valid_y".into(),
+                source: RrNodeKind::Opin { x: 0, y: 0, pin: 1 },
+                sinks: vec![RrNodeKind::Pad { id: 3 }],
+                nodes: vec![],
+                edges: vec![],
+            },
+        ];
+        cfg
+    }
+
+    #[test]
+    fn extraction_produces_working_logic() {
+        let cfg = tiny_config();
+        let design = extract_netlist(&cfg).expect("extracts");
+        let nl = &design.netlist;
+        assert!(nl.validate().is_ok(), "{}", nl.validate());
+
+        let a = nl.find_net("a").unwrap();
+        let b = nl.find_net("b").unwrap();
+        let and_out = design.pad_nets[&2];
+        let or_out = design.pad_nets[&3];
+
+        let mut sim = Simulator::new(nl, &FixedDelay::new(1));
+        sim.settle(10_000).unwrap();
+        let mut check = |va: bool, vb: bool, want_and: bool, want_or: bool| {
+            sim.set_input(a, va, 0);
+            sim.set_input(b, vb, 0);
+            sim.settle(10_000).unwrap();
+            assert_eq!(sim.value(and_out), want_and, "AND({va},{vb})");
+            assert_eq!(sim.value(or_out), want_or, "OR-of-AB({va},{vb})");
+        };
+        check(false, false, false, false);
+        check(true, false, false, true); // xor fires -> lut2 OR fires
+        check(true, true, true, true);
+        check(false, true, false, true);
+    }
+
+    #[test]
+    fn looped_lut_extracts_as_feedback_celement() {
+        // LE0.A = majority(pin0, pin1, pin2) with pin2 fed back from A:
+        // the paper's C-element.
+        let mut arch = ArchSpec::paper(1, 1);
+        arch.channel_width = 4;
+        let mut cfg = FabricConfig::empty("c_el", arch);
+        {
+            let plb = cfg.plb_mut(0, 0);
+            plb.les[0].lut.set_a(&LutTable::majority3());
+            plb.les[0].used_outputs = vec![LeOutput::A];
+            plb.les[0].pins_used = [true, true, true, false, false, false, false];
+            plb.im_connect(ImSink::LeIn { le: 0, pin: 0 }, ImSource::PlbInput(0));
+            plb.im_connect(ImSink::LeIn { le: 0, pin: 1 }, ImSource::PlbInput(1));
+            plb.im_connect(
+                ImSink::LeIn { le: 0, pin: 2 },
+                ImSource::LeOut(0, LeOutput::A),
+            );
+            plb.im_connect(ImSink::PlbOut(0), ImSource::LeOut(0, LeOutput::A));
+        }
+        cfg.pads = vec![
+            PadAssignment {
+                pad: 0,
+                net: "a".into(),
+                dir: PadDir::Input,
+            },
+            PadAssignment {
+                pad: 1,
+                net: "b".into(),
+                dir: PadDir::Input,
+            },
+            PadAssignment {
+                pad: 2,
+                net: "c".into(),
+                dir: PadDir::Output,
+            },
+        ];
+        cfg.routes = vec![
+            RouteTree {
+                net: "a".into(),
+                source: RrNodeKind::Pad { id: 0 },
+                sinks: vec![RrNodeKind::Ipin { x: 0, y: 0, pin: 0 }],
+                nodes: vec![],
+                edges: vec![],
+            },
+            RouteTree {
+                net: "b".into(),
+                source: RrNodeKind::Pad { id: 1 },
+                sinks: vec![RrNodeKind::Ipin { x: 0, y: 0, pin: 1 }],
+                nodes: vec![],
+                edges: vec![],
+            },
+            RouteTree {
+                net: "c".into(),
+                source: RrNodeKind::Opin { x: 0, y: 0, pin: 0 },
+                sinks: vec![RrNodeKind::Pad { id: 2 }],
+                nodes: vec![],
+                edges: vec![],
+            },
+        ];
+
+        let design = extract_netlist(&cfg).expect("extracts");
+        let nl = &design.netlist;
+        assert!(nl.validate().is_ok(), "{}", nl.validate());
+        let a = nl.find_net("a").unwrap();
+        let b = nl.find_net("b").unwrap();
+        let c = design.pad_nets[&2];
+
+        let mut sim = Simulator::new(nl, &FixedDelay::new(1));
+        sim.settle(10_000).unwrap();
+        // C-element behaviour through the fabric.
+        sim.set_input(a, true, 0);
+        sim.settle(10_000).unwrap();
+        assert!(!sim.value(c));
+        sim.set_input(b, true, 0);
+        sim.settle(10_000).unwrap();
+        assert!(sim.value(c));
+        sim.set_input(a, false, 0);
+        sim.settle(10_000).unwrap();
+        assert!(sim.value(c), "extracted C-element must hold");
+        sim.set_input(b, false, 0);
+        sim.settle(10_000).unwrap();
+        assert!(!sim.value(c));
+    }
+
+    #[test]
+    fn unrouted_input_reported() {
+        let mut cfg = tiny_config();
+        cfg.routes.remove(0); // drop the route driving input pin 0
+        let err = extract_netlist(&cfg).unwrap_err();
+        assert!(matches!(err, ExtractError::UnroutedInput { pin: 0, .. }));
+    }
+
+    #[test]
+    fn unassigned_pad_reported() {
+        let mut cfg = tiny_config();
+        cfg.pads.retain(|p| p.net != "a");
+        let err = extract_netlist(&cfg).unwrap_err();
+        assert!(matches!(err, ExtractError::UnassignedPad(0)));
+    }
+}

@@ -1,0 +1,359 @@
+//! The logic element (paper Figure 2): a multi-output LUT7-3 plus the
+//! validity LUT2-1.
+//!
+//! The LUT7-3 is a complete 7-level multiplexer tree over 128
+//! configuration bits whose *internal* nodes are exported, exactly the
+//! paper's "make externally available some internal signals of a LUT":
+//!
+//! * [`LeOutput::A`] — the depth-6 subtree selected when input 6 is low
+//!   (a LUT6 over inputs 0..6, config bits 0..64);
+//! * [`LeOutput::B`] — the subtree for input 6 high (bits 64..128);
+//! * [`LeOutput::Root`] — the full LUT7.
+//!
+//! A and B are two independent LUT6 functions **sharing the same six
+//! inputs** — one dual-rail function pair per LE, which is what gives the
+//! QDI mapping its high filling ratio. The LUT2-1 computes any 2-input
+//! function of A and B (typically OR: the validity of a 1-of-2 code).
+
+use crate::arch::LeSpec;
+use msaf_netlist::LutTable;
+use serde::{Deserialize, Serialize};
+
+/// One of the LE's output taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LeOutput {
+    /// Subtree output A (LUT6 over inputs 0..6, bits 0..64).
+    A,
+    /// Subtree output B (LUT6 over inputs 0..6, bits 64..128).
+    B,
+    /// Root output (full LUT7).
+    Root,
+    /// The LUT2-1 output (function of A and B).
+    Lut2,
+}
+
+impl LeOutput {
+    /// All taps in canonical order.
+    pub const ALL: [LeOutput; 4] = [LeOutput::A, LeOutput::B, LeOutput::Root, LeOutput::Lut2];
+}
+
+/// The multi-output LUT: 128 config bits viewed through three taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MultiLut {
+    bits: u128,
+}
+
+impl MultiLut {
+    /// Creates the LUT from raw bits.
+    #[must_use]
+    pub fn new(bits: u128) -> Self {
+        Self { bits }
+    }
+
+    /// Raw configuration bits.
+    #[must_use]
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Programs subtree A to `table` (a function of inputs 0..6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` has more than 6 inputs.
+    pub fn set_a(&mut self, table: &LutTable) {
+        let expanded = expand_to_6(table);
+        self.bits = (self.bits & !LOW64) | u128::from(expanded);
+    }
+
+    /// Programs subtree B to `table` (a function of inputs 0..6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` has more than 6 inputs.
+    pub fn set_b(&mut self, table: &LutTable) {
+        let expanded = expand_to_6(table);
+        self.bits = (self.bits & LOW64) | (u128::from(expanded) << 64);
+    }
+
+    /// Programs the whole tree as one LUT7 function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` has more than 7 inputs.
+    pub fn set_root(&mut self, table: &LutTable) {
+        assert!(table.arity() <= 7, "root takes at most 7 inputs");
+        let mut bits = 0u128;
+        for idx in 0..128usize {
+            let mut pins = [false; 7];
+            for (p, slot) in pins.iter_mut().enumerate() {
+                *slot = (idx >> p) & 1 == 1;
+            }
+            if table.eval(&pins[..table.arity()]) {
+                bits |= 1 << idx;
+            }
+        }
+        self.bits = bits;
+    }
+
+    /// Evaluates one tap for the given 7 input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not exactly 7 long or `tap` is
+    /// [`LeOutput::Lut2`] (the LUT2 lives outside the tree).
+    #[must_use]
+    pub fn eval(&self, tap: LeOutput, inputs: &[bool; 7]) -> bool {
+        let low6 = {
+            let mut idx = 0usize;
+            for (p, &v) in inputs.iter().take(6).enumerate() {
+                if v {
+                    idx |= 1 << p;
+                }
+            }
+            idx
+        };
+        match tap {
+            LeOutput::A => (self.bits >> low6) & 1 == 1,
+            LeOutput::B => (self.bits >> (64 + low6)) & 1 == 1,
+            LeOutput::Root => {
+                let idx = low6 | (usize::from(inputs[6]) << 6);
+                (self.bits >> idx) & 1 == 1
+            }
+            LeOutput::Lut2 => panic!("LUT2 is evaluated by LeConfig, not the tree"),
+        }
+    }
+
+    /// The truth table of one tap as a [`LutTable`] (A/B: arity 6,
+    /// Root: arity 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is [`LeOutput::Lut2`].
+    #[must_use]
+    pub fn tap_table(&self, tap: LeOutput) -> LutTable {
+        match tap {
+            LeOutput::A => LutTable::new(6, self.bits & LOW64),
+            LeOutput::B => LutTable::new(6, self.bits >> 64),
+            LeOutput::Root => LutTable::new(7, self.bits),
+            LeOutput::Lut2 => panic!("LUT2 is not a tree tap"),
+        }
+    }
+}
+
+const LOW64: u128 = (1u128 << 64) - 1;
+
+/// Expands a ≤6-input table to a full 64-bit LUT6 image (extra inputs
+/// vacuous).
+fn expand_to_6(table: &LutTable) -> u64 {
+    assert!(table.arity() <= 6, "subtree takes at most 6 inputs");
+    let mut bits = 0u64;
+    for idx in 0..64usize {
+        let mut pins = [false; 6];
+        for (p, slot) in pins.iter_mut().enumerate() {
+            *slot = (idx >> p) & 1 == 1;
+        }
+        if table.eval(&pins[..table.arity()]) {
+            bits |= 1 << idx;
+        }
+    }
+    bits
+}
+
+/// Full configuration of one logic element.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LeConfig {
+    /// The LUT7-3 content.
+    pub lut: MultiLut,
+    /// LUT2 truth table, 4 bits: bit `(b<<1)|a` is the output for
+    /// `(A=a, B=b)`.
+    pub lut2: u8,
+    /// Which taps drive anything (bookkeeping for utilisation metrics and
+    /// netlist extraction).
+    pub used_outputs: Vec<LeOutput>,
+    /// How many of the 7 input pins carry signals (`pins_used[i]` true
+    /// when pin `i` is connected through the IM).
+    pub pins_used: [bool; 7],
+}
+
+impl LeConfig {
+    /// Evaluates every tap, returning `(a, b, root, lut2)`.
+    #[must_use]
+    pub fn eval_all(&self, inputs: &[bool; 7]) -> (bool, bool, bool, bool) {
+        let a = self.lut.eval(LeOutput::A, inputs);
+        let b = self.lut.eval(LeOutput::B, inputs);
+        let root = self.lut.eval(LeOutput::Root, inputs);
+        let lut2 = (self.lut2 >> ((usize::from(b) << 1) | usize::from(a))) & 1 == 1;
+        (a, b, root, lut2)
+    }
+
+    /// Evaluates a single tap.
+    #[must_use]
+    pub fn eval(&self, tap: LeOutput, inputs: &[bool; 7]) -> bool {
+        let (a, b, root, lut2) = self.eval_all(inputs);
+        match tap {
+            LeOutput::A => a,
+            LeOutput::B => b,
+            LeOutput::Root => root,
+            LeOutput::Lut2 => lut2,
+        }
+    }
+
+    /// Number of used input pins.
+    #[must_use]
+    pub fn pins_used_count(&self) -> usize {
+        self.pins_used.iter().filter(|&&u| u).count()
+    }
+
+    /// True when this LE is configured at all.
+    #[must_use]
+    pub fn is_used(&self) -> bool {
+        !self.used_outputs.is_empty()
+    }
+
+    /// Checks the configuration against an [`LeSpec`] (ablated LEs must
+    /// not use taps they don't have).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn check(&self, spec: &LeSpec) -> Result<(), String> {
+        for out in &self.used_outputs {
+            match out {
+                LeOutput::A | LeOutput::B if spec.lut_outputs < 3 => {
+                    return Err(format!("{out:?} used but LE exports only the root"));
+                }
+                LeOutput::Lut2 if !spec.has_lut2 => {
+                    return Err("LUT2 used but LE has none".to_string());
+                }
+                _ => {}
+            }
+        }
+        for (i, used) in self.pins_used.iter().enumerate() {
+            if *used && i >= spec.lut_inputs {
+                return Err(format!("pin {i} used but LE has {} inputs", spec.lut_inputs));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The LUT2 table for OR — validity of a dual-rail pair (A=t, B=f).
+pub const LUT2_OR: u8 = 0b1110;
+/// The LUT2 table for AND.
+pub const LUT2_AND: u8 = 0b1000;
+/// The LUT2 table for XOR.
+pub const LUT2_XOR: u8 = 0b0110;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(bits: u8) -> [bool; 7] {
+        let mut v = [false; 7];
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = (bits >> i) & 1 == 1;
+        }
+        v
+    }
+
+    #[test]
+    fn subtrees_are_independent_lut6() {
+        let mut lut = MultiLut::default();
+        lut.set_a(&LutTable::from_fn(2, |v| v[0] & v[1]));
+        lut.set_b(&LutTable::from_fn(2, |v| v[0] | v[1]));
+        // A = and(x0,x1), B = or(x0,x1), regardless of x6.
+        assert!(!lut.eval(LeOutput::A, &inputs(0b01)));
+        assert!(lut.eval(LeOutput::A, &inputs(0b11)));
+        assert!(lut.eval(LeOutput::B, &inputs(0b01)));
+        assert!(!lut.eval(LeOutput::B, &inputs(0b00)));
+        // Root multiplexes on x6: low -> A, high -> B.
+        assert!(!lut.eval(LeOutput::Root, &inputs(0b000_0001)));
+        assert!(lut.eval(LeOutput::Root, &inputs(0b100_0001)));
+    }
+
+    #[test]
+    fn root_programming_covers_seven_inputs() {
+        let mut lut = MultiLut::default();
+        // 7-input parity.
+        lut.set_root(&LutTable::from_fn(7, |v| {
+            v.iter().fold(false, |acc, &b| acc ^ b)
+        }));
+        assert!(lut.eval(LeOutput::Root, &inputs(0b1000000)));
+        assert!(!lut.eval(LeOutput::Root, &inputs(0b1000001)));
+        assert!(lut.eval(LeOutput::Root, &inputs(0b1110000)));
+    }
+
+    #[test]
+    fn set_a_preserves_b() {
+        let mut lut = MultiLut::default();
+        lut.set_b(&LutTable::constant(true));
+        lut.set_a(&LutTable::from_fn(1, |v| v[0]));
+        assert!(lut.eval(LeOutput::B, &inputs(0)));
+        assert!(lut.eval(LeOutput::A, &inputs(1)));
+        assert!(!lut.eval(LeOutput::A, &inputs(0)));
+    }
+
+    #[test]
+    fn tap_tables_roundtrip() {
+        let mut lut = MultiLut::default();
+        let maj = LutTable::majority3();
+        lut.set_a(&maj);
+        let got = lut.tap_table(LeOutput::A);
+        for i in 0..8u8 {
+            let pins6: Vec<bool> = (0..6).map(|p| (i >> p) & 1 == 1).collect();
+            let pins3: Vec<bool> = pins6[..3].to_vec();
+            assert_eq!(got.eval(&pins6), maj.eval(&pins3));
+        }
+    }
+
+    #[test]
+    fn lut2_tables() {
+        let mut cfg = LeConfig::default();
+        cfg.lut.set_a(&LutTable::constant(true));
+        cfg.lut.set_b(&LutTable::constant(false));
+        cfg.lut2 = LUT2_OR;
+        let (a, b, _, v) = cfg.eval_all(&inputs(0));
+        assert!(a && !b && v, "OR(1,0) = 1");
+        cfg.lut2 = LUT2_AND;
+        assert!(!cfg.eval(LeOutput::Lut2, &inputs(0)));
+        cfg.lut2 = LUT2_XOR;
+        assert!(cfg.eval(LeOutput::Lut2, &inputs(0)));
+    }
+
+    #[test]
+    fn check_catches_ablation_violations() {
+        let mut cfg = LeConfig::default();
+        cfg.used_outputs = vec![LeOutput::A, LeOutput::Lut2];
+        let paper = LeSpec::paper();
+        assert!(cfg.check(&paper).is_ok());
+        let mut no_aux = paper;
+        no_aux.lut_outputs = 1;
+        no_aux.has_lut2 = false;
+        assert!(cfg.check(&no_aux).is_err());
+        let mut no_lut2 = paper;
+        no_lut2.has_lut2 = false;
+        cfg.used_outputs = vec![LeOutput::Lut2];
+        assert!(cfg.check(&no_lut2).is_err());
+        cfg.used_outputs = vec![LeOutput::Root];
+        assert!(cfg.check(&no_lut2).is_ok());
+    }
+
+    #[test]
+    fn check_catches_pin_overflow() {
+        let mut cfg = LeConfig::default();
+        cfg.used_outputs = vec![LeOutput::Root];
+        cfg.pins_used[6] = true;
+        let mut spec = LeSpec::paper();
+        spec.lut_inputs = 4;
+        assert!(cfg.check(&spec).is_err());
+    }
+
+    #[test]
+    fn pins_used_count() {
+        let mut cfg = LeConfig::default();
+        cfg.pins_used = [true, true, false, true, false, false, false];
+        assert_eq!(cfg.pins_used_count(), 3);
+        assert!(!cfg.is_used());
+    }
+}

@@ -1,0 +1,51 @@
+//! # msaf-fabric
+//!
+//! Bit-accurate model of the multi-style asynchronous FPGA architecture
+//! from *"FPGA architecture for multi-style asynchronous logic"*
+//! (Huot, Dubreuil, Fesquet, Renaudin — DATE 2005).
+//!
+//! The architecture (paper Section 3, Figures 1 and 2):
+//!
+//! * an **island-style** grid: programmable logic blocks (PLBs) plunged
+//!   into a routing network of interconnection busses, connection boxes
+//!   and switch boxes ([`rrg`]);
+//! * each **PLB** ([`plb`]) = an **interconnection matrix (IM)** + two
+//!   **logic elements (LE)** + a **programmable delay element (PDE)**.
+//!   The IM is a crossbar joining PLB inputs, LE inputs/outputs and the
+//!   PDE — crucially it can loop an LE output back to that LE's inputs,
+//!   which is how Muller C-elements and latches are built from plain
+//!   combinational LUTs;
+//! * each **LE** ([`le`]) = a **multi-output LUT7-3** (7 inputs, 3
+//!   outputs: the two depth-6 subtrees and the root of the internal mux
+//!   tree) plus a **LUT2-1** plugged onto the two subtree outputs to
+//!   compute data validity for handshake protocols. One LE therefore
+//!   yields one LUT7, or two LUT6 sharing inputs (the dual-rail sweet
+//!   spot), plus a free 2-input function of those outputs;
+//! * the **PDE** ([`pde`]) is a programmable transport-delay tap chain
+//!   implementing the timing assumptions of bundled-data styles.
+//!
+//! A fully-programmed fabric is a [`bitstream::FabricConfig`]; its
+//! functional content can be **extracted back into a flat
+//! [`msaf_netlist::Netlist`]** ([`extract`]) for simulation and
+//! equivalence checking, and measured by the paper's headline
+//! **filling-ratio** metric ([`utilization`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod bitstream;
+pub mod extract;
+pub mod le;
+pub mod pde;
+pub mod plb;
+pub mod rrg;
+pub mod utilization;
+
+pub use arch::{ArchSpec, ImSpec, LeSpec, PdeSpec, PlbSpec, SwitchBoxKind};
+pub use bitstream::{FabricConfig, PadAssignment, RouteTree};
+pub use le::{LeConfig, LeOutput, MultiLut};
+pub use pde::PdeConfig;
+pub use plb::{ImSink, ImSource, PlbConfig};
+pub use rrg::{NodeId, Rrg, RrNodeKind};
+pub use utilization::{FillingRatio, Utilization};

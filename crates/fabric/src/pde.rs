@@ -1,0 +1,79 @@
+//! The programmable delay element: a transport-delay tap chain.
+//!
+//! "The PDE, located in the PLB, can be used to allow the implementation
+//! of asynchronous circuits that need timing assumptions" (paper,
+//! Section 3). The CAD timing pass computes the required matched delay
+//! for each bundled-data control path and programs the nearest tap count
+//! that covers it.
+
+use crate::arch::PdeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one PDE instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PdeConfig {
+    /// Selected taps (0 = bypass / unused).
+    pub taps: usize,
+}
+
+impl PdeConfig {
+    /// The realised transport delay under `spec`.
+    #[must_use]
+    pub fn delay(&self, spec: &PdeSpec) -> u64 {
+        self.taps as u64 * spec.tap_delay
+    }
+
+    /// True when the PDE is in the signal path.
+    #[must_use]
+    pub fn is_used(&self) -> bool {
+        self.taps > 0
+    }
+
+    /// Picks the smallest tap count whose delay is ≥ `required`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the maximum achievable delay when `required` exceeds the
+    /// chain (the caller decides whether to split across PDEs or fail).
+    pub fn covering(spec: &PdeSpec, required: u64) -> Result<Self, u64> {
+        let taps = required.div_ceil(spec.tap_delay.max(1));
+        if taps as usize > spec.taps {
+            return Err(spec.max_delay());
+        }
+        Ok(Self { taps: taps as usize })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_rounds_up() {
+        let spec = PdeSpec {
+            taps: 8,
+            tap_delay: 3,
+        };
+        assert_eq!(PdeConfig::covering(&spec, 7).unwrap().taps, 3);
+        assert_eq!(PdeConfig::covering(&spec, 9).unwrap().taps, 3);
+        assert_eq!(PdeConfig::covering(&spec, 0).unwrap().taps, 0);
+    }
+
+    #[test]
+    fn covering_reports_overflow() {
+        let spec = PdeSpec {
+            taps: 4,
+            tap_delay: 2,
+        };
+        assert_eq!(PdeConfig::covering(&spec, 9), Err(8));
+    }
+
+    #[test]
+    fn delay_and_usage() {
+        let spec = PdeSpec::paper();
+        let cfg = PdeConfig { taps: 5 };
+        assert_eq!(cfg.delay(&spec), 10);
+        assert!(cfg.is_used());
+        assert!(!PdeConfig::default().is_used());
+    }
+}

@@ -1,0 +1,233 @@
+//! Resource utilisation and the paper's **filling ratio**.
+//!
+//! The paper reports "an overall filling ratio of 51% for the
+//! micropipeline circuits and 76% for the QDI circuits" without defining
+//! the metric. We make the definition explicit and report three
+//! complementary ratios; the headline one (used for the Table E5
+//! reproduction) is **input-pin occupancy**:
+//!
+//! > filling ratio = used LE input pins / (LUT inputs × used LEs)
+//!
+//! Rationale: the LE's scarce resource is its shared 7-pin input port;
+//! dual-rail function pairs pack two functions (plus a free LUT2
+//! validity) behind one port, while single-rail micropipeline logic
+//! leaves most pins idle. The alternative metrics (output-tap occupancy
+//! and PLB-slot occupancy) are reported alongside for transparency.
+
+use crate::bitstream::FabricConfig;
+use crate::le::LeOutput;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three filling-ratio flavours (all in `0..=1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FillingRatio {
+    /// Headline: used LE input pins over pins of *used* LEs.
+    pub input_pin: f64,
+    /// Used output taps (A/B/Root/LUT2) over taps of used LEs.
+    pub output_tap: f64,
+    /// Used resource slots (LE taps + PDE) over slots of *used* PLBs.
+    pub plb_slot: f64,
+}
+
+impl fmt::Display for FillingRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input-pin {:.1}% | output-tap {:.1}% | plb-slot {:.1}%",
+            100.0 * self.input_pin,
+            100.0 * self.output_tap,
+            100.0 * self.plb_slot
+        )
+    }
+}
+
+/// Full utilisation accounting of a programmed fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// PLBs in the fabric.
+    pub plbs_total: usize,
+    /// PLBs with any configuration.
+    pub plbs_used: usize,
+    /// LEs in the fabric.
+    pub les_total: usize,
+    /// LEs with any used output.
+    pub les_used: usize,
+    /// Input pins used across used LEs.
+    pub le_input_pins_used: usize,
+    /// Output taps used across used LEs (including LUT2).
+    pub le_outputs_used: usize,
+    /// LUT2s in use.
+    pub lut2_used: usize,
+    /// PDEs in use.
+    pub pdes_used: usize,
+    /// Total routed wirelength (wire segments).
+    pub wirelength: usize,
+    /// The filling ratios.
+    pub filling: FillingRatio,
+}
+
+impl Utilization {
+    /// Measures `config`.
+    #[must_use]
+    pub fn of(config: &FabricConfig) -> Self {
+        let arch = &config.arch;
+        let lut_inputs = arch.plb.le.lut_inputs;
+        let taps_per_le = arch.plb.le.lut_outputs + usize::from(arch.plb.le.has_lut2);
+
+        let mut plbs_used = 0;
+        let mut les_used = 0;
+        let mut pins_used = 0;
+        let mut outs_used = 0;
+        let mut lut2_used = 0;
+        let mut pdes_used = 0;
+        let mut slots_used = 0;
+        let mut slots_avail = 0;
+
+        for plb in &config.plbs {
+            if !plb.is_used() {
+                continue;
+            }
+            plbs_used += 1;
+            // Slots: each LE contributes its taps; the PDE one more; DFFs
+            // (synchronous baseline) contribute slots that async logic can
+            // never use — the reference-[3] waste, visible in plb_slot.
+            slots_avail += arch.plb.les * taps_per_le
+                + usize::from(arch.plb.pde.is_some())
+                + arch.plb.dffs;
+            for le in &plb.les {
+                if !le.is_used() {
+                    continue;
+                }
+                les_used += 1;
+                pins_used += le.pins_used_count();
+                outs_used += le.used_outputs.len();
+                slots_used += le.used_outputs.len();
+                if le.used_outputs.contains(&LeOutput::Lut2) {
+                    lut2_used += 1;
+                }
+            }
+            if plb.pde.is_used() {
+                pdes_used += 1;
+                slots_used += 1;
+            }
+        }
+
+        let ratio = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Self {
+            plbs_total: arch.plb_count(),
+            plbs_used,
+            les_total: arch.plb_count() * arch.plb.les,
+            les_used,
+            le_input_pins_used: pins_used,
+            le_outputs_used: outs_used,
+            lut2_used,
+            pdes_used,
+            wirelength: config.total_wirelength(),
+            filling: FillingRatio {
+                input_pin: ratio(pins_used, lut_inputs * les_used),
+                output_tap: ratio(outs_used, taps_per_le * les_used),
+                plb_slot: ratio(slots_used, slots_avail),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "PLBs {}/{}  LEs {}/{}  LUT2s {}  PDEs {}  wirelength {}",
+            self.plbs_used,
+            self.plbs_total,
+            self.les_used,
+            self.les_total,
+            self.lut2_used,
+            self.pdes_used,
+            self.wirelength
+        )?;
+        write!(f, "filling ratio: {}", self.filling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSpec;
+    use crate::le::LeOutput;
+    use crate::plb::{ImSink, ImSource};
+
+    fn config_with_one_le() -> FabricConfig {
+        let arch = ArchSpec::paper(2, 2);
+        let mut cfg = FabricConfig::empty("u", arch);
+        let plb = cfg.plb_mut(0, 0);
+        plb.les[0].used_outputs = vec![LeOutput::A, LeOutput::B, LeOutput::Lut2];
+        plb.les[0].pins_used = [true, true, true, true, true, true, false];
+        plb.im_connect(ImSink::PlbOut(0), ImSource::LeOut(0, LeOutput::A));
+        cfg
+    }
+
+    #[test]
+    fn counts_single_le() {
+        let u = Utilization::of(&config_with_one_le());
+        assert_eq!(u.plbs_total, 4);
+        assert_eq!(u.plbs_used, 1);
+        assert_eq!(u.les_total, 8);
+        assert_eq!(u.les_used, 1);
+        assert_eq!(u.le_input_pins_used, 6);
+        assert_eq!(u.le_outputs_used, 3);
+        assert_eq!(u.lut2_used, 1);
+        assert_eq!(u.pdes_used, 0);
+        // 6 of 7 pins on the one used LE.
+        assert!((u.filling.input_pin - 6.0 / 7.0).abs() < 1e-9);
+        // 3 of 4 taps.
+        assert!((u.filling.output_tap - 0.75).abs() < 1e-9);
+        // Slots in the used PLB: 2 LEs × 4 taps + 1 PDE = 9; used 3.
+        assert!((u.filling.plb_slot - 3.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fabric_reports_zero() {
+        let cfg = FabricConfig::empty("e", ArchSpec::paper(2, 2));
+        let u = Utilization::of(&cfg);
+        assert_eq!(u.plbs_used, 0);
+        assert_eq!(u.filling.input_pin, 0.0);
+    }
+
+    #[test]
+    fn pde_counts_as_slot() {
+        let mut cfg = config_with_one_le();
+        cfg.plb_mut(0, 0).pde.taps = 4;
+        let u = Utilization::of(&cfg);
+        assert_eq!(u.pdes_used, 1);
+        assert!((u.filling.plb_slot - 4.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dffs_depress_plb_slot_ratio() {
+        // A synchronous-baseline PLB with 2 idle DFFs has more available
+        // slots for the same used logic.
+        let mut arch = ArchSpec::paper(2, 2);
+        arch.plb.dffs = 2;
+        let mut cfg = FabricConfig::empty("d", arch);
+        let plb = cfg.plb_mut(0, 0);
+        plb.les[0].used_outputs = vec![LeOutput::Root];
+        plb.les[0].pins_used[0] = true;
+        let u = Utilization::of(&cfg);
+        // Slots: 2×4 + 1 PDE + 2 DFF = 11, used 1.
+        assert!((u.filling.plb_slot - 1.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let text = Utilization::of(&config_with_one_le()).to_string();
+        assert!(text.contains("filling ratio"), "{text}");
+        assert!(text.contains('%'), "{text}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Graphviz DOT export for debugging and documentation figures.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz `digraph`.
+    ///
+    /// Primary inputs are drawn as plain ovals, gates as records labelled
+    /// with their kind, state-holding gates shaded, and primary outputs as
+    /// double circles. The output is stable across runs (iteration follows
+    /// id order) so it can be snapshot-tested.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", escape(self.name()));
+        let _ = writeln!(s, "  rankdir=LR;");
+        for &pi in self.inputs() {
+            let _ = writeln!(
+                s,
+                "  \"{}\" [shape=oval];",
+                escape(self.net(pi).name())
+            );
+        }
+        for (gid, gate) in self.iter_gates() {
+            let fill = if gate.breaks_cycles() {
+                ", style=filled, fillcolor=lightgrey"
+            } else {
+                ""
+            };
+            let label = match gate.kind() {
+                GateKind::Lut(t) => format!("{} lut{}", gate.name(), t.arity()),
+                k => format!("{} {}", gate.name(), k),
+            };
+            let _ = writeln!(
+                s,
+                "  \"{gid}\" [shape=box, label=\"{}\"{fill}];",
+                escape(&label)
+            );
+        }
+        // Edges: driver -> sink gate, labelled by net name when non-trivial.
+        for (gid, gate) in self.iter_gates() {
+            for &input in gate.inputs() {
+                let net = self.net(input);
+                let src = match net.driver() {
+                    Some(d) => format!("\"{d}\""),
+                    None => format!("\"{}\"", escape(net.name())),
+                };
+                let _ = writeln!(s, "  {src} -> \"{gid}\";");
+            }
+        }
+        for &po in self.outputs() {
+            let name = escape(self.net(po).name());
+            let _ = writeln!(s, "  \"out_{name}\" [shape=doublecircle, label=\"{name}\"];");
+            let src = match self.net(po).driver() {
+                Some(d) => format!("\"{d}\""),
+                None => format!("\"{name}\""),
+            };
+            let _ = writeln!(s, "  {src} -> \"out_{name}\";");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn dot_contains_all_parts() {
+        let mut nl = Netlist::new("dot_test");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, y) = nl.add_gate_new(GateKind::Celement, "c0", &[a, b]);
+        nl.mark_output(y);
+        let dot = nl.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"a\""));
+        assert!(dot.contains("c0 c"));
+        assert!(dot.contains("lightgrey"), "state gates are shaded");
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let mut nl = Netlist::new("det");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Not, "n", &[a]);
+        nl.mark_output(y);
+        assert_eq!(nl.to_dot(), nl.to_dot());
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut nl = Netlist::new("has\"quote");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+        nl.mark_output(y);
+        assert!(nl.to_dot().contains("has\\\"quote"));
+    }
+}

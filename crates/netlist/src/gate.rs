@@ -1,0 +1,442 @@
+//! Gate primitives of the asynchronous netlist IR.
+//!
+//! The set is the union of (a) the classic combinational gates, (b) the two
+//! state-holding primitives asynchronous logic cannot live without — the
+//! Muller [`GateKind::Celement`] and the transparent [`GateKind::Latch`] —
+//! and (c) a generic [`GateKind::Lut`] plus a pure [`GateKind::Delay`],
+//! which are the two primitives the MSAF fabric actually implements in its
+//! logic elements and programmable delay elements.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum LUT arity representable by [`LutTable`] (the fabric's multi-output
+/// LUT has 7 inputs, so 7 is all the tool-chain ever needs).
+pub const MAX_LUT_INPUTS: usize = 7;
+
+/// Truth table of a `k`-input look-up table, `k ≤ 7`.
+///
+/// Bit `i` of [`LutTable::bits`] is the output for the input pattern whose
+/// integer value is `i`, with input pin 0 as the least-significant bit.
+///
+/// ```
+/// use msaf_netlist::LutTable;
+///
+/// let xor2 = LutTable::from_fn(2, |bits| bits[0] ^ bits[1]);
+/// assert!(xor2.eval(&[true, false]));
+/// assert!(!xor2.eval(&[true, true]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LutTable {
+    bits: u128,
+    arity: u8,
+}
+
+impl LutTable {
+    /// Creates a table from raw bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity > 7` or if `bits` has a set bit beyond `2^arity`.
+    #[must_use]
+    pub fn new(arity: usize, bits: u128) -> Self {
+        assert!(arity <= MAX_LUT_INPUTS, "LUT arity {arity} exceeds 7");
+        if arity < 7 {
+            let mask = (1u128 << (1 << arity)) - 1;
+            assert_eq!(bits & !mask, 0, "truth-table bits exceed arity {arity}");
+        }
+        Self {
+            bits,
+            arity: arity as u8,
+        }
+    }
+
+    /// Builds the table by enumerating all `2^arity` input patterns.
+    ///
+    /// The closure receives the pin values with pin 0 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity > 7`.
+    #[must_use]
+    pub fn from_fn(arity: usize, mut f: impl FnMut(&[bool]) -> bool) -> Self {
+        assert!(arity <= MAX_LUT_INPUTS, "LUT arity {arity} exceeds 7");
+        let mut bits = 0u128;
+        let mut pattern = [false; MAX_LUT_INPUTS];
+        for index in 0..(1usize << arity) {
+            for (pin, slot) in pattern.iter_mut().enumerate().take(arity) {
+                *slot = (index >> pin) & 1 == 1;
+            }
+            if f(&pattern[..arity]) {
+                bits |= 1 << index;
+            }
+        }
+        Self {
+            bits,
+            arity: arity as u8,
+        }
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Raw truth-table bits (bit `i` = output for input pattern `i`).
+    #[must_use]
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Evaluates the table for one input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "LUT input arity mismatch");
+        let mut index = 0usize;
+        for (pin, &v) in inputs.iter().enumerate() {
+            if v {
+                index |= 1 << pin;
+            }
+        }
+        (self.bits >> index) & 1 == 1
+    }
+
+    /// The constant-`value` table of arity 0.
+    #[must_use]
+    pub fn constant(value: bool) -> Self {
+        Self {
+            bits: u128::from(value),
+            arity: 0,
+        }
+    }
+
+    /// 3-input majority function — the core of a looped-LUT C-element
+    /// (`maj(a, b, feedback)` holds its value while `a != b`).
+    #[must_use]
+    pub fn majority3() -> Self {
+        Self::from_fn(3, |b| (b[0] & b[1]) | (b[0] & b[2]) | (b[1] & b[2]))
+    }
+
+    /// True when the function actually depends on `pin` (flipping it
+    /// changes the output for at least one input assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin >= arity`.
+    #[must_use]
+    pub fn depends_on(&self, pin: usize) -> bool {
+        assert!(pin < self.arity(), "pin {pin} out of range");
+        (0..(1usize << self.arity())).any(|index| {
+            let flipped = index ^ (1 << pin);
+            ((self.bits >> index) & 1) != ((self.bits >> flipped) & 1)
+        })
+    }
+
+    /// Returns the number of input pins the function actually depends on.
+    ///
+    /// A pin is *vacuous* when flipping it never changes the output; such
+    /// pins do not count. Used by utilisation metrics.
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        (0..self.arity()).filter(|&pin| self.depends_on(pin)).count()
+    }
+}
+
+/// The kind of a gate instance.
+///
+/// Arity rules (checked by [`crate::Netlist::add_gate`]) are documented per
+/// variant; "n-ary" means two or more inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Non-inverting buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// n-ary AND.
+    And,
+    /// n-ary OR.
+    Or,
+    /// n-ary NAND.
+    Nand,
+    /// n-ary NOR.
+    Nor,
+    /// n-ary XOR (odd parity).
+    Xor,
+    /// n-ary XNOR (even parity).
+    Xnor,
+    /// 2:1 multiplexer; inputs are `[sel, d0, d1]`, output is `d1` when
+    /// `sel` is high, else `d0`.
+    Mux2,
+    /// n-ary Muller C-element: output goes high when **all** inputs are
+    /// high, low when **all** inputs are low, and otherwise holds its
+    /// previous value. The canonical asynchronous synchronisation
+    /// primitive ([Sparsø & Furber], the paper's reference [9]).
+    ///
+    /// [Sparsø & Furber]: https://doi.org/10.1007/978-1-4757-3385-0
+    Celement,
+    /// Asymmetric C-element used by some controllers: inputs are
+    /// `[set_and_hold..]` like a plain C-element, except the **last** input
+    /// only participates in the rising condition (a "plus" input in the
+    /// usual asymmetric-C notation). Arity ≥ 2.
+    CelementPlus,
+    /// Transparent latch; inputs are `[en, d]`. Transparent while `en` is
+    /// high, opaque (holding) while low — the capture element of
+    /// bundled-data micropipeline stages.
+    Latch,
+    /// Generic look-up table (arity = `table.arity()`, 0 to 7 inputs).
+    Lut(LutTable),
+    /// Pure transport delay of `amount` simulator time units (1 input).
+    /// This is the netlist-level view of the fabric's programmable delay
+    /// element; the CAD timing step assigns the final tap count.
+    Delay(u32),
+    /// Constant driver (0 inputs).
+    Const(bool),
+}
+
+impl GateKind {
+    /// The exact arity this kind requires, or `None` when n-ary (≥ 2).
+    #[must_use]
+    pub fn fixed_arity(&self) -> Option<usize> {
+        match self {
+            GateKind::Buf | GateKind::Not | GateKind::Delay(_) => Some(1),
+            GateKind::Mux2 => Some(3),
+            GateKind::Latch => Some(2),
+            GateKind::Lut(t) => Some(t.arity()),
+            GateKind::Const(_) => Some(0),
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+            | GateKind::Celement
+            | GateKind::CelementPlus => None,
+        }
+    }
+
+    /// Whether `n_inputs` is a legal arity for this kind.
+    #[must_use]
+    pub fn accepts_arity(&self, n_inputs: usize) -> bool {
+        match self.fixed_arity() {
+            Some(k) => n_inputs == k,
+            None => n_inputs >= 2,
+        }
+    }
+
+    /// True for gates that hold internal state (their output is not a pure
+    /// function of the present inputs). State-holding gates break
+    /// combinational cycles during levelisation and validation.
+    #[must_use]
+    pub fn is_state_holding(&self) -> bool {
+        matches!(
+            self,
+            GateKind::Celement | GateKind::CelementPlus | GateKind::Latch
+        )
+    }
+
+    /// Two-valued evaluation given the current inputs and, for
+    /// state-holding kinds, the previous output value.
+    ///
+    /// This is the *reference semantics* shared by the simulator, the
+    /// technology mapper and the post-bitstream equivalence checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity of `inputs` is illegal for this kind.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool], previous: bool) -> bool {
+        assert!(
+            self.accepts_arity(inputs.len()),
+            "gate {self:?} cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Buf | GateKind::Delay(_) => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Mux2 => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            GateKind::Celement => {
+                if inputs.iter().all(|&b| b) {
+                    true
+                } else if inputs.iter().all(|&b| !b) {
+                    false
+                } else {
+                    previous
+                }
+            }
+            GateKind::CelementPlus => {
+                let (plus, symmetric) = inputs.split_last().expect("arity >= 2");
+                if symmetric.iter().all(|&b| b) && *plus {
+                    true
+                } else if symmetric.iter().all(|&b| !b) {
+                    false
+                } else {
+                    previous
+                }
+            }
+            GateKind::Latch => {
+                if inputs[0] {
+                    inputs[1]
+                } else {
+                    previous
+                }
+            }
+            GateKind::Lut(t) => t.eval(inputs),
+            GateKind::Const(v) => *v,
+        }
+    }
+
+    /// Short mnemonic used in reports and DOT output.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux2 => "mux2",
+            GateKind::Celement => "c",
+            GateKind::CelementPlus => "c+",
+            GateKind::Latch => "latch",
+            GateKind::Lut(_) => "lut",
+            GateKind::Delay(_) => "delay",
+            GateKind::Const(false) => "const0",
+            GateKind::Const(true) => "const1",
+        }
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateKind::Lut(t) => write!(f, "lut{}", t.arity()),
+            GateKind::Delay(d) => write!(f, "delay({d})"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_from_fn_matches_eval() {
+        let t = LutTable::from_fn(3, |b| b[0] & (b[1] | b[2]));
+        for i in 0..8u32 {
+            let bits = [(i & 1) == 1, (i & 2) == 2, (i & 4) == 4];
+            assert_eq!(t.eval(&bits), bits[0] & (bits[1] | bits[2]), "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn lut_constant_tables() {
+        assert!(LutTable::constant(true).eval(&[]));
+        assert!(!LutTable::constant(false).eval(&[]));
+    }
+
+    #[test]
+    fn majority3_holds_on_tie() {
+        let m = LutTable::majority3();
+        // With feedback low, needs both inputs high to rise.
+        assert!(!m.eval(&[true, false, false]));
+        assert!(m.eval(&[true, true, false]));
+        // With feedback high, holds until both inputs low.
+        assert!(m.eval(&[true, false, true]));
+        assert!(!m.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn support_size_ignores_vacuous_pins() {
+        // f = b[0], padded to arity 3.
+        let t = LutTable::from_fn(3, |b| b[0]);
+        assert_eq!(t.support_size(), 1);
+        assert_eq!(LutTable::majority3().support_size(), 3);
+        assert_eq!(LutTable::constant(true).support_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn lut_new_rejects_excess_bits() {
+        let _ = LutTable::new(1, 0b100);
+    }
+
+    #[test]
+    fn celement_semantics() {
+        let c = GateKind::Celement;
+        assert!(!c.eval(&[true, false], false));
+        assert!(c.eval(&[true, true], false));
+        assert!(c.eval(&[true, false], true));
+        assert!(!c.eval(&[false, false], true));
+    }
+
+    #[test]
+    fn celement_plus_rises_only_with_plus_input() {
+        let c = GateKind::CelementPlus;
+        // symmetric inputs high but plus low: hold.
+        assert!(!c.eval(&[true, true, false], false));
+        assert!(c.eval(&[true, true, true], false));
+        // falls when symmetric inputs low regardless of plus.
+        assert!(!c.eval(&[false, false, true], true));
+        // holds otherwise.
+        assert!(c.eval(&[true, false, false], true));
+    }
+
+    #[test]
+    fn latch_transparent_and_hold() {
+        let l = GateKind::Latch;
+        assert!(l.eval(&[true, true], false));
+        assert!(!l.eval(&[true, false], true));
+        assert!(l.eval(&[false, false], true));
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let m = GateKind::Mux2;
+        assert!(!m.eval(&[false, false, true], false));
+        assert!(m.eval(&[true, false, true], false));
+    }
+
+    #[test]
+    fn parity_gates() {
+        assert!(GateKind::Xor.eval(&[true, true, true], false));
+        assert!(!GateKind::Xor.eval(&[true, true], false));
+        assert!(GateKind::Xnor.eval(&[true, true], false));
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(4));
+        assert!(!GateKind::And.accepts_arity(1));
+        assert!(GateKind::Const(true).accepts_arity(0));
+        assert!(GateKind::Lut(LutTable::majority3()).accepts_arity(3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(GateKind::Celement.to_string(), "c");
+        assert_eq!(GateKind::Lut(LutTable::majority3()).to_string(), "lut3");
+        assert_eq!(GateKind::Delay(5).to_string(), "delay(5)");
+    }
+}

@@ -1,0 +1,96 @@
+//! Strongly-typed index newtypes used across the tool-chain.
+//!
+//! Every entity in a [`crate::Netlist`] is referred to by a compact `u32`
+//! index wrapped in a dedicated newtype, so that a net index can never be
+//! confused with a gate index ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[must_use]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("index overflows u32"))
+            }
+
+            /// Returns the raw index, usable to address a `Vec`.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a net (a single wire) inside a [`crate::Netlist`].
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a gate instance inside a [`crate::Netlist`].
+    GateId,
+    "g"
+);
+id_type!(
+    /// Identifier of a handshake [`crate::Channel`] inside a [`crate::Netlist`].
+    ChannelId,
+    "ch"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = NetId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NetId::new(3).to_string(), "n3");
+        assert_eq!(GateId::new(7).to_string(), "g7");
+        assert_eq!(ChannelId::new(0).to_string(), "ch0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(GateId::new(5), GateId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn new_panics_on_overflow() {
+        let _ = NetId::new(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

@@ -1,0 +1,128 @@
+//! Netlist statistics used by reports and experiment tables.
+
+
+use crate::netlist::Netlist;
+use crate::topo::levelize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Total gate count.
+    pub gates: usize,
+    /// Total net count.
+    pub nets: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate count per kind mnemonic (e.g. `"c"`, `"lut"`, `"and"`).
+    pub by_kind: BTreeMap<String, usize>,
+    /// State-holding + feedback-marked gates.
+    pub state_gates: usize,
+    /// Combinational depth (0 when levelisation fails).
+    pub depth: usize,
+    /// Maximum fanout over all nets.
+    pub max_fanout: usize,
+    /// Number of handshake channels.
+    pub channels: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut state_gates = 0;
+        for (_, g) in netlist.iter_gates() {
+            *by_kind.entry(g.kind().mnemonic().to_string()).or_insert(0) += 1;
+            if g.breaks_cycles() {
+                state_gates += 1;
+            }
+        }
+        let depth = levelize(netlist).map(|l| l.depth()).unwrap_or(0);
+        let max_fanout = netlist
+            .nets()
+            .iter()
+            .map(|n| n.sinks().len())
+            .max()
+            .unwrap_or(0);
+        Self {
+            gates: netlist.gates().len(),
+            nets: netlist.nets().len(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            by_kind,
+            state_gates,
+            depth,
+            max_fanout,
+            channels: netlist.channels().len(),
+        }
+    }
+
+    /// Count of gates of the given mnemonic.
+    #[must_use]
+    pub fn kind_count(&self, mnemonic: &str) -> usize {
+        self.by_kind.get(mnemonic).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gates={} nets={} pi={} po={} state={} depth={} max_fanout={} channels={}",
+            self.gates,
+            self.nets,
+            self.inputs,
+            self.outputs,
+            self.state_gates,
+            self.depth,
+            self.max_fanout,
+            self.channels
+        )?;
+        for (kind, count) in &self.by_kind {
+            writeln!(f, "  {kind:>8}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn counts_are_correct() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, y0) = nl.add_gate_new(GateKind::And, "g0", &[a, b]);
+        let (_, y1) = nl.add_gate_new(GateKind::Celement, "c0", &[y0, b]);
+        nl.mark_output(y1);
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.gates, 2);
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.outputs, 1);
+        assert_eq!(st.state_gates, 1);
+        assert_eq!(st.kind_count("and"), 1);
+        assert_eq!(st.kind_count("c"), 1);
+        assert_eq!(st.kind_count("xor"), 0);
+        assert_eq!(st.depth, 2);
+        // b fans out to g0 and c0.
+        assert_eq!(st.max_fanout, 2);
+    }
+
+    #[test]
+    fn display_mentions_kinds() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Not, "n", &[a]);
+        nl.mark_output(y);
+        let text = NetlistStats::of(&nl).to_string();
+        assert!(text.contains("not"), "{text}");
+        assert!(text.contains("gates=1"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Structural validation of netlists.
+//!
+//! Hazard-freedom starts with structural hygiene: undriven nets, dangling
+//! logic and unintended combinational loops are exactly the defects that
+//! turn into glitches on silicon. [`Netlist::validate`] collects every
+//! issue instead of stopping at the first, so generators can assert
+//! [`Validation::is_clean`] in their tests and get a full diff on failure.
+
+use crate::ids::{ChannelId, GateId, NetId};
+use crate::netlist::Netlist;
+use crate::topo::levelize;
+use std::fmt;
+
+/// How serious an [`Issue`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The netlist is unusable for mapping/simulation.
+    Error,
+    /// Suspicious but tolerated (e.g. an unused net).
+    Warning,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    /// A net is consumed (gate input or primary output) but never driven.
+    UndrivenNet(NetId),
+    /// A net drives nothing and is not a primary output.
+    DanglingNet(NetId),
+    /// A combinational cycle with no state-holding/feedback gate.
+    CombinationalLoop(Vec<GateId>),
+    /// A channel annotation references a net with neither driver nor
+    /// primary-input status.
+    ChannelUndrivenNet(ChannelId, NetId),
+    /// Duplicate net name.
+    DuplicateNetName(String),
+    /// Duplicate gate name.
+    DuplicateGateName(String),
+}
+
+impl Issue {
+    /// Severity classification of this issue kind.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            Issue::UndrivenNet(_)
+            | Issue::CombinationalLoop(_)
+            | Issue::ChannelUndrivenNet(..) => Severity::Error,
+            Issue::DanglingNet(_) | Issue::DuplicateNetName(_) | Issue::DuplicateGateName(_) => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Issue::UndrivenNet(n) => write!(f, "net {n} is consumed but never driven"),
+            Issue::DanglingNet(n) => write!(f, "net {n} drives nothing"),
+            Issue::CombinationalLoop(gs) => {
+                write!(f, "combinational loop through {} gates", gs.len())
+            }
+            Issue::ChannelUndrivenNet(c, n) => {
+                write!(f, "channel {c} references undriven net {n}")
+            }
+            Issue::DuplicateNetName(s) => write!(f, "duplicate net name '{s}'"),
+            Issue::DuplicateGateName(s) => write!(f, "duplicate gate name '{s}'"),
+        }
+    }
+}
+
+/// The result of [`Netlist::validate`].
+#[derive(Debug, Clone, Default)]
+pub struct Validation {
+    issues: Vec<Issue>,
+}
+
+impl Validation {
+    /// All findings, errors first.
+    #[must_use]
+    pub fn issues(&self) -> &[Issue] {
+        &self.issues
+    }
+
+    /// Findings of [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Issue> {
+        self.issues
+            .iter()
+            .filter(|i| i.severity() == Severity::Error)
+    }
+
+    /// Findings of [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Issue> {
+        self.issues
+            .iter()
+            .filter(|i| i.severity() == Severity::Warning)
+    }
+
+    /// True when there are no errors (warnings allowed).
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// True when there are no findings at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl fmt::Display for Validation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.issues.is_empty() {
+            return f.write_str("clean");
+        }
+        for issue in &self.issues {
+            writeln!(
+                f,
+                "{}: {}",
+                match issue.severity() {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                },
+                issue
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Netlist {
+    /// Runs all structural checks and returns the collected findings.
+    #[must_use]
+    pub fn validate(&self) -> Validation {
+        let mut issues = Vec::new();
+
+        // Undriven nets that are actually consumed.
+        for (id, net) in self.iter_nets() {
+            let consumed = !net.sinks().is_empty() || self.outputs().contains(&id);
+            if consumed && net.driver().is_none() && !net.is_primary_input() {
+                issues.push(Issue::UndrivenNet(id));
+            }
+            let produces = net.driver().is_some() || net.is_primary_input();
+            if produces && net.sinks().is_empty() && !self.outputs().contains(&id) {
+                issues.push(Issue::DanglingNet(id));
+            }
+        }
+
+        // Unbroken combinational loops.
+        if let Err(e) = levelize(self) {
+            issues.push(Issue::CombinationalLoop(e.cyclic_gates));
+        }
+
+        // Channel nets must be driven or primary inputs.
+        for (cid, ch) in self.channels().iter().enumerate() {
+            let cid = ChannelId::new(cid);
+            let mut nets: Vec<NetId> = ch.data().to_vec();
+            nets.push(ch.ack());
+            if let Some(r) = ch.req() {
+                nets.push(r);
+            }
+            for n in nets {
+                let net = self.net(n);
+                if net.driver().is_none() && !net.is_primary_input() {
+                    issues.push(Issue::ChannelUndrivenNet(cid, n));
+                }
+            }
+        }
+
+        // Name uniqueness (warning only; ids are the real identity).
+        let mut names = std::collections::HashSet::new();
+        for (_, n) in self.iter_nets() {
+            if !names.insert(n.name().to_string()) {
+                issues.push(Issue::DuplicateNetName(n.name().to_string()));
+            }
+        }
+        names.clear();
+        for (_, g) in self.iter_gates() {
+            if !names.insert(g.name().to_string()) {
+                issues.push(Issue::DuplicateGateName(g.name().to_string()));
+            }
+        }
+
+        issues.sort_by_key(|i| match i.severity() {
+            Severity::Error => 0,
+            Severity::Warning => 1,
+        });
+        Validation { issues }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, ChannelDir, Encoding, Protocol};
+    use crate::gate::GateKind;
+
+    #[test]
+    fn clean_netlist() {
+        let mut nl = Netlist::new("ok");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, y) = nl.add_gate_new(GateKind::And, "g", &[a, b]);
+        nl.mark_output(y);
+        let v = nl.validate();
+        assert!(v.is_clean(), "{v}");
+    }
+
+    #[test]
+    fn undriven_net_is_error() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let floating = nl.add_net("floating");
+        let (_, y) = nl.add_gate_new(GateKind::And, "g", &[a, floating]);
+        nl.mark_output(y);
+        let v = nl.validate();
+        assert!(!v.is_ok());
+        assert!(matches!(v.errors().next(), Some(Issue::UndrivenNet(_))));
+    }
+
+    #[test]
+    fn dangling_net_is_warning() {
+        let mut nl = Netlist::new("warn");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Not, "g", &[a]);
+        nl.mark_output(y);
+        let _unused = nl.add_input("unused");
+        let v = nl.validate();
+        assert!(v.is_ok());
+        assert!(!v.is_clean());
+        assert!(matches!(v.warnings().next(), Some(Issue::DanglingNet(_))));
+    }
+
+    #[test]
+    fn comb_loop_is_error() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_input("a");
+        let y0 = nl.add_net("y0");
+        let y1 = nl.add_net("y1");
+        nl.add_gate(GateKind::Or, "g0", &[a, y1], y0);
+        nl.add_gate(GateKind::Buf, "g1", &[y0], y1);
+        nl.mark_output(y1);
+        let v = nl.validate();
+        assert!(v
+            .errors()
+            .any(|i| matches!(i, Issue::CombinationalLoop(_))));
+    }
+
+    #[test]
+    fn channel_undriven_detected() {
+        let mut nl = Netlist::new("ch");
+        let t = nl.add_input("d_t");
+        let f = nl.add_input("d_f");
+        let ack = nl.add_net("ack"); // never driven!
+        nl.add_channel(Channel::new(
+            "in",
+            ChannelDir::Input,
+            Protocol::FourPhase,
+            Encoding::DualRail { width: 1 },
+            None,
+            ack,
+            vec![t, f],
+        ));
+        let v = nl.validate();
+        assert!(v
+            .errors()
+            .any(|i| matches!(i, Issue::ChannelUndrivenNet(..))));
+    }
+
+    #[test]
+    fn duplicate_names_warned() {
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input("x");
+        let b = nl.add_input("x");
+        let (_, y) = nl.add_gate_new(GateKind::And, "g", &[a, b]);
+        nl.mark_output(y);
+        let v = nl.validate();
+        assert!(v.is_ok());
+        assert!(v
+            .warnings()
+            .any(|i| matches!(i, Issue::DuplicateNetName(_))));
+    }
+
+    #[test]
+    fn display_lists_issues() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let floating = nl.add_net("floating");
+        let (_, y) = nl.add_gate_new(GateKind::And, "g", &[a, floating]);
+        nl.mark_output(y);
+        let text = nl.validate().to_string();
+        assert!(text.contains("error"), "{text}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the netlist IR invariants.
+
+use msaf_netlist::{levelize, GateId, GateKind, LutTable, Netlist};
+use proptest::prelude::*;
+
+/// Builds a random DAG netlist: `n_inputs` primary inputs, then `n_gates`
+/// gates each consuming 1–3 previously-created nets.
+fn random_dag(n_inputs: usize, picks: &[(u8, Vec<u16>)]) -> Netlist {
+    let mut nl = Netlist::new("prop_dag");
+    let mut nets: Vec<_> = (0..n_inputs)
+        .map(|i| nl.add_input(format!("i{i}")))
+        .collect();
+    for (gi, (kind_sel, srcs)) in picks.iter().enumerate() {
+        let avail = nets.len();
+        let ins: Vec<_> = srcs
+            .iter()
+            .map(|&s| nets[s as usize % avail])
+            .take(3.min(srcs.len()))
+            .collect();
+        let (kind, ins) = match kind_sel % 5 {
+            0 => (GateKind::Not, vec![ins[0]]),
+            1 => (GateKind::And, pad2(&ins, &nets)),
+            2 => (GateKind::Or, pad2(&ins, &nets)),
+            3 => (GateKind::Xor, pad2(&ins, &nets)),
+            _ => (GateKind::Celement, pad2(&ins, &nets)),
+        };
+        let (_, y) = nl.add_gate_new(kind, format!("g{gi}"), &ins);
+        nets.push(y);
+    }
+    // Every sink-less net becomes an output so validation has no dangling
+    // warnings to report.
+    for (id, net) in nl
+        .iter_nets()
+        .map(|(id, n)| (id, n.sinks().is_empty()))
+        .collect::<Vec<_>>()
+    {
+        if net {
+            nl.mark_output(id);
+        }
+    }
+    nl
+}
+
+fn pad2(
+    ins: &[msaf_netlist::NetId],
+    nets: &[msaf_netlist::NetId],
+) -> Vec<msaf_netlist::NetId> {
+    if ins.len() >= 2 {
+        ins.to_vec()
+    } else {
+        vec![ins[0], nets[0]]
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_dags_validate_clean(
+        n_inputs in 1usize..6,
+        picks in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u16>(), 1..4)),
+            1..40,
+        ),
+    ) {
+        let nl = random_dag(n_inputs, &picks);
+        let v = nl.validate();
+        prop_assert!(v.is_clean(), "{v}");
+    }
+
+    #[test]
+    fn levelize_respects_dependencies(
+        n_inputs in 1usize..6,
+        picks in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u16>(), 1..4)),
+            1..40,
+        ),
+    ) {
+        let nl = random_dag(n_inputs, &picks);
+        let levels = levelize(&nl).expect("DAG levelises");
+        // position[g] = topological position
+        let order: Vec<GateId> = levels.iter().collect();
+        let mut pos = vec![usize::MAX; nl.gates().len()];
+        for (i, g) in order.iter().enumerate() {
+            pos[g.index()] = i;
+        }
+        prop_assert_eq!(order.len(), nl.gates().len());
+        for (gid, gate) in nl.iter_gates() {
+            for &input in gate.inputs() {
+                if let Some(driver) = nl.net(input).driver() {
+                    if !nl.gate(driver).breaks_cycles() {
+                        prop_assert!(
+                            pos[driver.index()] < pos[gid.index()],
+                            "driver {driver} of {gid} ordered after it"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_from_fn_eval_roundtrip(arity in 0usize..=7, bits in any::<u128>()) {
+        let mask = if arity == 7 { u128::MAX } else { (1u128 << (1usize << arity)) - 1 };
+        let table = LutTable::new(arity, bits & mask);
+        let rebuilt = LutTable::from_fn(arity, |ins| table.eval(ins));
+        prop_assert_eq!(table, rebuilt);
+        prop_assert!(table.support_size() <= arity);
+    }
+
+    #[test]
+    fn demorgan_dualities(ins in proptest::collection::vec(any::<bool>(), 2..6)) {
+        prop_assert_eq!(
+            GateKind::Nand.eval(&ins, false),
+            !GateKind::And.eval(&ins, false)
+        );
+        prop_assert_eq!(
+            GateKind::Nor.eval(&ins, false),
+            !GateKind::Or.eval(&ins, false)
+        );
+        prop_assert_eq!(
+            GateKind::Xnor.eval(&ins, false),
+            !GateKind::Xor.eval(&ins, false)
+        );
+    }
+
+    #[test]
+    fn celement_is_monotone_latch(a in any::<bool>(), b in any::<bool>(), prev in any::<bool>()) {
+        let out = GateKind::Celement.eval(&[a, b], prev);
+        if a == b {
+            prop_assert_eq!(out, a);
+        } else {
+            prop_assert_eq!(out, prev);
+        }
+    }
+
+    #[test]
+    fn majority_lut_matches_celement(a in any::<bool>(), b in any::<bool>(), prev in any::<bool>()) {
+        // The looped-LUT realisation (majority with feedback) and the
+        // primitive C-element agree — the fact the paper's PLB relies on.
+        let lut = LutTable::majority3();
+        prop_assert_eq!(
+            lut.eval(&[a, b, prev]),
+            GateKind::Celement.eval(&[a, b], prev)
+        );
+    }
+}

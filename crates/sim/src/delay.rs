@@ -1,0 +1,197 @@
+//! Pluggable gate-delay models.
+//!
+//! Section 2 of the paper classifies asynchronous styles by their timing
+//! assumptions (DI → QDI → micropipeline). The simulator mirrors this: a
+//! [`DelayModel`] assigns each gate instance a propagation delay once, at
+//! simulator construction, and different models let the same netlist be
+//! exercised under unit delays, technology-flavoured per-kind delays, or
+//! seeded random delays that play the adversary for delay-insensitivity
+//! testing.
+//!
+//! [`msaf_netlist::GateKind::Delay`] gates (the programmable delay
+//! elements) are *not* consulted here — their delay is part of the netlist,
+//! programmed by the CAD timing step.
+
+use msaf_netlist::{GateId, GateKind, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assigns a propagation delay (in simulator time units, ≥ 1) to every
+/// gate of a netlist at simulator construction time.
+pub trait DelayModel {
+    /// Delay of gate `gate` of `kind` in `netlist`.
+    fn gate_delay(&self, netlist: &Netlist, gate: GateId, kind: &GateKind) -> u64;
+}
+
+/// Every gate has the same fixed delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedDelay(u64);
+
+impl FixedDelay {
+    /// Creates the model; `delay` is clamped to at least 1.
+    #[must_use]
+    pub fn new(delay: u64) -> Self {
+        Self(delay.max(1))
+    }
+}
+
+impl Default for FixedDelay {
+    fn default() -> Self {
+        Self(1)
+    }
+}
+
+impl DelayModel for FixedDelay {
+    fn gate_delay(&self, _netlist: &Netlist, _gate: GateId, _kind: &GateKind) -> u64 {
+        self.0
+    }
+}
+
+/// Technology-flavoured delays: simple gates are fast, wide gates, LUTs
+/// and state-holding elements slower. Roughly mirrors relative CMOS cell
+/// delays; absolute units are arbitrary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerKindDelay {
+    /// Additional delay added to every gate (models local wiring).
+    pub wire_overhead: u64,
+}
+
+impl PerKindDelay {
+    /// Creates the model with zero wire overhead.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Base delay for a gate kind, before wire overhead.
+    #[must_use]
+    pub fn base_delay(kind: &GateKind) -> u64 {
+        match kind {
+            GateKind::Buf | GateKind::Const(_) => 1,
+            GateKind::Not => 1,
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => 2,
+            GateKind::Xor | GateKind::Xnor | GateKind::Mux2 => 3,
+            GateKind::Celement | GateKind::CelementPlus => 4,
+            GateKind::Latch => 3,
+            // A LUT's delay is dominated by its mux tree: one unit per level.
+            GateKind::Lut(t) => 1 + t.arity() as u64,
+            // Netlist-programmed; the engine uses the gate's own amount.
+            GateKind::Delay(_) => 1,
+        }
+    }
+}
+
+impl DelayModel for PerKindDelay {
+    fn gate_delay(&self, _netlist: &Netlist, _gate: GateId, kind: &GateKind) -> u64 {
+        Self::base_delay(kind) + self.wire_overhead
+    }
+}
+
+/// Adversarial model for delay-insensitivity stress: each gate gets an
+/// independent delay drawn uniformly from `[lo, hi]`, deterministically
+/// derived from `seed` and the gate id (so a given seed is reproducible
+/// and two simulators built with the same seed agree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDelay {
+    seed: u64,
+    lo: u64,
+    hi: u64,
+}
+
+impl RandomDelay {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi`.
+    #[must_use]
+    pub fn new(seed: u64, lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1, "delays must be at least 1");
+        assert!(lo <= hi, "empty delay range");
+        Self { seed, lo, hi }
+    }
+
+    /// The seed this model was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl DelayModel for RandomDelay {
+    fn gate_delay(&self, _netlist: &Netlist, gate: GateId, _kind: &GateKind) -> u64 {
+        // Derive a per-gate RNG so delays don't depend on query order.
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (gate.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_netlist::Netlist;
+
+    fn nl() -> Netlist {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Not, "n", &[a]);
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn fixed_clamps_to_one() {
+        let nl = nl();
+        let m = FixedDelay::new(0);
+        assert_eq!(m.gate_delay(&nl, GateId::new(0), &GateKind::Not), 1);
+    }
+
+    #[test]
+    fn per_kind_ordering() {
+        assert!(
+            PerKindDelay::base_delay(&GateKind::Celement)
+                > PerKindDelay::base_delay(&GateKind::And)
+        );
+        assert!(
+            PerKindDelay::base_delay(&GateKind::Lut(msaf_netlist::LutTable::majority3()))
+                > PerKindDelay::base_delay(&GateKind::Not)
+        );
+    }
+
+    #[test]
+    fn per_kind_wire_overhead_added() {
+        let nl = nl();
+        let m = PerKindDelay { wire_overhead: 10 };
+        assert_eq!(m.gate_delay(&nl, GateId::new(0), &GateKind::Not), 11);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let nl = nl();
+        let m = RandomDelay::new(7, 2, 9);
+        let d1 = m.gate_delay(&nl, GateId::new(0), &GateKind::Not);
+        let d2 = m.gate_delay(&nl, GateId::new(0), &GateKind::Not);
+        assert_eq!(d1, d2);
+        assert!((2..=9).contains(&d1));
+    }
+
+    #[test]
+    fn random_differs_across_gates_and_seeds() {
+        let nl = nl();
+        let m = RandomDelay::new(7, 1, 1000);
+        let a = m.gate_delay(&nl, GateId::new(0), &GateKind::Not);
+        let b = m.gate_delay(&nl, GateId::new(1), &GateKind::Not);
+        let c = RandomDelay::new(8, 1, 1000).gate_delay(&nl, GateId::new(0), &GateKind::Not);
+        // Not a hard guarantee, but with a 1000-wide range collisions of
+        // both pairs at once would indicate a broken derivation.
+        assert!(a != b || a != c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn random_rejects_zero_lo() {
+        let _ = RandomDelay::new(0, 0, 5);
+    }
+}

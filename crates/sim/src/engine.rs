@@ -1,0 +1,622 @@
+//! The event-driven simulation engine.
+//!
+//! Semantics:
+//!
+//! * Logic gates use **inertial delay**: a gate whose evaluation changes
+//!   schedules its output transition `delay` units later; if the inputs
+//!   revert before the transition commits, the pending transition is
+//!   cancelled and recorded as a [`Glitch`] (an input pulse shorter than
+//!   the gate delay — the physical mechanism behind hazards).
+//! * [`msaf_netlist::GateKind::Delay`] gates use **transport delay**: every
+//!   input edge is faithfully reproduced `amount` units later, which is how
+//!   the fabric's programmable delay element behaves.
+//! * State-holding gates (C-elements, latches, feedback-marked LUTs)
+//!   evaluate against their *committed* output value, so combinational
+//!   loops through them are well-defined.
+//!
+//! The engine is deterministic: simultaneous events are processed in
+//! schedule order (a monotone sequence number breaks ties).
+
+use crate::delay::DelayModel;
+use crate::trace::Trace;
+use msaf_netlist::{GateId, GateKind, NetId, Netlist};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation timestamp, in abstract delay units.
+pub type SimTime = u64;
+
+/// A filtered input pulse: gate `gate` had a scheduled output transition
+/// cancelled at `time` because its inputs reverted within one gate delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Glitch {
+    /// The gate whose pending transition was cancelled.
+    pub gate: GateId,
+    /// When the cancellation happened.
+    pub time: SimTime,
+}
+
+/// Errors from simulation runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted before quiescence — the circuit is
+    /// oscillating or the budget was too small.
+    EventLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+        /// Simulation time reached.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EventLimit { limit, at } => {
+                write!(f, "event limit {limit} exhausted at t={at} (oscillation?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    net: NetId,
+    value: bool,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    seq: u64,
+    value: bool,
+}
+
+/// The simulator. Borrows the netlist; all mutable state lives here.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    /// Committed value of every net.
+    values: Vec<bool>,
+    /// Per-gate propagation delay chosen by the delay model.
+    delays: Vec<u64>,
+    /// Pending inertial transition per gate (seq identifies the queue entry).
+    pending: Vec<Option<Pending>>,
+    queue: BinaryHeap<Reverse<Ev>>,
+    /// Sequence numbers of lazily-cancelled events still in the queue.
+    cancelled: std::collections::HashSet<u64>,
+    seq: u64,
+    now: SimTime,
+    glitches: Vec<Glitch>,
+    transition_count: Vec<u64>,
+    trace: Trace,
+    events_processed: u64,
+    /// Scratch: gate ids to (re)evaluate after the current timestep.
+    dirty: Vec<GateId>,
+    dirty_stamp: Vec<u64>,
+    stamp: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator over `netlist` with per-gate delays drawn from
+    /// `model`, resets every net to its reset value (primary inputs low,
+    /// gate outputs at [`msaf_netlist::Gate::init`]) and marks all gates
+    /// for initial evaluation — call [`Simulator::settle`] (or any run
+    /// method) to let the circuit power up.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, model: &dyn DelayModel) -> Self {
+        let n_nets = netlist.nets().len();
+        let n_gates = netlist.gates().len();
+        let mut values = vec![false; n_nets];
+        let mut delays = vec![1u64; n_gates];
+        for (gid, gate) in netlist.iter_gates() {
+            values[gate.output().index()] = gate.init();
+            delays[gid.index()] = match gate.kind() {
+                // Transport elements own their delay.
+                GateKind::Delay(amount) => u64::from(*amount).max(1),
+                kind => model.gate_delay(netlist, gid, kind).max(1),
+            };
+        }
+        let mut sim = Self {
+            nl: netlist,
+            values,
+            delays,
+            pending: vec![None; n_gates],
+            queue: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            seq: 0,
+            now: 0,
+            glitches: Vec::new(),
+            transition_count: vec![0; n_nets],
+            trace: Trace::new(),
+            events_processed: 0,
+            dirty: Vec::new(),
+            dirty_stamp: vec![0; n_gates],
+            // Starts at 1 so the zero-initialised dirty stamps are stale.
+            stamp: 1,
+        };
+        // Power-up: evaluate every gate once at t=0.
+        for (gid, _) in netlist.iter_gates() {
+            sim.mark_dirty(gid);
+        }
+        sim.evaluate_dirty();
+        sim
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Committed value of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Number of committed transitions seen on `net` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn transitions(&self, net: NetId) -> u64 {
+        self.transition_count[net.index()]
+    }
+
+    /// Glitches (inertially filtered pulses) recorded so far.
+    #[must_use]
+    pub fn glitches(&self) -> &[Glitch] {
+        &self.glitches
+    }
+
+    /// Total events committed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Enables waveform recording for `net` (see [`Trace`]).
+    pub fn watch(&mut self, net: NetId) {
+        self.trace.watch(net, self.now, self.values[net.index()]);
+    }
+
+    /// The recorded waveform trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The per-gate delay the model assigned (delay gates report their
+    /// programmed amount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    #[must_use]
+    pub fn gate_delay(&self, gate: GateId) -> u64 {
+        self.delays[gate.index()]
+    }
+
+    /// Schedules primary input `net` to take `value` at `now + delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, value: bool, delay: u64) {
+        assert!(
+            self.nl.net(net).is_primary_input(),
+            "{net} is not a primary input"
+        );
+        self.push_event(self.now + delay, net, value);
+    }
+
+    fn push_event(&mut self, time: SimTime, net: NetId, value: bool) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Ev {
+            time,
+            seq,
+            net,
+            value,
+        }));
+        seq
+    }
+
+    fn mark_dirty(&mut self, gate: GateId) {
+        if self.dirty_stamp[gate.index()] != self.stamp {
+            self.dirty_stamp[gate.index()] = self.stamp;
+            self.dirty.push(gate);
+        }
+    }
+
+    /// Applies one committed net change, returns whether the value changed.
+    fn apply(&mut self, net: NetId, value: bool) -> bool {
+        if self.values[net.index()] == value {
+            return false;
+        }
+        self.values[net.index()] = value;
+        self.transition_count[net.index()] += 1;
+        self.trace.record(net, self.now, value);
+        true
+    }
+
+    /// Evaluates all dirty gates, scheduling/cancelling output transitions.
+    fn evaluate_dirty(&mut self) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for gid in dirty {
+            let gate = self.nl.gate(gid);
+            let out = gate.output();
+            let committed = self.values[out.index()];
+
+            if let GateKind::Delay(_) = gate.kind() {
+                // Transport: schedule the present input value; dedup against
+                // the last scheduled value via pending (transport elements
+                // still coalesce identical consecutive levels).
+                let input = self.values[gate.inputs()[0].index()];
+                let last_target = self.pending[gid.index()].map_or(committed, |p| p.value);
+                if input != last_target {
+                    let seq = self.push_event(self.now + self.delays[gid.index()], out, input);
+                    self.pending[gid.index()] = Some(Pending { seq, value: input });
+                }
+                continue;
+            }
+
+            let inputs: Vec<bool> = gate
+                .inputs()
+                .iter()
+                .map(|&n| self.values[n.index()])
+                .collect();
+            let target = gate.kind().eval(&inputs, committed);
+
+            match self.pending[gid.index()] {
+                Some(p) if p.value == target => {
+                    // Already heading there.
+                }
+                Some(p) => {
+                    // Pending transition contradicted: inertial cancellation.
+                    self.cancel(p.seq);
+                    self.pending[gid.index()] = None;
+                    self.glitches.push(Glitch {
+                        gate: gid,
+                        time: self.now,
+                    });
+                    if target != committed {
+                        let seq =
+                            self.push_event(self.now + self.delays[gid.index()], out, target);
+                        self.pending[gid.index()] = Some(Pending { seq, value: target });
+                    }
+                }
+                None => {
+                    if target != committed {
+                        let seq =
+                            self.push_event(self.now + self.delays[gid.index()], out, target);
+                        self.pending[gid.index()] = Some(Pending { seq, value: target });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lazy cancellation: remember the seq; the event is dropped when popped.
+    fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    /// Processes every event at the next pending timestep.
+    ///
+    /// Returns `false` when the queue is empty (quiescent).
+    pub fn step(&mut self) -> bool {
+        let Some(&Reverse(first)) = self.queue.peek() else {
+            return false;
+        };
+        let t = first.time;
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.stamp += 1;
+
+        while let Some(&Reverse(ev)) = self.queue.peek() {
+            if ev.time != t {
+                break;
+            }
+            self.queue.pop();
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.events_processed += 1;
+            // Clear pending marker when a gate-output event commits.
+            if let Some(driver) = self.nl.net(ev.net).driver() {
+                if let Some(p) = self.pending[driver.index()] {
+                    if p.seq == ev.seq {
+                        self.pending[driver.index()] = None;
+                    }
+                }
+            }
+            if self.apply(ev.net, ev.value) {
+                let sinks: Vec<GateId> = self
+                    .nl
+                    .net(ev.net)
+                    .sinks()
+                    .iter()
+                    .map(|s| s.gate)
+                    .collect();
+                for g in sinks {
+                    self.mark_dirty(g);
+                }
+            }
+        }
+        self.evaluate_dirty();
+        true
+    }
+
+    /// Runs until the event queue is empty, with an event budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimit`] if more than `max_events` events
+    /// commit before quiescence.
+    pub fn settle(&mut self, max_events: u64) -> Result<(), SimError> {
+        let start = self.events_processed;
+        while self.step() {
+            if self.events_processed - start > max_events {
+                return Err(SimError::EventLimit {
+                    limit: max_events,
+                    at: self.now,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until simulation time exceeds `until` or the queue empties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimit`] if more than `max_events` events
+    /// commit first.
+    pub fn run_until(&mut self, until: SimTime, max_events: u64) -> Result<(), SimError> {
+        let start = self.events_processed;
+        loop {
+            match self.queue.peek() {
+                None => return Ok(()),
+                Some(&Reverse(ev)) if ev.time > until => return Ok(()),
+                Some(_) => {}
+            }
+            self.step();
+            if self.events_processed - start > max_events {
+                return Err(SimError::EventLimit {
+                    limit: max_events,
+                    at: self.now,
+                });
+            }
+        }
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Time of the next pending event, if any.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|&Reverse(ev)| ev.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::FixedDelay;
+    use msaf_netlist::{GateKind, LutTable, Netlist};
+
+    fn settle_all(sim: &mut Simulator<'_>) {
+        sim.settle(1_000_000).expect("settles");
+    }
+
+    #[test]
+    fn inverter_chain_propagates() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let (_, y0) = nl.add_gate_new(GateKind::Not, "n0", &[a]);
+        let (_, y1) = nl.add_gate_new(GateKind::Not, "n1", &[y0]);
+        nl.mark_output(y1);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(3));
+        settle_all(&mut sim);
+        assert!(sim.value(y0));
+        assert!(!sim.value(y1));
+        let t0 = sim.now();
+        sim.set_input(a, true, 1);
+        settle_all(&mut sim);
+        assert!(!sim.value(y0));
+        assert!(sim.value(y1));
+        // a flips at t0+1, n0 at +3, n1 at +3 more.
+        assert_eq!(sim.now(), t0 + 1 + 3 + 3);
+    }
+
+    #[test]
+    fn celement_waits_for_both() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, y) = nl.add_gate_new(GateKind::Celement, "c0", &[a, b]);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(2));
+        settle_all(&mut sim);
+        assert!(!sim.value(y));
+        sim.set_input(a, true, 0);
+        settle_all(&mut sim);
+        assert!(!sim.value(y), "one input is not enough");
+        sim.set_input(b, true, 0);
+        settle_all(&mut sim);
+        assert!(sim.value(y));
+        sim.set_input(a, false, 0);
+        settle_all(&mut sim);
+        assert!(sim.value(y), "C-element holds");
+        sim.set_input(b, false, 0);
+        settle_all(&mut sim);
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn looped_lut_behaves_as_celement() {
+        let mut nl = Netlist::new("c_lut");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        let g = nl.add_gate(GateKind::Lut(LutTable::majority3()), "maj", &[a, b, y], y);
+        nl.mark_feedback(g);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle_all(&mut sim);
+        sim.set_input(a, true, 0);
+        settle_all(&mut sim);
+        assert!(!sim.value(y));
+        sim.set_input(b, true, 0);
+        settle_all(&mut sim);
+        assert!(sim.value(y));
+        sim.set_input(b, false, 0);
+        settle_all(&mut sim);
+        assert!(sim.value(y), "looped LUT holds like a C-element");
+        sim.set_input(a, false, 0);
+        settle_all(&mut sim);
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn inertial_filter_records_glitch() {
+        // AND gate with delay 10; pulse of width 2 on one input while the
+        // other is high must be swallowed and recorded.
+        let mut nl = Netlist::new("glitch");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, y) = nl.add_gate_new(GateKind::And, "g", &[a, b]);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(10));
+        settle_all(&mut sim);
+        sim.set_input(b, true, 0);
+        settle_all(&mut sim);
+        let transitions_before = sim.transitions(y);
+        sim.set_input(a, true, 0);
+        sim.set_input(a, false, 2);
+        settle_all(&mut sim);
+        assert_eq!(
+            sim.transitions(y),
+            transitions_before,
+            "pulse shorter than gate delay must be filtered"
+        );
+        assert_eq!(sim.glitches().len(), 1);
+    }
+
+    #[test]
+    fn transport_delay_passes_short_pulses() {
+        let mut nl = Netlist::new("pde");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Delay(10), "d", &[a]);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle_all(&mut sim);
+        sim.set_input(a, true, 0);
+        sim.set_input(a, false, 2);
+        settle_all(&mut sim);
+        // Both edges arrive, 10 units late each.
+        assert_eq!(sim.transitions(y), 2);
+        assert!(sim.glitches().is_empty());
+    }
+
+    #[test]
+    fn delay_gate_uses_programmed_amount() {
+        let mut nl = Netlist::new("pde2");
+        let a = nl.add_input("a");
+        let (g, y) = nl.add_gate_new(GateKind::Delay(25), "d", &[a]);
+        nl.mark_output(y);
+        let sim = Simulator::new(&nl, &FixedDelay::new(1));
+        assert_eq!(sim.gate_delay(g), 25);
+    }
+
+    #[test]
+    fn quiescence_reporting() {
+        let mut nl = Netlist::new("q");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle_all(&mut sim);
+        assert!(sim.is_quiescent());
+        sim.set_input(a, true, 5);
+        assert!(!sim.is_quiescent());
+        assert_eq!(sim.next_event_time(), Some(5));
+    }
+
+    #[test]
+    fn oscillator_hits_event_limit() {
+        // Ring oscillator: NOT gate feeding itself via feedback marking —
+        // oscillates forever, settle must bail out.
+        let mut nl = Netlist::new("ring");
+        let y = nl.add_net("y");
+        let g = nl.add_gate(GateKind::Not, "inv", &[y], y);
+        nl.mark_feedback(g);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        let err = sim.settle(100).unwrap_err();
+        assert!(matches!(err, SimError::EventLimit { .. }));
+        assert!(err.to_string().contains("oscillation"));
+    }
+
+    #[test]
+    fn latch_transparency() {
+        let mut nl = Netlist::new("latch");
+        let en = nl.add_input("en");
+        let d = nl.add_input("d");
+        let (_, q) = nl.add_gate_new(GateKind::Latch, "l", &[en, d]);
+        nl.mark_output(q);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle_all(&mut sim);
+        sim.set_input(d, true, 0);
+        settle_all(&mut sim);
+        assert!(!sim.value(q), "opaque latch ignores d");
+        sim.set_input(en, true, 0);
+        settle_all(&mut sim);
+        assert!(sim.value(q), "transparent latch passes d");
+        sim.set_input(en, false, 0);
+        sim.set_input(d, false, 5);
+        settle_all(&mut sim);
+        assert!(sim.value(q), "closed latch holds");
+    }
+
+    #[test]
+    fn run_until_stops_at_time() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle_all(&mut sim);
+        sim.set_input(a, true, 100);
+        sim.run_until(50, 1000).unwrap();
+        assert!(!sim.value(y));
+        sim.run_until(200, 1000).unwrap();
+        assert!(sim.value(y));
+    }
+}

@@ -1,0 +1,188 @@
+//! Two-valued fixpoint ("quasi-static") evaluation.
+//!
+//! For functional equivalence checks — original netlist vs. the netlist
+//! extracted from a programmed fabric — full event-driven simulation is
+//! overkill. [`settle`] computes the stable response of a netlist to a set
+//! of primary-input values by sweeping gates until a fixpoint, carrying
+//! state-gate outputs between calls via [`SettleState`].
+
+use msaf_netlist::{GateId, NetId, Netlist};
+
+/// Carried state for sequential settle evaluation: the committed output of
+/// every gate (only state-holding ones matter, but keeping all is simpler
+/// and lets a new call start from the previous stable point).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettleState {
+    gate_out: Vec<bool>,
+}
+
+impl SettleState {
+    /// Reset state: every gate output at its [`msaf_netlist::Gate::init`].
+    #[must_use]
+    pub fn reset(netlist: &Netlist) -> Self {
+        Self {
+            gate_out: netlist.gates().iter().map(|g| g.init()).collect(),
+        }
+    }
+
+    /// The committed output of `gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    #[must_use]
+    pub fn output(&self, gate: GateId) -> bool {
+        self.gate_out[gate.index()]
+    }
+}
+
+/// The netlist did not stabilise within the sweep budget (a two-valued
+/// oscillation, e.g. a ring of inverters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettleError {
+    /// Sweeps performed before giving up.
+    pub sweeps: usize,
+}
+
+impl std::fmt::Display for SettleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "netlist did not settle within {} sweeps", self.sweeps)
+    }
+}
+
+impl std::error::Error for SettleError {}
+
+/// Computes the stable net values for the given primary-input assignment,
+/// starting from (and updating) `state`.
+///
+/// Unlisted primary inputs keep the value `false`.
+///
+/// # Errors
+///
+/// Returns [`SettleError`] when no fixpoint is reached within
+/// `4 + 2 × gate-count` sweeps.
+///
+/// # Panics
+///
+/// Panics if a listed net is not a primary input.
+pub fn settle(
+    netlist: &Netlist,
+    inputs: &[(NetId, bool)],
+    state: &mut SettleState,
+) -> Result<Vec<bool>, SettleError> {
+    let mut values = vec![false; netlist.nets().len()];
+    for (gid, gate) in netlist.iter_gates() {
+        values[gate.output().index()] = state.gate_out[gid.index()];
+    }
+    for &(net, value) in inputs {
+        assert!(
+            netlist.net(net).is_primary_input(),
+            "{net} is not a primary input"
+        );
+        values[net.index()] = value;
+    }
+
+    let max_sweeps = 4 + 2 * netlist.gates().len();
+    let mut ins = Vec::new();
+    for _sweep in 0..=max_sweeps {
+        let mut changed = false;
+        for (_, gate) in netlist.iter_gates() {
+            ins.clear();
+            ins.extend(gate.inputs().iter().map(|&n| values[n.index()]));
+            let prev = values[gate.output().index()];
+            let next = gate.kind().eval(&ins, prev);
+            if next != prev {
+                values[gate.output().index()] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            for (gid, gate) in netlist.iter_gates() {
+                state.gate_out[gid.index()] = values[gate.output().index()];
+            }
+            return Ok(values);
+        }
+    }
+    Err(SettleError { sweeps: max_sweeps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_netlist::{GateKind, LutTable};
+
+    #[test]
+    fn combinational_settles_in_one_call() {
+        let mut nl = Netlist::new("comb");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, s) = nl.add_gate_new(GateKind::Xor, "x", &[a, b]);
+        let (_, c) = nl.add_gate_new(GateKind::And, "c", &[a, b]);
+        nl.mark_output(s);
+        nl.mark_output(c);
+        let mut st = SettleState::reset(&nl);
+        let v = settle(&nl, &[(a, true), (b, true)], &mut st).unwrap();
+        assert!(!v[s.index()]);
+        assert!(v[c.index()]);
+    }
+
+    #[test]
+    fn celement_state_carries_between_calls() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (g, y) = nl.add_gate_new(GateKind::Celement, "c0", &[a, b]);
+        nl.mark_output(y);
+        let mut st = SettleState::reset(&nl);
+        let v = settle(&nl, &[(a, true), (b, true)], &mut st).unwrap();
+        assert!(v[y.index()]);
+        assert!(st.output(g));
+        // One input drops: C holds.
+        let v = settle(&nl, &[(a, true), (b, false)], &mut st).unwrap();
+        assert!(v[y.index()]);
+        // Both drop: C falls.
+        let v = settle(&nl, &[], &mut st).unwrap();
+        assert!(!v[y.index()]);
+    }
+
+    #[test]
+    fn looped_lut_celement_settles() {
+        let mut nl = Netlist::new("c_lut");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        let g = nl.add_gate(GateKind::Lut(LutTable::majority3()), "maj", &[a, b, y], y);
+        nl.mark_feedback(g);
+        nl.mark_output(y);
+        let mut st = SettleState::reset(&nl);
+        let v = settle(&nl, &[(a, true), (b, true)], &mut st).unwrap();
+        assert!(v[y.index()]);
+        let v = settle(&nl, &[(a, true)], &mut st).unwrap();
+        assert!(v[y.index()], "looped LUT holds");
+        let v = settle(&nl, &[], &mut st).unwrap();
+        assert!(!v[y.index()]);
+    }
+
+    #[test]
+    fn oscillation_detected() {
+        let mut nl = Netlist::new("ring");
+        let y = nl.add_net("y");
+        let g = nl.add_gate(GateKind::Not, "inv", &[y], y);
+        nl.mark_feedback(g);
+        nl.mark_output(y);
+        let mut st = SettleState::reset(&nl);
+        let err = settle(&nl, &[], &mut st).unwrap_err();
+        assert!(err.to_string().contains("did not settle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn rejects_non_pi_assignment() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Not, "n", &[a]);
+        nl.mark_output(y);
+        let mut st = SettleState::reset(&nl);
+        let _ = settle(&nl, &[(y, true)], &mut st);
+    }
+}

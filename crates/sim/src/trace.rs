@@ -1,0 +1,141 @@
+//! Waveform recording for watched nets.
+
+use crate::engine::SimTime;
+use msaf_netlist::NetId;
+use std::collections::BTreeMap;
+
+/// One recorded edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Commit time of the transition.
+    pub time: SimTime,
+    /// The value after the transition.
+    pub value: bool,
+}
+
+/// Per-net waveform storage. Only nets registered with [`Trace::watch`]
+/// (via [`crate::Simulator::watch`]) are recorded; everything else costs
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    waves: BTreeMap<NetId, Vec<Edge>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts recording `net`, seeding the wave with its current value.
+    pub fn watch(&mut self, net: NetId, now: SimTime, current: bool) {
+        self.waves.entry(net).or_insert_with(|| {
+            vec![Edge {
+                time: now,
+                value: current,
+            }]
+        });
+    }
+
+    /// Records a transition if `net` is watched.
+    pub fn record(&mut self, net: NetId, time: SimTime, value: bool) {
+        if let Some(wave) = self.waves.get_mut(&net) {
+            wave.push(Edge { time, value });
+        }
+    }
+
+    /// The recorded edges of `net`, if watched.
+    #[must_use]
+    pub fn wave(&self, net: NetId) -> Option<&[Edge]> {
+        self.waves.get(&net).map(Vec::as_slice)
+    }
+
+    /// All watched nets, in id order.
+    pub fn watched(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.waves.keys().copied()
+    }
+
+    /// Value of `net` at time `t` (last edge at or before `t`), if watched.
+    #[must_use]
+    pub fn value_at(&self, net: NetId, t: SimTime) -> Option<bool> {
+        let wave = self.waves.get(&net)?;
+        let idx = wave.partition_point(|e| e.time <= t);
+        idx.checked_sub(1).map(|i| wave[i].value)
+    }
+
+    /// Duration for which `net` was high within `[from, to)`, if watched.
+    #[must_use]
+    pub fn high_time(&self, net: NetId, from: SimTime, to: SimTime) -> Option<SimTime> {
+        let wave = self.waves.get(&net)?;
+        let mut total = 0;
+        let mut cur_val = self.value_at(net, from)?;
+        let mut cur_t = from;
+        for e in wave.iter().filter(|e| e.time > from && e.time < to) {
+            if cur_val {
+                total += e.time - cur_t;
+            }
+            cur_val = e.value;
+            cur_t = e.time;
+        }
+        if cur_val {
+            total += to - cur_t;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced() -> (Trace, NetId) {
+        let n = NetId::new(0);
+        let mut t = Trace::new();
+        t.watch(n, 0, false);
+        t.record(n, 10, true);
+        t.record(n, 30, false);
+        t.record(n, 50, true);
+        (t, n)
+    }
+
+    #[test]
+    fn unwatched_nets_ignored() {
+        let (t, _) = traced();
+        assert!(t.wave(NetId::new(9)).is_none());
+        assert!(t.value_at(NetId::new(9), 0).is_none());
+    }
+
+    #[test]
+    fn value_at_queries() {
+        let (t, n) = traced();
+        assert_eq!(t.value_at(n, 0), Some(false));
+        assert_eq!(t.value_at(n, 10), Some(true));
+        assert_eq!(t.value_at(n, 29), Some(true));
+        assert_eq!(t.value_at(n, 30), Some(false));
+        assert_eq!(t.value_at(n, 100), Some(true));
+    }
+
+    #[test]
+    fn high_time_integrates() {
+        let (t, n) = traced();
+        // High on [10,30) and [50,60): 20 + 10.
+        assert_eq!(t.high_time(n, 0, 60), Some(30));
+        assert_eq!(t.high_time(n, 0, 10), Some(0));
+        assert_eq!(t.high_time(n, 15, 25), Some(10));
+    }
+
+    #[test]
+    fn watch_is_idempotent() {
+        let (mut t, n) = traced();
+        let len = t.wave(n).unwrap().len();
+        t.watch(n, 99, true);
+        assert_eq!(t.wave(n).unwrap().len(), len, "re-watching must not reset");
+    }
+
+    #[test]
+    fn watched_lists_nets() {
+        let (t, n) = traced();
+        assert_eq!(t.watched().collect::<Vec<_>>(), vec![n]);
+    }
+}

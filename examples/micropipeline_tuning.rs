@@ -1,0 +1,66 @@
+//! Micropipeline timing-assumption tuning: sweep the programmable delay
+//! element's matched delay on the Figure-3a adder and watch correctness
+//! switch on exactly when the margin covers the datapath — the
+//! engineering trade the PDE exists to navigate.
+//!
+//! ```text
+//! cargo run --example micropipeline_tuning
+//! ```
+
+use msaf::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut inputs = BTreeMap::new();
+    inputs.insert("op".to_string(), (0..8).collect::<Vec<u64>>());
+    let want: Vec<u64> = (0..8).map(full_adder_reference).collect();
+
+    println!("matched delay sweep on the micropipeline full adder");
+    println!("(per-kind delay model: latch 3 + majority LUT 4 on the datapath)");
+    println!();
+    println!("{:>14} {:>10} {:>24}", "delay (taps)", "correct?", "result tokens");
+    let mut first_correct = None;
+    for taps in [1u32, 2, 4, 6, 8, 10, 14, 20] {
+        let nl = micropipeline_full_adder(taps);
+        let run = token_run(
+            &nl,
+            &PerKindDelay::new(),
+            &inputs,
+            &TokenRunOptions::default(),
+        )?;
+        let got = run.outputs["res"].values();
+        let ok = got == want;
+        if ok && first_correct.is_none() {
+            first_correct = Some(taps);
+        }
+        println!(
+            "{:>14} {:>10} {:>24}",
+            taps,
+            if ok { "yes" } else { "NO" },
+            format!("{got:?}")
+        );
+    }
+    let threshold = first_correct.expect("some margin works");
+    println!();
+    println!("bundling threshold at ~{threshold} units — the CAD timing pass programs");
+    println!("the PDE tap count to cover exactly this (plus slack) on the fabric.");
+
+    // And on the fabric: the flow programs the PDE automatically.
+    let nl = micropipeline_full_adder(SAFE_FA_MATCHED_DELAY);
+    let compiled = compile(&nl, &FlowOptions::default())?;
+    let pde_plb = compiled
+        .config
+        .plbs
+        .iter()
+        .find(|p| p.pde.is_used())
+        .expect("PDE in use");
+    let spec = compiled.arch.plb.pde.expect("paper arch has PDE");
+    println!(
+        "fabric PDE: {} taps x {} = {} delay units (requested {})",
+        pde_plb.pde.taps,
+        spec.tap_delay,
+        pde_plb.pde.delay(&spec),
+        SAFE_FA_MATCHED_DELAY
+    );
+    Ok(())
+}

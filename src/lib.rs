@@ -1,0 +1,2 @@
+//! Root package: re-exports the MSAF facade. See `msaf-core`.
+pub use msaf_core::*;
