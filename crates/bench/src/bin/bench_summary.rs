@@ -1,0 +1,129 @@
+//! Machine-readable perf snapshot: times the simulator token-throughput
+//! workloads and the router workload with [`std::time::Instant`] and
+//! writes `BENCH_sim.json` / `BENCH_cad.json` so the perf trajectory of
+//! every PR is diffable.
+//!
+//! Usage: `cargo run --release -p msaf-bench --bin bench_summary [outdir]`
+
+use msaf_cad::bitgen::bind;
+use msaf_cad::pack::pack;
+use msaf_cad::place::place;
+use msaf_cad::route::{route, RouteOptions};
+use msaf_cad::techmap::map;
+use msaf_cells::bundled::bundled_fifo;
+use msaf_cells::wchb::wchb_fifo;
+use msaf_fabric::arch::ArchSpec;
+use msaf_fabric::rrg::Rrg;
+use msaf_netlist::Netlist;
+use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn inputs(tokens: u64, mask: u64) -> BTreeMap<String, Vec<u64>> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "in".to_string(),
+        (0..tokens).map(|i| (i * 7 + 3) & mask).collect(),
+    );
+    m
+}
+
+/// Runs `f` repeatedly until ≥ `min_reps` reps and ≥ `min_ms` total wall
+/// time, returning (reps, total_ms, best_ms).
+fn time_it(min_reps: u32, min_ms: f64, mut f: impl FnMut()) -> (u32, f64, f64) {
+    // One untimed warmup.
+    f();
+    let mut reps = 0u32;
+    let mut total = 0.0f64;
+    let mut best = f64::INFINITY;
+    while reps < min_reps || total < min_ms {
+        let t = Instant::now();
+        f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        total += ms;
+        best = best.min(ms);
+        reps += 1;
+    }
+    (reps, total, best)
+}
+
+struct SimRow {
+    name: &'static str,
+    events_per_run: u64,
+    best_ms: f64,
+    mean_ms: f64,
+    events_per_sec: f64,
+    glitches: u64,
+}
+
+fn sim_workload(name: &'static str, nl: &Netlist) -> SimRow {
+    let ins = inputs(32, 0xF);
+    let opts = TokenRunOptions::default();
+    let report = token_run(nl, &PerKindDelay::new(), &ins, &opts).expect("workload runs");
+    let (reps, total, best) = time_it(10, 300.0, || {
+        let r = token_run(nl, &PerKindDelay::new(), &ins, &opts).expect("workload runs");
+        assert_eq!(r.events, report.events, "nondeterministic event count");
+    });
+    let mean = total / f64::from(reps);
+    SimRow {
+        name,
+        events_per_run: report.events,
+        best_ms: best,
+        mean_ms: mean,
+        events_per_sec: report.events as f64 / (best / 1e3),
+        glitches: report.glitches as u64,
+    }
+}
+
+fn main() {
+    let outdir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+
+    // --- Simulator workloads (mirrors benches/sim_throughput.rs) ---
+    let rows = [
+        sim_workload("wchb_fifo_d4_w4_32tok", &wchb_fifo(4, 4)),
+        sim_workload("bundled_fifo_d4_w4_32tok", &bundled_fifo(4, 4, 16)),
+    ];
+    let mut sim_json = String::from("{\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        sim_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events_per_run\": {}, \"glitches\": {}, \
+             \"best_ms\": {:.3}, \"mean_ms\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.events_per_run,
+            r.glitches,
+            r.best_ms,
+            r.mean_ms,
+            r.events_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    sim_json.push_str("  ]\n}\n");
+    std::fs::write(format!("{outdir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
+    print!("BENCH_sim.json:\n{sim_json}");
+
+    // --- Router workload (mirrors benches/cad_flow.rs bench_route) ---
+    let arch = ArchSpec::paper(8, 8);
+    let nl = msaf_bench::workloads::adder("qdi", 4).expect("workload");
+    let mapped = map(&nl, &arch).expect("maps");
+    let packed = pack(&mapped, &arch).expect("packs");
+    let placement = place(&mapped, &packed, &arch, 7).expect("places");
+    let rrg = Rrg::build(&arch);
+    let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
+    let first = route(&rrg, &binding.requests, &RouteOptions::default()).expect("routes");
+    let (reps, total, best) = time_it(10, 300.0, || {
+        let r = route(&rrg, &binding.requests, &RouteOptions::default()).expect("routes");
+        assert_eq!(r.iterations, first.iterations, "nondeterministic iterations");
+    });
+    let wirelength: usize = first.trees.iter().map(msaf_fabric::bitstream::RouteTree::wirelength).sum();
+    let cad_json = format!(
+        "{{\n  \"workloads\": [\n    {{\"name\": \"route_qdi_adder_4b\", \"nets\": {}, \
+         \"iterations\": {}, \"wirelength\": {}, \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}\n  ]\n}}\n",
+        binding.requests.len(),
+        first.iterations,
+        wirelength,
+        best,
+        total / f64::from(reps),
+    );
+    std::fs::write(format!("{outdir}/BENCH_cad.json"), &cad_json).expect("write BENCH_cad.json");
+    print!("BENCH_cad.json:\n{cad_json}");
+}

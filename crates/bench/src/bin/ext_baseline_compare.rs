@@ -8,7 +8,7 @@ use msaf_fabric::arch::ArchSpec;
 
 fn main() {
     println!("=== X2: architecture comparison ===");
-    let circuits = vec![
+    let circuits = [
         ("qdi_full_adder".to_string(), figure3("qdi").unwrap()),
         (
             "micropipeline_full_adder".to_string(),

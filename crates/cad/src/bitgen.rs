@@ -288,7 +288,7 @@ pub fn bind(
     let mut requests = Vec::new();
     let mut routed_signals: Vec<SignalId> = Vec::new();
     for (bi, _) in packed.plbs.iter().enumerate() {
-        for (&s, _) in &ipin_maps[bi] {
+        for &s in ipin_maps[bi].keys() {
             if !routed_signals.contains(&s) {
                 routed_signals.push(s);
             }

@@ -156,8 +156,8 @@ pub fn pack(design: &MappedDesign, arch: &ArchSpec) -> Result<PackedDesign, Pack
         placed[seed] = true;
         while les.len() < per_plb {
             let mut best: Option<(usize, usize)> = None; // (le, affinity)
-            for cand in 0..design.les.len() {
-                if placed[cand] {
+            for (cand, &cand_placed) in placed.iter().enumerate() {
+                if cand_placed {
                     continue;
                 }
                 let mut trial = les.clone();

@@ -276,7 +276,7 @@ mod tests {
         }
         // Every I/O signal got a distinct pad.
         let mut pads = std::collections::HashSet::new();
-        for (_, &pad) in &pl.pad_of_signal {
+        for &pad in pl.pad_of_signal.values() {
             assert!(pads.insert(pad), "pad {pad} double-booked");
         }
     }

@@ -251,12 +251,9 @@ impl SymOp {
 }
 
 fn classify_sym(table: &LutTable) -> Option<SymOp> {
-    for op in [SymOp::Or, SymOp::And, SymOp::Xor] {
-        if *table == LutTable::from_fn(table.arity(), |v| op.eval(v)) {
-            return Some(op);
-        }
-    }
-    None
+    [SymOp::Or, SymOp::And, SymOp::Xor]
+        .into_iter()
+        .find(|op| *table == LutTable::from_fn(table.arity(), |v| op.eval(v)))
 }
 
 /// Maps `netlist` onto the LE geometry of `arch`.
@@ -608,27 +605,23 @@ pub fn map(netlist: &Netlist, arch: &ArchSpec) -> Result<MappedDesign, MapError>
     // Sanity: every PO must have a producer other than the placeholder,
     // unless it is a PI passthrough or constant.
     for &po in &design.pos {
-        match design.producers[po.index()] {
-            Producer::Const(_) => {
-                // Either a real constant (fine) or the untouched
-                // placeholder: distinguish by checking whether anything
-                // produces it.
-                let produced = design
-                    .les
-                    .iter()
-                    .any(|le| le.output_signals().contains(&po))
-                    || design.pdes.iter().any(|p| p.output == po);
-                let is_const_gate = netlist.iter_gates().any(|(_, g)| {
-                    matches!(g.kind(), GateKind::Const(_))
-                        && design.net_to_signal[g.output().index()] == po
-                });
-                if !produced && !is_const_gate {
-                    return Err(MapError::UnmappedOutput(
-                        design.signal_name(po).to_string(),
-                    ));
-                }
+        if let Producer::Const(_) = design.producers[po.index()] {
+            // Either a real constant (fine) or the untouched placeholder:
+            // distinguish by checking whether anything produces it.
+            let produced = design
+                .les
+                .iter()
+                .any(|le| le.output_signals().contains(&po))
+                || design.pdes.iter().any(|p| p.output == po);
+            let is_const_gate = netlist.iter_gates().any(|(_, g)| {
+                matches!(g.kind(), GateKind::Const(_))
+                    && design.net_to_signal[g.output().index()] == po
+            });
+            if !produced && !is_const_gate {
+                return Err(MapError::UnmappedOutput(
+                    design.signal_name(po).to_string(),
+                ));
             }
-            _ => {}
         }
     }
     Ok(design)
@@ -653,16 +646,16 @@ fn fold_inverters(cands: &mut Vec<Cand>, pos: &[SignalId], pdes: &[MappedPde]) {
             return;
         }
         // Fold into every candidate consumer.
-        for j in 0..cands.len() {
+        for (j, cand) in cands.iter_mut().enumerate() {
             if j == idx {
                 continue;
             }
-            while let Some(pin) = cands[j].inputs.iter().position(|&s| s == inv_out) {
+            while let Some(pin) = cand.inputs.iter().position(|&s| s == inv_out) {
                 // Replace pin signal and invert that variable; if inv_in is
                 // already an input, merge pins instead of duplicating.
-                let old_table = cands[j].table;
-                let arity = cands[j].arity();
-                if let Some(existing) = cands[j].inputs.iter().position(|&s| s == inv_in) {
+                let old_table = cand.table;
+                let arity = cand.arity();
+                if let Some(existing) = cand.inputs.iter().position(|&s| s == inv_in) {
                     // Merged: new table reads existing pin inverted at `pin`.
                     let new_table = LutTable::from_fn(arity - 1, |v| {
                         let mut full = Vec::with_capacity(arity);
@@ -681,16 +674,16 @@ fn fold_inverters(cands: &mut Vec<Cand>, pos: &[SignalId], pdes: &[MappedPde]) {
                         full[pin] = !v[epos];
                         old_table.eval(&full)
                     });
-                    cands[j].inputs.remove(pin);
-                    cands[j].table = new_table;
+                    cand.inputs.remove(pin);
+                    cand.table = new_table;
                 } else {
                     let new_table = LutTable::from_fn(arity, |v| {
                         let mut flipped: Vec<bool> = v.to_vec();
                         flipped[pin] = !flipped[pin];
                         old_table.eval(&flipped)
                     });
-                    cands[j].inputs[pin] = inv_in;
-                    cands[j].table = new_table;
+                    cand.inputs[pin] = inv_in;
+                    cand.table = new_table;
                 }
             }
         }

@@ -93,6 +93,9 @@ pub fn completion_tree(nl: &mut Netlist, prefix: &str, items: &[NetId]) -> NetId
     layer[0]
 }
 
+/// One named boolean function computed by a DIMS block.
+pub type DimsFn<'a> = (&'a str, &'a dyn Fn(&[bool]) -> bool);
+
 /// DIMS synthesis of one or more functions over the same dual-rail
 /// inputs, **sharing the minterm C-elements** between all outputs — the
 /// structure the paper's multi-output LUT is designed to absorb.
@@ -108,12 +111,7 @@ pub fn completion_tree(nl: &mut Netlist, prefix: &str, items: &[NetId]) -> NetId
 ///
 /// Panics if `inputs` is empty or larger than 4 (DIMS is exponential; the
 /// library keeps blocks LUT-sized), or if `funcs` is empty.
-pub fn dims(
-    nl: &mut Netlist,
-    prefix: &str,
-    inputs: &[Dr],
-    funcs: &[(&str, &dyn Fn(&[bool]) -> bool)],
-) -> Vec<Dr> {
+pub fn dims(nl: &mut Netlist, prefix: &str, inputs: &[Dr], funcs: &[DimsFn<'_>]) -> Vec<Dr> {
     let n = inputs.len();
     assert!((1..=4).contains(&n), "DIMS block supports 1..=4 inputs");
     assert!(!funcs.is_empty(), "DIMS block needs at least one function");

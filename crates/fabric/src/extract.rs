@@ -176,7 +176,7 @@ pub fn extract_netlist(config: &FabricConfig) -> Result<ExtractedDesign, Extract
                 // Opin sources never need ipin resolution of their own
                 // tile's inputs... except PlbInput passthrough, which does.
                 // Handled below by the two-pass loop.
-                .map_err(|e| e)?
+                ?
             }
             ref other => panic!("route source must be Opin or Pad, got {other:?}"),
         };

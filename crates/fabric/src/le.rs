@@ -323,8 +323,10 @@ mod tests {
 
     #[test]
     fn check_catches_ablation_violations() {
-        let mut cfg = LeConfig::default();
-        cfg.used_outputs = vec![LeOutput::A, LeOutput::Lut2];
+        let mut cfg = LeConfig {
+            used_outputs: vec![LeOutput::A, LeOutput::Lut2],
+            ..LeConfig::default()
+        };
         let paper = LeSpec::paper();
         assert!(cfg.check(&paper).is_ok());
         let mut no_aux = paper;
@@ -341,8 +343,10 @@ mod tests {
 
     #[test]
     fn check_catches_pin_overflow() {
-        let mut cfg = LeConfig::default();
-        cfg.used_outputs = vec![LeOutput::Root];
+        let mut cfg = LeConfig {
+            used_outputs: vec![LeOutput::Root],
+            ..LeConfig::default()
+        };
         cfg.pins_used[6] = true;
         let mut spec = LeSpec::paper();
         spec.lut_inputs = 4;
@@ -351,8 +355,10 @@ mod tests {
 
     #[test]
     fn pins_used_count() {
-        let mut cfg = LeConfig::default();
-        cfg.pins_used = [true, true, false, true, false, false, false];
+        let cfg = LeConfig {
+            pins_used: [true, true, false, true, false, false, false],
+            ..LeConfig::default()
+        };
         assert_eq!(cfg.pins_used_count(), 3);
         assert!(!cfg.is_used());
     }

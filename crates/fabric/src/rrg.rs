@@ -26,7 +26,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Index of a node in the routing resource graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct NodeId(u32);
 
 impl NodeId {

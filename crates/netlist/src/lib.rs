@@ -22,6 +22,19 @@
 //! `msaf-cells` are plain Rust functions that extend a [`Netlist`], which is
 //! both simpler and closer to what a technology mapper wants to see.
 //!
+//! ## Hot-path access: the CSR fanout index
+//!
+//! Consumers that traverse connectivity per-event (the event-driven
+//! simulator above all) must not walk the per-net `Vec<Sink>` lists; they
+//! call [`Netlist::fanout_index`] once and read the returned
+//! [`FanoutIndex`] — two flat arrays (`u32` row offsets + a shared
+//! [`GateId`] sink array) answering "which gates observe net *n*" with
+//! zero allocation. Its invariants (documented in [`fanout`]) are:
+//! offsets are non-decreasing with one row per net; sink order matches
+//! [`Net::sinks`] including one entry *per consuming pin* (a gate reading
+//! a net on two pins appears twice); and the index is a **snapshot** —
+//! it must be rebuilt after any netlist mutation.
+//!
 //! ## Example
 //!
 //! ```
@@ -40,6 +53,7 @@
 
 pub mod channel;
 pub mod dot;
+pub mod fanout;
 pub mod gate;
 pub mod ids;
 pub mod netlist;
@@ -48,6 +62,7 @@ pub mod topo;
 pub mod validate;
 
 pub use channel::{Channel, ChannelDir, Encoding, Protocol};
+pub use fanout::FanoutIndex;
 pub use gate::{GateKind, LutTable};
 pub use ids::{ChannelId, GateId, NetId};
 pub use netlist::{Gate, Net, Netlist, Sink};

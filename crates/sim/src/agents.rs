@@ -18,6 +18,7 @@
 
 use crate::delay::DelayModel;
 use crate::engine::{SimError, SimTime, Simulator};
+use crate::queue::QueueKind;
 use msaf_netlist::{Channel, ChannelDir, Encoding, NetId, Netlist};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -87,12 +88,33 @@ impl Actions {
     pub fn is_empty(&self) -> bool {
         self.sets.is_empty()
     }
+
+    /// Forgets all collected actions, keeping the buffer (the driver loop
+    /// reuses one `Actions` across timesteps to stay allocation-free).
+    pub fn clear(&mut self) {
+        self.sets.clear();
+    }
+
+    /// The collected `(net, value, delay)` requests, in submission order.
+    #[must_use]
+    pub fn sets(&self) -> &[(NetId, bool, u64)] {
+        &self.sets
+    }
 }
 
 /// A cooperative environment process attached to a simulation.
 pub trait Agent {
     /// Inspects the circuit state and schedules input changes.
     fn react(&mut self, sim: &Simulator<'_>, actions: &mut Actions);
+    /// The nets this agent observes (its sensitivity list, as in a VHDL
+    /// process). The driver loop may skip `react` on timesteps where no
+    /// listed net changed — agents must therefore be Moore machines over
+    /// these nets: given unchanged observations and unchanged internal
+    /// state, `react` must produce no actions. An empty list (the
+    /// default) opts out of filtering: the agent reacts every timestep.
+    fn sensitivity(&self) -> &[NetId] {
+        &[]
+    }
     /// True when the agent has no more work to initiate (consumers and
     /// monitors are always "done"; producers finish after their last
     /// handshake completes).
@@ -135,6 +157,10 @@ fn di_groups(ch: &Channel) -> (Vec<Vec<NetId>>, u64) {
     }
 }
 
+/// Reference digit encoding (the production path in
+/// [`DiProducer::drive_token`] streams digits without allocating; this
+/// form exists for the unit tests that pin the digit order).
+#[cfg(test)]
 fn encode_digits(value: u64, radix: u64, digits: usize) -> Vec<u64> {
     let mut v = value;
     let mut out = Vec::with_capacity(digits);
@@ -160,6 +186,7 @@ pub struct DiProducer {
     groups: Vec<Vec<NetId>>,
     radix: u64,
     ack: NetId,
+    watched: [NetId; 1],
     tokens: VecDeque<u64>,
     state: ProducerState,
     gap: u64,
@@ -181,6 +208,7 @@ impl DiProducer {
             groups,
             radix,
             ack: ch.ack(),
+            watched: [ch.ack()],
             tokens: tokens.into(),
             state: ProducerState::SendNext,
             gap: gap.max(1),
@@ -189,8 +217,10 @@ impl DiProducer {
     }
 
     fn drive_token(&mut self, value: u64, actions: &mut Actions) {
-        let digits = encode_digits(value, self.radix, self.groups.len());
-        for (group, digit) in self.groups.iter().zip(digits) {
+        let mut rest = value;
+        for group in &self.groups {
+            let digit = rest % self.radix;
+            rest /= self.radix;
             for (v, &rail) in group.iter().enumerate() {
                 actions.set(rail, v as u64 == digit, self.gap);
             }
@@ -246,6 +276,10 @@ impl Agent for DiProducer {
         self.state == ProducerState::Done
     }
 
+    fn sensitivity(&self) -> &[NetId] {
+        &self.watched
+    }
+
     fn channel_name(&self) -> &str {
         &self.name
     }
@@ -265,6 +299,7 @@ pub struct DiConsumer {
     groups: Vec<Vec<NetId>>,
     radix: u64,
     ack: NetId,
+    watched: Vec<NetId>,
     state: ConsumerState,
     gap: u64,
     stream: TokenStream,
@@ -285,11 +320,13 @@ impl DiConsumer {
             "consumer needs output channel"
         );
         let (groups, radix) = di_groups(ch);
+        let watched: Vec<NetId> = groups.iter().flatten().copied().collect();
         Self {
             name: ch.name().to_string(),
             groups,
             radix,
             ack: ch.ack(),
+            watched,
             state: ConsumerState::WaitValid,
             gap: gap.max(1),
             stream: TokenStream::default(),
@@ -299,18 +336,22 @@ impl DiConsumer {
 
     /// Decodes the current codeword: `Some(value)` when every digit has
     /// exactly one rail high, `None` otherwise. Flags non-one-hot digits.
+    /// Called every timestep, so it counts rails in place — no scratch
+    /// allocation.
     fn decode(&mut self, sim: &Simulator<'_>) -> Option<u64> {
         let mut value = 0u64;
         let mut scale = 1u64;
         for (digit, group) in self.groups.iter().enumerate() {
-            let highs: Vec<usize> = group
-                .iter()
-                .enumerate()
-                .filter(|(_, &rail)| sim.value(rail))
-                .map(|(v, _)| v)
-                .collect();
-            match highs.len() {
-                1 => value += highs[0] as u64 * scale,
+            let mut high_count = 0usize;
+            let mut high_value = 0usize;
+            for (v, &rail) in group.iter().enumerate() {
+                if sim.value(rail) {
+                    high_count += 1;
+                    high_value = v;
+                }
+            }
+            match high_count {
+                1 => value += high_value as u64 * scale,
                 0 => return None,
                 _ => {
                     self.violations.push(ProtocolViolation::NonOneHot {
@@ -363,6 +404,10 @@ impl Agent for DiConsumer {
         &self.violations
     }
 
+    fn sensitivity(&self) -> &[NetId] {
+        &self.watched
+    }
+
     fn channel_name(&self) -> &str {
         &self.name
     }
@@ -381,6 +426,7 @@ pub struct BundledProducer {
     data: Vec<NetId>,
     req: NetId,
     ack: NetId,
+    watched: [NetId; 2],
     tokens: VecDeque<u64>,
     state: ProducerState,
     gap: u64,
@@ -401,11 +447,13 @@ impl BundledProducer {
             matches!(ch.encoding(), Encoding::Bundled { .. }),
             "bundled producer on non-bundled channel"
         );
+        let req = ch.req().expect("bundled channel has req");
         Self {
             name: ch.name().to_string(),
             data: ch.data().to_vec(),
-            req: ch.req().expect("bundled channel has req"),
+            req,
             ack: ch.ack(),
+            watched: [ch.ack(), req],
             tokens: tokens.into(),
             state: ProducerState::SendNext,
             gap: gap.max(1),
@@ -461,6 +509,10 @@ impl Agent for BundledProducer {
         self.state == ProducerState::Done
     }
 
+    fn sensitivity(&self) -> &[NetId] {
+        &self.watched
+    }
+
     fn channel_name(&self) -> &str {
         &self.name
     }
@@ -475,6 +527,7 @@ pub struct BundledConsumer {
     data: Vec<NetId>,
     req: NetId,
     ack: NetId,
+    watched: [NetId; 1],
     state: ConsumerState,
     gap: u64,
     stream: TokenStream,
@@ -497,11 +550,13 @@ impl BundledConsumer {
             matches!(ch.encoding(), Encoding::Bundled { .. }),
             "bundled consumer on non-bundled channel"
         );
+        let req = ch.req().expect("bundled channel has req");
         Self {
             name: ch.name().to_string(),
             data: ch.data().to_vec(),
-            req: ch.req().expect("bundled channel has req"),
+            req,
             ack: ch.ack(),
+            watched: [req],
             state: ConsumerState::WaitValid,
             gap: gap.max(1),
             stream: TokenStream::default(),
@@ -541,6 +596,10 @@ impl Agent for BundledConsumer {
         Some(&self.stream)
     }
 
+    fn sensitivity(&self) -> &[NetId] {
+        &self.watched
+    }
+
     fn channel_name(&self) -> &str {
         &self.name
     }
@@ -559,6 +618,8 @@ pub struct TokenRunOptions {
     pub bundling_setup: u64,
     /// Total committed-event budget.
     pub max_events: u64,
+    /// Pending-event backend for the underlying simulator.
+    pub queue: QueueKind,
 }
 
 impl Default for TokenRunOptions {
@@ -567,6 +628,7 @@ impl Default for TokenRunOptions {
             gap: 2,
             bundling_setup: 0,
             max_events: 2_000_000,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -624,6 +686,10 @@ pub struct TokenRunReport {
     pub end_time: SimTime,
     /// Committed events.
     pub events: u64,
+    /// Timesteps the engine executed (perf diagnostic).
+    pub steps: u64,
+    /// Gate evaluations the engine performed (perf diagnostic).
+    pub evaluations: u64,
 }
 
 /// Runs a complete token-level experiment: builds a producer for every
@@ -676,7 +742,7 @@ pub fn token_run(
         }
     }
 
-    let mut sim = Simulator::new(netlist, model);
+    let mut sim = Simulator::with_queue(netlist, model, opts.queue);
     drive_agents(&mut sim, &mut agents, opts.max_events)?;
 
     let mut outputs = BTreeMap::new();
@@ -693,6 +759,8 @@ pub fn token_run(
         glitches: sim.glitches().len(),
         end_time: sim.now(),
         events: sim.events_processed(),
+        steps: sim.steps_executed(),
+        evaluations: sim.gates_evaluated(),
     })
 }
 
@@ -709,28 +777,63 @@ pub fn drive_agents(
 ) -> Result<(), TokenRunError> {
     // Let the circuit power up before the environment engages.
     sim.settle(max_events)?;
+
+    // Dense per-agent sensitivity masks (None ⇒ always react). Built
+    // once; the per-timestep wake test is |changed| × |agents| bit reads.
+    let n_nets = sim.netlist().nets().len();
+    let masks: Vec<Option<Vec<bool>>> = agents
+        .iter()
+        .map(|a| {
+            let sens = a.sensitivity();
+            if sens.is_empty() {
+                None
+            } else {
+                let mut m = vec![false; n_nets];
+                for &net in sens {
+                    m[net.index()] = true;
+                }
+                Some(m)
+            }
+        })
+        .collect();
+
+    let mut actions = Actions::default();
+    let mut wake = vec![true; agents.len()];
     loop {
-        let mut actions = Actions::default();
-        for agent in agents.iter_mut() {
-            agent.react(sim, &mut actions);
+        actions.clear();
+        for (agent, &w) in agents.iter_mut().zip(&wake) {
+            if w {
+                agent.react(sim, &mut actions);
+            }
         }
         let idle = actions.is_empty();
-        for (net, value, delay) in actions.sets {
+        for &(net, value, delay) in actions.sets() {
             sim.set_input(net, value, delay);
         }
         if idle && sim.is_quiescent() {
-            let stuck: Vec<String> = agents
-                .iter()
-                .filter(|a| !a.done())
-                .map(|a| a.channel_name().to_string())
-                .collect();
-            if stuck.is_empty() {
-                return Ok(());
+            // Some agents may have been skipped this round; give every
+            // agent one unconditional look before concluding.
+            actions.clear();
+            for agent in agents.iter_mut() {
+                agent.react(sim, &mut actions);
             }
-            return Err(TokenRunError::Deadlock {
-                at: sim.now(),
-                stuck_channels: stuck,
-            });
+            if actions.is_empty() {
+                let stuck: Vec<String> = agents
+                    .iter()
+                    .filter(|a| !a.done())
+                    .map(|a| a.channel_name().to_string())
+                    .collect();
+                if stuck.is_empty() {
+                    return Ok(());
+                }
+                return Err(TokenRunError::Deadlock {
+                    at: sim.now(),
+                    stuck_channels: stuck,
+                });
+            }
+            for &(net, value, delay) in actions.sets() {
+                sim.set_input(net, value, delay);
+            }
         }
         if sim.events_processed() > max_events {
             return Err(TokenRunError::Sim(SimError::EventLimit {
@@ -739,6 +842,13 @@ pub fn drive_agents(
             }));
         }
         sim.step();
+        // Wake an agent iff one of its watched nets just changed.
+        for (w, mask) in wake.iter_mut().zip(&masks) {
+            *w = match mask {
+                None => true,
+                Some(m) => sim.changed_nets().iter().any(|n| m[n.index()]),
+            };
+        }
     }
 }
 

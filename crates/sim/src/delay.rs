@@ -120,10 +120,18 @@ impl RandomDelay {
 
 impl DelayModel for RandomDelay {
     fn gate_delay(&self, _netlist: &Netlist, gate: GateId, _kind: &GateKind) -> u64 {
-        // Derive a per-gate RNG so delays don't depend on query order.
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (gate.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        // Derive a per-gate RNG so delays don't depend on query order. The
+        // seed and the gate index are mixed multiplicatively (not XORed):
+        // XOR of a small seed with a multiplied index preserves enough
+        // structure that nearby seeds produce correlated delay vectors,
+        // which weakens the adversary.
+        let mixed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((gate.index() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .rotate_left(23)
+            .wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut rng = StdRng::seed_from_u64(mixed);
         rng.random_range(self.lo..=self.hi)
     }
 }

@@ -16,15 +16,39 @@
 //!
 //! The engine is deterministic: simultaneous events are processed in
 //! schedule order (a monotone sequence number breaks ties).
+//!
+//! # Hot-path design (zero allocation in steady state)
+//!
+//! Everything the inner loop touches is a dense array indexed by gate or
+//! net id, sized once at construction:
+//!
+//! * fanout traversal reads the netlist's CSR [`FanoutIndex`] instead of
+//!   per-net sink `Vec`s (and instead of *collecting* sink ids per event,
+//!   as the first engine did);
+//! * gate-input gathering uses a fixed inline buffer for gates of ≤ 8
+//!   inputs (every fabric primitive) with a persistent spill buffer for
+//!   wider completion trees — no per-evaluation `Vec`;
+//! * inertial cancellation is **generation-checked**: each gate has at
+//!   most one live scheduled transition, identified by its `seq`; a
+//!   popped gate-output event is stale iff its seq no longer matches the
+//!   gate's pending slot. No `HashSet` of cancelled seqs, no per-cancel
+//!   allocation or hashing. Transport (`Delay`) gates are exempt from the
+//!   check — they legitimately keep several edges in flight and never
+//!   cancel;
+//! * the pending-event store is a pluggable [`QueueKind`] (binary heap by
+//!   default; a two-level timing wheel is available — see
+//!   [`crate::queue`] for the benchmark-driven choice).
 
 use crate::delay::DelayModel;
+use crate::queue::{Ev, EventQueue, QueueKind};
 use crate::trace::Trace;
-use msaf_netlist::{GateId, GateKind, NetId, Netlist};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use msaf_netlist::{FanoutIndex, GateId, GateKind, NetId, Netlist};
 
 /// Simulation timestamp, in abstract delay units.
 pub type SimTime = u64;
+
+/// Gates with at most this many inputs evaluate from a stack buffer.
+const INLINE_INPUTS: usize = 8;
 
 /// A filtered input pulse: gate `gate` had a scheduled output transition
 /// cancelled at `time` because its inputs reverted within one gate delay.
@@ -61,26 +85,6 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Ev {
-    time: SimTime,
-    seq: u64,
-    net: NetId,
-    value: bool,
-}
-
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     seq: u64,
@@ -91,25 +95,47 @@ struct Pending {
 #[derive(Debug)]
 pub struct Simulator<'a> {
     nl: &'a Netlist,
+    /// CSR net → consuming-gates map (built once from the netlist).
+    fanout: FanoutIndex,
+    /// Driving gate per net (dense mirror of `Net::driver`).
+    driver: Vec<Option<GateId>>,
+    /// True for transport-delay gates (exempt from generation checks).
+    is_transport: Vec<bool>,
+    /// Dense copy of every gate's kind: the evaluation loop must not
+    /// touch the netlist's fat `Gate` structs (name, `Vec` pointers).
+    kinds: Vec<GateKind>,
+    /// Output net per gate (dense mirror of `Gate::output`).
+    outputs: Vec<NetId>,
+    /// CSR gate → input nets (offsets + one flat array), mirroring
+    /// `Gate::inputs` without the per-gate `Vec` indirection.
+    in_offsets: Vec<u32>,
+    in_nets: Vec<NetId>,
     /// Committed value of every net.
     values: Vec<bool>,
     /// Per-gate propagation delay chosen by the delay model.
     delays: Vec<u64>,
-    /// Pending inertial transition per gate (seq identifies the queue entry).
+    /// Pending scheduled transition per gate. For inertial gates this is
+    /// the gate's *only* live event (generation check identity); for
+    /// transport gates it tracks the last scheduled edge (coalescing).
     pending: Vec<Option<Pending>>,
-    queue: BinaryHeap<Reverse<Ev>>,
-    /// Sequence numbers of lazily-cancelled events still in the queue.
-    cancelled: std::collections::HashSet<u64>,
+    queue: EventQueue,
     seq: u64,
     now: SimTime,
     glitches: Vec<Glitch>,
     transition_count: Vec<u64>,
     trace: Trace,
     events_processed: u64,
+    steps_executed: u64,
+    gates_evaluated: u64,
     /// Scratch: gate ids to (re)evaluate after the current timestep.
     dirty: Vec<GateId>,
     dirty_stamp: Vec<u64>,
     stamp: u64,
+    /// Spill buffer for gates wider than [`INLINE_INPUTS`].
+    wide_inputs: Vec<bool>,
+    /// Nets committed during the most recent [`Simulator::step`]
+    /// (reusable buffer; drives agent sensitivity filtering).
+    changed: Vec<NetId>,
 }
 
 impl<'a> Simulator<'a> {
@@ -120,35 +146,69 @@ impl<'a> Simulator<'a> {
     /// method) to let the circuit power up.
     #[must_use]
     pub fn new(netlist: &'a Netlist, model: &dyn DelayModel) -> Self {
+        Self::with_queue(netlist, model, QueueKind::default())
+    }
+
+    /// Like [`Simulator::new`] but with an explicit pending-event backend
+    /// (used by benches; see [`QueueKind`]).
+    #[must_use]
+    pub fn with_queue(netlist: &'a Netlist, model: &dyn DelayModel, queue: QueueKind) -> Self {
         let n_nets = netlist.nets().len();
         let n_gates = netlist.gates().len();
         let mut values = vec![false; n_nets];
         let mut delays = vec![1u64; n_gates];
+        let mut is_transport = vec![false; n_gates];
         for (gid, gate) in netlist.iter_gates() {
             values[gate.output().index()] = gate.init();
             delays[gid.index()] = match gate.kind() {
                 // Transport elements own their delay.
-                GateKind::Delay(amount) => u64::from(*amount).max(1),
+                GateKind::Delay(amount) => {
+                    is_transport[gid.index()] = true;
+                    u64::from(*amount).max(1)
+                }
                 kind => model.gate_delay(netlist, gid, kind).max(1),
             };
         }
+        let driver = netlist.iter_nets().map(|(_, n)| n.driver()).collect();
+        let total_inputs: usize = netlist.gates().iter().map(|g| g.inputs().len()).sum();
+        let mut kinds = Vec::with_capacity(n_gates);
+        let mut outputs = Vec::with_capacity(n_gates);
+        let mut in_offsets = Vec::with_capacity(n_gates + 1);
+        let mut in_nets = Vec::with_capacity(total_inputs);
+        in_offsets.push(0);
+        for gate in netlist.gates() {
+            kinds.push(*gate.kind());
+            outputs.push(gate.output());
+            in_nets.extend_from_slice(gate.inputs());
+            in_offsets.push(u32::try_from(in_nets.len()).expect("input count overflows u32"));
+        }
         let mut sim = Self {
             nl: netlist,
+            fanout: netlist.fanout_index(),
+            driver,
+            is_transport,
+            kinds,
+            outputs,
+            in_offsets,
+            in_nets,
             values,
             delays,
             pending: vec![None; n_gates],
-            queue: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            queue: EventQueue::new(queue),
             seq: 0,
             now: 0,
             glitches: Vec::new(),
             transition_count: vec![0; n_nets],
             trace: Trace::new(),
             events_processed: 0,
-            dirty: Vec::new(),
+            steps_executed: 0,
+            gates_evaluated: 0,
+            dirty: Vec::with_capacity(n_gates),
             dirty_stamp: vec![0; n_gates],
             // Starts at 1 so the zero-initialised dirty stamps are stale.
             stamp: 1,
+            wide_inputs: Vec::new(),
+            changed: Vec::new(),
         };
         // Power-up: evaluate every gate once at t=0.
         for (gid, _) in netlist.iter_gates() {
@@ -156,6 +216,12 @@ impl<'a> Simulator<'a> {
         }
         sim.evaluate_dirty();
         sim
+    }
+
+    /// The netlist this simulator runs.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
     }
 
     /// Current simulation time.
@@ -196,6 +262,21 @@ impl<'a> Simulator<'a> {
         self.events_processed
     }
 
+    /// Timesteps executed so far (calls to [`Simulator::step`] that found
+    /// work). Perf diagnostic: events ÷ steps is the activity density the
+    /// queue backend sees.
+    #[must_use]
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Gate evaluations performed so far (dirty-list drains). Perf
+    /// diagnostic: evaluations ÷ events measures fanout-induced work.
+    #[must_use]
+    pub fn gates_evaluated(&self) -> u64 {
+        self.gates_evaluated
+    }
+
     /// Enables waveform recording for `net` (see [`Trace`]).
     pub fn watch(&mut self, net: NetId) {
         self.trace.watch(net, self.now, self.values[net.index()]);
@@ -231,18 +312,20 @@ impl<'a> Simulator<'a> {
         self.push_event(self.now + delay, net, value);
     }
 
+    #[inline]
     fn push_event(&mut self, time: SimTime, net: NetId, value: bool) -> u64 {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Ev {
+        self.queue.push(Ev {
             time,
             seq,
             net,
             value,
-        }));
+        });
         seq
     }
 
+    #[inline]
     fn mark_dirty(&mut self, gate: GateId) {
         if self.dirty_stamp[gate.index()] != self.stamp {
             self.dirty_stamp[gate.index()] = self.stamp;
@@ -251,29 +334,74 @@ impl<'a> Simulator<'a> {
     }
 
     /// Applies one committed net change, returns whether the value changed.
+    #[inline]
     fn apply(&mut self, net: NetId, value: bool) -> bool {
         if self.values[net.index()] == value {
             return false;
         }
         self.values[net.index()] = value;
         self.transition_count[net.index()] += 1;
+        self.changed.push(net);
         self.trace.record(net, self.now, value);
         true
     }
 
+    /// The nets whose committed value changed during the last
+    /// [`Simulator::step`] (empty before the first step and after steps
+    /// that only dropped stale events). Environment drivers use this to
+    /// skip agents whose sensitivity list saw no activity.
+    #[must_use]
+    pub fn changed_nets(&self) -> &[NetId] {
+        &self.changed
+    }
+
+    /// The input nets of `gate`, from the dense CSR copy.
+    #[inline]
+    fn inputs_of(&self, gid: GateId) -> &[NetId] {
+        let i = gid.index();
+        &self.in_nets[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
+    /// Evaluates one gate's target output from committed input values.
+    /// Allocation-free: inline buffer for ≤ [`INLINE_INPUTS`] inputs,
+    /// persistent spill buffer beyond; reads only dense per-gate arrays,
+    /// never the netlist's `Gate` structs.
+    #[inline]
+    fn eval_gate(&mut self, gid: GateId, committed: bool) -> bool {
+        let gi = gid.index();
+        let (start, end) = (self.in_offsets[gi] as usize, self.in_offsets[gi + 1] as usize);
+        let ins = &self.in_nets[start..end];
+        if ins.len() <= INLINE_INPUTS {
+            let mut buf = [false; INLINE_INPUTS];
+            for (slot, &n) in buf.iter_mut().zip(ins) {
+                *slot = self.values[n.index()];
+            }
+            self.kinds[gi].eval(&buf[..ins.len()], committed)
+        } else {
+            let mut wide = std::mem::take(&mut self.wide_inputs);
+            wide.clear();
+            wide.extend(ins.iter().map(|&n| self.values[n.index()]));
+            let target = self.kinds[gi].eval(&wide, committed);
+            self.wide_inputs = wide;
+            target
+        }
+    }
+
     /// Evaluates all dirty gates, scheduling/cancelling output transitions.
     fn evaluate_dirty(&mut self) {
+        // Move the list out so iteration does not alias `self`; restored
+        // (cleared, capacity kept) afterwards.
         let dirty = std::mem::take(&mut self.dirty);
-        for gid in dirty {
-            let gate = self.nl.gate(gid);
-            let out = gate.output();
+        self.gates_evaluated += dirty.len() as u64;
+        for &gid in &dirty {
+            let out = self.outputs[gid.index()];
             let committed = self.values[out.index()];
 
-            if let GateKind::Delay(_) = gate.kind() {
+            if self.is_transport[gid.index()] {
                 // Transport: schedule the present input value; dedup against
                 // the last scheduled value via pending (transport elements
                 // still coalesce identical consecutive levels).
-                let input = self.values[gate.inputs()[0].index()];
+                let input = self.values[self.inputs_of(gid)[0].index()];
                 let last_target = self.pending[gid.index()].map_or(committed, |p| p.value);
                 if input != last_target {
                     let seq = self.push_event(self.now + self.delays[gid.index()], out, input);
@@ -282,20 +410,17 @@ impl<'a> Simulator<'a> {
                 continue;
             }
 
-            let inputs: Vec<bool> = gate
-                .inputs()
-                .iter()
-                .map(|&n| self.values[n.index()])
-                .collect();
-            let target = gate.kind().eval(&inputs, committed);
+            let target = self.eval_gate(gid, committed);
 
             match self.pending[gid.index()] {
                 Some(p) if p.value == target => {
                     // Already heading there.
                 }
-                Some(p) => {
-                    // Pending transition contradicted: inertial cancellation.
-                    self.cancel(p.seq);
+                Some(_) => {
+                    // Pending transition contradicted: inertial
+                    // cancellation. Clearing the slot *is* the
+                    // cancellation — the orphaned event's seq no longer
+                    // matches and will be dropped at pop.
                     self.pending[gid.index()] = None;
                     self.glitches.push(Glitch {
                         gate: gid,
@@ -316,52 +441,55 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-    }
-
-    /// Lazy cancellation: remember the seq; the event is dropped when popped.
-    fn cancel(&mut self, seq: u64) {
-        self.cancelled.insert(seq);
+        let mut dirty = dirty;
+        dirty.clear();
+        self.dirty = dirty;
     }
 
     /// Processes every event at the next pending timestep.
     ///
     /// Returns `false` when the queue is empty (quiescent).
     pub fn step(&mut self) -> bool {
-        let Some(&Reverse(first)) = self.queue.peek() else {
+        let Some(t) = self.queue.peek_time() else {
             return false;
         };
-        let t = first.time;
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
         self.stamp += 1;
+        self.steps_executed += 1;
+        self.changed.clear();
 
-        while let Some(&Reverse(ev)) = self.queue.peek() {
-            if ev.time != t {
-                break;
-            }
-            self.queue.pop();
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            self.events_processed += 1;
-            // Clear pending marker when a gate-output event commits.
-            if let Some(driver) = self.nl.net(ev.net).driver() {
-                if let Some(p) = self.pending[driver.index()] {
-                    if p.seq == ev.seq {
-                        self.pending[driver.index()] = None;
+        while let Some(ev) = self.queue.pop_at(t) {
+            // Generation check: a gate-output event is live iff its seq
+            // still matches the driver's pending slot (transport gates
+            // keep several edges in flight and are exempt; primary-input
+            // events have no driver and are always live).
+            if let Some(g) = self.driver[ev.net.index()] {
+                let gi = g.index();
+                if self.is_transport[gi] {
+                    if let Some(p) = self.pending[gi] {
+                        if p.seq == ev.seq {
+                            self.pending[gi] = None;
+                        }
+                    }
+                } else {
+                    match self.pending[gi] {
+                        Some(p) if p.seq == ev.seq => self.pending[gi] = None,
+                        // Stale: superseded or inertially cancelled.
+                        _ => continue,
                     }
                 }
             }
+            self.events_processed += 1;
             if self.apply(ev.net, ev.value) {
-                let sinks: Vec<GateId> = self
-                    .nl
-                    .net(ev.net)
-                    .sinks()
-                    .iter()
-                    .map(|s| s.gate)
-                    .collect();
-                for g in sinks {
-                    self.mark_dirty(g);
+                // CSR fanout walk with inlined dirty-marking (a method
+                // call would alias the &self.fanout borrow).
+                let stamp = self.stamp;
+                for &g in self.fanout.gates_of(ev.net) {
+                    if self.dirty_stamp[g.index()] != stamp {
+                        self.dirty_stamp[g.index()] = stamp;
+                        self.dirty.push(g);
+                    }
                 }
             }
         }
@@ -397,9 +525,9 @@ impl<'a> Simulator<'a> {
     pub fn run_until(&mut self, until: SimTime, max_events: u64) -> Result<(), SimError> {
         let start = self.events_processed;
         loop {
-            match self.queue.peek() {
+            match self.queue.peek_time() {
                 None => return Ok(()),
-                Some(&Reverse(ev)) if ev.time > until => return Ok(()),
+                Some(t) if t > until => return Ok(()),
                 Some(_) => {}
             }
             self.step();
@@ -421,7 +549,7 @@ impl<'a> Simulator<'a> {
     /// Time of the next pending event, if any.
     #[must_use]
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|&Reverse(ev)| ev.time)
+        self.queue.peek_time()
     }
 }
 
@@ -435,48 +563,59 @@ mod tests {
         sim.settle(1_000_000).expect("settles");
     }
 
+    /// Every engine test runs under both queue backends; observable
+    /// behaviour must not depend on the choice.
+    fn with_both_queues(f: impl Fn(QueueKind)) {
+        f(QueueKind::Heap);
+        f(QueueKind::Wheel);
+    }
+
     #[test]
     fn inverter_chain_propagates() {
-        let mut nl = Netlist::new("chain");
-        let a = nl.add_input("a");
-        let (_, y0) = nl.add_gate_new(GateKind::Not, "n0", &[a]);
-        let (_, y1) = nl.add_gate_new(GateKind::Not, "n1", &[y0]);
-        nl.mark_output(y1);
-        let mut sim = Simulator::new(&nl, &FixedDelay::new(3));
-        settle_all(&mut sim);
-        assert!(sim.value(y0));
-        assert!(!sim.value(y1));
-        let t0 = sim.now();
-        sim.set_input(a, true, 1);
-        settle_all(&mut sim);
-        assert!(!sim.value(y0));
-        assert!(sim.value(y1));
-        // a flips at t0+1, n0 at +3, n1 at +3 more.
-        assert_eq!(sim.now(), t0 + 1 + 3 + 3);
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("chain");
+            let a = nl.add_input("a");
+            let (_, y0) = nl.add_gate_new(GateKind::Not, "n0", &[a]);
+            let (_, y1) = nl.add_gate_new(GateKind::Not, "n1", &[y0]);
+            nl.mark_output(y1);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(3), q);
+            settle_all(&mut sim);
+            assert!(sim.value(y0));
+            assert!(!sim.value(y1));
+            let t0 = sim.now();
+            sim.set_input(a, true, 1);
+            settle_all(&mut sim);
+            assert!(!sim.value(y0));
+            assert!(sim.value(y1));
+            // a flips at t0+1, n0 at +3, n1 at +3 more.
+            assert_eq!(sim.now(), t0 + 1 + 3 + 3);
+        });
     }
 
     #[test]
     fn celement_waits_for_both() {
-        let mut nl = Netlist::new("c");
-        let a = nl.add_input("a");
-        let b = nl.add_input("b");
-        let (_, y) = nl.add_gate_new(GateKind::Celement, "c0", &[a, b]);
-        nl.mark_output(y);
-        let mut sim = Simulator::new(&nl, &FixedDelay::new(2));
-        settle_all(&mut sim);
-        assert!(!sim.value(y));
-        sim.set_input(a, true, 0);
-        settle_all(&mut sim);
-        assert!(!sim.value(y), "one input is not enough");
-        sim.set_input(b, true, 0);
-        settle_all(&mut sim);
-        assert!(sim.value(y));
-        sim.set_input(a, false, 0);
-        settle_all(&mut sim);
-        assert!(sim.value(y), "C-element holds");
-        sim.set_input(b, false, 0);
-        settle_all(&mut sim);
-        assert!(!sim.value(y));
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("c");
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let (_, y) = nl.add_gate_new(GateKind::Celement, "c0", &[a, b]);
+            nl.mark_output(y);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(2), q);
+            settle_all(&mut sim);
+            assert!(!sim.value(y));
+            sim.set_input(a, true, 0);
+            settle_all(&mut sim);
+            assert!(!sim.value(y), "one input is not enough");
+            sim.set_input(b, true, 0);
+            settle_all(&mut sim);
+            assert!(sim.value(y));
+            sim.set_input(a, false, 0);
+            settle_all(&mut sim);
+            assert!(sim.value(y), "C-element holds");
+            sim.set_input(b, false, 0);
+            settle_all(&mut sim);
+            assert!(!sim.value(y));
+        });
     }
 
     #[test]
@@ -508,41 +647,45 @@ mod tests {
     fn inertial_filter_records_glitch() {
         // AND gate with delay 10; pulse of width 2 on one input while the
         // other is high must be swallowed and recorded.
-        let mut nl = Netlist::new("glitch");
-        let a = nl.add_input("a");
-        let b = nl.add_input("b");
-        let (_, y) = nl.add_gate_new(GateKind::And, "g", &[a, b]);
-        nl.mark_output(y);
-        let mut sim = Simulator::new(&nl, &FixedDelay::new(10));
-        settle_all(&mut sim);
-        sim.set_input(b, true, 0);
-        settle_all(&mut sim);
-        let transitions_before = sim.transitions(y);
-        sim.set_input(a, true, 0);
-        sim.set_input(a, false, 2);
-        settle_all(&mut sim);
-        assert_eq!(
-            sim.transitions(y),
-            transitions_before,
-            "pulse shorter than gate delay must be filtered"
-        );
-        assert_eq!(sim.glitches().len(), 1);
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("glitch");
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let (_, y) = nl.add_gate_new(GateKind::And, "g", &[a, b]);
+            nl.mark_output(y);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(10), q);
+            settle_all(&mut sim);
+            sim.set_input(b, true, 0);
+            settle_all(&mut sim);
+            let transitions_before = sim.transitions(y);
+            sim.set_input(a, true, 0);
+            sim.set_input(a, false, 2);
+            settle_all(&mut sim);
+            assert_eq!(
+                sim.transitions(y),
+                transitions_before,
+                "pulse shorter than gate delay must be filtered"
+            );
+            assert_eq!(sim.glitches().len(), 1);
+        });
     }
 
     #[test]
     fn transport_delay_passes_short_pulses() {
-        let mut nl = Netlist::new("pde");
-        let a = nl.add_input("a");
-        let (_, y) = nl.add_gate_new(GateKind::Delay(10), "d", &[a]);
-        nl.mark_output(y);
-        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
-        settle_all(&mut sim);
-        sim.set_input(a, true, 0);
-        sim.set_input(a, false, 2);
-        settle_all(&mut sim);
-        // Both edges arrive, 10 units late each.
-        assert_eq!(sim.transitions(y), 2);
-        assert!(sim.glitches().is_empty());
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("pde");
+            let a = nl.add_input("a");
+            let (_, y) = nl.add_gate_new(GateKind::Delay(10), "d", &[a]);
+            nl.mark_output(y);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(1), q);
+            settle_all(&mut sim);
+            sim.set_input(a, true, 0);
+            sim.set_input(a, false, 2);
+            settle_all(&mut sim);
+            // Both edges arrive, 10 units late each.
+            assert_eq!(sim.transitions(y), 2);
+            assert!(sim.glitches().is_empty());
+        });
     }
 
     #[test]
@@ -557,31 +700,35 @@ mod tests {
 
     #[test]
     fn quiescence_reporting() {
-        let mut nl = Netlist::new("q");
-        let a = nl.add_input("a");
-        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
-        nl.mark_output(y);
-        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
-        settle_all(&mut sim);
-        assert!(sim.is_quiescent());
-        sim.set_input(a, true, 5);
-        assert!(!sim.is_quiescent());
-        assert_eq!(sim.next_event_time(), Some(5));
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("q");
+            let a = nl.add_input("a");
+            let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+            nl.mark_output(y);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(1), q);
+            settle_all(&mut sim);
+            assert!(sim.is_quiescent());
+            sim.set_input(a, true, 5);
+            assert!(!sim.is_quiescent());
+            assert_eq!(sim.next_event_time(), Some(5));
+        });
     }
 
     #[test]
     fn oscillator_hits_event_limit() {
         // Ring oscillator: NOT gate feeding itself via feedback marking —
         // oscillates forever, settle must bail out.
-        let mut nl = Netlist::new("ring");
-        let y = nl.add_net("y");
-        let g = nl.add_gate(GateKind::Not, "inv", &[y], y);
-        nl.mark_feedback(g);
-        nl.mark_output(y);
-        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
-        let err = sim.settle(100).unwrap_err();
-        assert!(matches!(err, SimError::EventLimit { .. }));
-        assert!(err.to_string().contains("oscillation"));
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("ring");
+            let y = nl.add_net("y");
+            let g = nl.add_gate(GateKind::Not, "inv", &[y], y);
+            nl.mark_feedback(g);
+            nl.mark_output(y);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(1), q);
+            let err = sim.settle(100).unwrap_err();
+            assert!(matches!(err, SimError::EventLimit { .. }));
+            assert!(err.to_string().contains("oscillation"));
+        });
     }
 
     #[test]
@@ -607,16 +754,59 @@ mod tests {
 
     #[test]
     fn run_until_stops_at_time() {
-        let mut nl = Netlist::new("t");
-        let a = nl.add_input("a");
-        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("t");
+            let a = nl.add_input("a");
+            let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+            nl.mark_output(y);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(1), q);
+            settle_all(&mut sim);
+            sim.set_input(a, true, 100);
+            sim.run_until(50, 1000).unwrap();
+            assert!(!sim.value(y));
+            sim.run_until(200, 1000).unwrap();
+            assert!(sim.value(y));
+        });
+    }
+
+    #[test]
+    fn wide_gate_uses_spill_buffer() {
+        // A 12-input AND exceeds the inline buffer; the spill path must
+        // produce the same semantics.
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<_> = (0..12).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let (_, y) = nl.add_gate_new(GateKind::And, "and12", &ins);
         nl.mark_output(y);
         let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
         settle_all(&mut sim);
-        sim.set_input(a, true, 100);
-        sim.run_until(50, 1000).unwrap();
         assert!(!sim.value(y));
-        sim.run_until(200, 1000).unwrap();
+        for &i in &ins {
+            sim.set_input(i, true, 1);
+        }
+        settle_all(&mut sim);
         assert!(sim.value(y));
+        sim.set_input(ins[7], false, 1);
+        settle_all(&mut sim);
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn superseded_transition_is_not_double_committed() {
+        // Rapid A→B→A input wiggles on a slow buffer: only genuine level
+        // changes commit, and stale events never resurrect old values.
+        let mut nl = Netlist::new("wiggle");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(4));
+        settle_all(&mut sim);
+        sim.set_input(a, true, 1);
+        sim.set_input(a, false, 3);
+        sim.set_input(a, true, 5);
+        settle_all(&mut sim);
+        assert!(sim.value(y));
+        // The middle pulse (width 2 < delay 4) was inertially filtered.
+        assert_eq!(sim.glitches().len(), 1);
+        assert_eq!(sim.transitions(y), 1);
     }
 }

@@ -46,6 +46,7 @@ pub mod agents;
 pub mod delay;
 pub mod ditest;
 pub mod engine;
+pub mod queue;
 pub mod settle;
 pub mod trace;
 pub mod vcd;
@@ -54,4 +55,5 @@ pub use agents::{token_run, Token, TokenRunError, TokenRunOptions, TokenStream};
 pub use delay::{DelayModel, FixedDelay, PerKindDelay, RandomDelay};
 pub use ditest::{DiConfig, DiReport};
 pub use engine::{Glitch, SimError, SimTime, Simulator};
+pub use queue::QueueKind;
 pub use trace::Trace;

@@ -39,7 +39,13 @@ impl Trace {
     }
 
     /// Records a transition if `net` is watched.
+    #[inline]
     pub fn record(&mut self, net: NetId, time: SimTime, value: bool) {
+        // Fast path: simulations without watched nets pay one branch per
+        // committed transition, not a BTreeMap probe.
+        if self.waves.is_empty() {
+            return;
+        }
         if let Some(wave) = self.waves.get_mut(&net) {
             wave.push(Edge { time, value });
         }

@@ -1,0 +1,142 @@
+//! Local shim for the `criterion` API subset this workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::default()
+//! .sample_size(n)`, `bench_function`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple: per benchmark, a warm-up pass sizes
+//! the batch so one sample takes ≥ ~5 ms, then `sample_size` samples are
+//! timed with [`std::time::Instant`] and min/median/mean per-iteration
+//! times are printed. No statistical regression analysis, plots, or
+//! report files — the workspace's `bench_summary` binary handles
+//! machine-readable output instead.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark, printing a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            batch: 1,
+            samples: Vec::new(),
+            mode: Mode::Calibrate,
+        };
+        // Calibration: find a batch size where one sample ≥ ~5 ms.
+        loop {
+            b.samples.clear();
+            f(&mut b);
+            let elapsed = b.samples.last().copied().unwrap_or_default();
+            if elapsed >= Duration::from_millis(5) || b.batch >= 1 << 24 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                // Aim directly at the 5 ms target, capped at 16× per step.
+                (Duration::from_millis(5).as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16)
+                    as usize
+            };
+            b.batch *= grow;
+        }
+        // Measurement.
+        b.mode = Mode::Measure;
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let batch = b.batch as u32;
+        let mut per_iter: Vec<Duration> = b.samples.iter().map(|s| *s / batch).collect();
+        per_iter.sort_unstable();
+        let min = per_iter.first().copied().unwrap_or_default();
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        println!(
+            "bench {id:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples x {} iters)",
+            min, median, mean, per_iter.len(), b.batch
+        );
+        self
+    }
+
+    /// Compatibility no-op (the real criterion finalizes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+#[derive(Debug, PartialEq)]
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Per-benchmark timing handle passed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    batch: usize,
+    samples: Vec<Duration>,
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `batch` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+        if self.mode == Mode::Calibrate {
+            // One sample is enough while calibrating.
+        }
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion syntaxes).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,207 @@
+//! Local shim for the `rand` 0.9 API subset this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::random::<f64>()` and
+//! `Rng::random_range(lo..hi | lo..=hi)` on unsigned/usize ranges.
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — deterministic,
+//! fast, and statistically far better than needed for simulated annealing
+//! and adversarial delay assignment. NOT cryptographically secure (neither
+//! is the use site). Range sampling uses Lemire-style rejection so results
+//! are unbiased; determinism only has to hold within this workspace (all
+//! golden values are produced by this shim).
+
+#![forbid(unsafe_code)]
+
+/// Low-level entropy source: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed` (same seed ⇒ same stream).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T` over its natural domain
+    /// (`f64` ⇒ `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a canonical "whole domain" distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 high bits → [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased draw from `[0, span)` by rejection sampling.
+fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Zone is the largest multiple of span that fits in u64.
+    let zone = u64::MAX - (u64::MAX % span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+range_impl!(u8, u16, u32, u64, usize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64. Deterministic across platforms and releases of this
+    /// shim (golden values depend on it).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = r.random_range(3..=9);
+            assert!((3..=9).contains(&x));
+            let y: usize = r.random_range(0..5);
+            assert!(y < 5);
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_full_inclusive_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.random_range(0usize..=4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,312 @@
+//! Local, API-compatible shim for the subset of `serde` this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` plus JSON round-tripping via
+//! the sibling `serde_json` shim.
+//!
+//! The build environment has no registry access, so the real serde cannot
+//! be fetched. Instead of a full `Serializer`/`Deserializer` visitor
+//! architecture, this shim serializes through one concrete self-describing
+//! [`Value`] tree whose JSON mapping mirrors serde's defaults:
+//!
+//! * named structs → objects, field order preserved;
+//! * 1-field tuple structs (newtypes) → the inner value;
+//! * n-field tuple structs → arrays;
+//! * unit enum variants → `"Name"`; data variants → `{"Name": ...}`
+//!   (externally tagged, like stock serde);
+//! * `Option` → `null` / value, tuples and arrays → arrays.
+//!
+//! Swapping the real serde back in later requires no source changes in the
+//! workspace: only the manifests would change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialization tree (the shim's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (only produced by `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (covers u8..=u128 and usize).
+    UInt(u128),
+    /// Signed integer (covers i8..=i128 and isize; only negatives land here).
+    Int(i128),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Map with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a path-less message, like `serde_json::Error`'s
+/// `Display` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Object field lookup, erroring like serde's "missing field".
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Array element lookup, erroring like serde's "invalid length".
+    pub fn item(&self, index: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(index)
+                .ok_or_else(|| Error::msg(format!("invalid length, no element {index}"))),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Conversion into the shim's [`Value`] tree (stands in for `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the shim's [`Value`] tree (stands in for
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::msg(concat!("out of range for ", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(concat!("out of range for ", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i128;
+                if i < 0 { Value::Int(i) } else { Value::UInt(i as u128) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => i128::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::msg(concat!("out of range for ", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(concat!("out of range for ", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+uint_impl!(u8, u16, u32, u64, u128, usize);
+int_impl!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::msg(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::from_value(v.item($i)?)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-5i32).to_value()).unwrap(), -5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&v.to_value()).unwrap(), None);
+        let t = (1u8, "x".to_string());
+        assert_eq!(
+            <(u8, String)>::from_value(&t.to_value()).unwrap(),
+            (1u8, "x".to_string())
+        );
+        let arr = [true, false, true];
+        assert_eq!(<[bool; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+}
