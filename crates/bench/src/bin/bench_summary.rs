@@ -101,7 +101,50 @@ fn main() {
     std::fs::write(format!("{outdir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     print!("BENCH_sim.json:\n{sim_json}");
 
-    // --- Router workload (mirrors benches/cad_flow.rs bench_route) ---
+    // --- Router workloads ---
+    //
+    // Every row routes with the default options (A* lookahead on) and
+    // once more with `astar_fac = 0.0`, so the JSON carries both the A*
+    // effort (`nodes_popped`) and the uninformed-Dijkstra reference
+    // (`nodes_popped_dijkstra`) it is cutting down.
+    let mut cad_rows: Vec<String> = Vec::new();
+    let mut route_row = |name: &str, rrg: &Rrg, requests: &[msaf_cad::route::RouteRequest]| {
+        let first = route(rrg, requests, &RouteOptions::default()).expect("routes");
+        let dijkstra = route(
+            rrg,
+            requests,
+            &RouteOptions {
+                astar_fac: 0.0,
+                ..RouteOptions::default()
+            },
+        )
+        .expect("routes");
+        let (reps, total, best) = time_it(10, 300.0, || {
+            let r = route(rrg, requests, &RouteOptions::default()).expect("routes");
+            assert_eq!(r.iterations, first.iterations, "nondeterministic iterations");
+        });
+        let wirelength: usize = first
+            .trees
+            .iter()
+            .map(msaf_fabric::bitstream::RouteTree::wirelength)
+            .sum();
+        cad_rows.push(format!(
+            "{{\"name\": \"{}\", \"nets\": {}, \"iterations\": {}, \"ripups\": {}, \
+             \"nodes_popped\": {}, \"nodes_popped_dijkstra\": {}, \"wirelength\": {}, \
+             \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}",
+            name,
+            requests.len(),
+            first.iterations,
+            first.stats.ripups,
+            first.stats.nodes_popped,
+            dijkstra.stats.nodes_popped,
+            wirelength,
+            best,
+            total / f64::from(reps),
+        ));
+    };
+
+    // The paper-scale flow route (mirrors benches/cad_flow.rs bench_route).
     let arch = ArchSpec::paper(8, 8);
     let nl = msaf_bench::workloads::adder("qdi", 4).expect("workload");
     let mapped = map(&nl, &arch).expect("maps");
@@ -109,21 +152,22 @@ fn main() {
     let placement = place(&mapped, &packed, &arch, 7).expect("places");
     let rrg = Rrg::build(&arch);
     let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
-    let first = route(&rrg, &binding.requests, &RouteOptions::default()).expect("routes");
-    let (reps, total, best) = time_it(10, 300.0, || {
-        let r = route(&rrg, &binding.requests, &RouteOptions::default()).expect("routes");
-        assert_eq!(r.iterations, first.iterations, "nondeterministic iterations");
-    });
-    let wirelength: usize = first.trees.iter().map(msaf_fabric::bitstream::RouteTree::wirelength).sum();
-    let cad_json = format!(
-        "{{\n  \"workloads\": [\n    {{\"name\": \"route_qdi_adder_4b\", \"nets\": {}, \
-         \"iterations\": {}, \"wirelength\": {}, \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}\n  ]\n}}\n",
-        binding.requests.len(),
-        first.iterations,
-        wirelength,
-        best,
-        total / f64::from(reps),
-    );
+    route_row("route_qdi_adder_4b", &rrg, &binding.requests);
+
+    // The congestion stress workloads: first iteration conflicts, so
+    // `iterations > 1` and `ripups > 0` here are part of the contract.
+    for w in msaf_bench::workloads::routing_stress_suite() {
+        route_row(w.name, &w.rrg, &w.requests);
+    }
+
+    let mut cad_json = String::from("{\n  \"workloads\": [\n");
+    for (i, row) in cad_rows.iter().enumerate() {
+        cad_json.push_str(&format!(
+            "    {row}{}\n",
+            if i + 1 < cad_rows.len() { "," } else { "" }
+        ));
+    }
+    cad_json.push_str("  ]\n}\n");
     std::fs::write(format!("{outdir}/BENCH_cad.json"), &cad_json).expect("write BENCH_cad.json");
     print!("BENCH_cad.json:\n{cad_json}");
 }

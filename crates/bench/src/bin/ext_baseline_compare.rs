@@ -1,6 +1,6 @@
 //! X2: the same circuits on the paper's fabric vs the synchronous LUT4
-//! baseline (reference [3]: "most of the FPGA resources are then
-//! unexploited") and a PAPA-like single-style fabric (reference [8]).
+//! baseline (reference \[3\]: "most of the FPGA resources are then
+//! unexploited") and a PAPA-like single-style fabric (reference \[8\]).
 
 use msaf_baselines::{compare_styles, lut4_synchronous, papa_like};
 use msaf_bench::workloads::{adder, figure3};

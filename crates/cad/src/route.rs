@@ -1,14 +1,34 @@
 //! PathFinder negotiated-congestion routing over the fabric's routing
 //! resource graph.
 //!
-//! Classic iteration: route every net by Dijkstra with a cost that mixes
-//! base cost, *present* congestion (sharing this iteration) and
-//! *history* (sharing in past iterations); rip up and repeat with rising
-//! congestion pressure until no wire is shared.
+//! Classic iteration: route every net by an A*-guided Dijkstra with a
+//! cost that mixes base cost, *present* congestion (sharing this
+//! iteration) and *history* (sharing in past iterations); rip up and
+//! repeat with rising congestion pressure until no wire is shared.
+//!
+//! # Search guidance
+//!
+//! * **A\* lookahead** ([`RouteOptions::astar_fac`]): each wavefront
+//!   expansion is ordered by `g + astar_fac × h`, where `h` is the
+//!   Manhattan gap from the node's corner-grid extent
+//!   ([`msaf_fabric::rrg::NodeSpan`]) to the nearest remaining sink.
+//!   Every hop traverses at most one corner unit and costs at least the
+//!   base cost 1, so with `astar_fac ≤ 1.0` the heuristic is admissible:
+//!   the first sink popped carries exactly the cost Dijkstra would have
+//!   found, only with far fewer heap pops (the wavefront is a beam toward
+//!   the sink instead of a disc around the tree). `astar_fac = 0.0`
+//!   degenerates to the uninformed Dijkstra of the original
+//!   implementation, bit-for-bit — the route goldens pin that mode.
+//! * **Net ordering**: on congested iterations the rip-up set is
+//!   rerouted in decreasing bounding-box half-perimeter, so the nets with
+//!   the fewest routing alternatives (the long, channel-crossing ones)
+//!   negotiate for wires first and short nets detour around them — the
+//!   classic PathFinder ordering refinement. The first iteration keeps
+//!   request order, so conflict-free runs are unaffected.
 //!
 //! # Hot-path design
 //!
-//! * The per-sink Dijkstra keeps **no hash maps**: `dist`/`prev` are
+//! * The per-sink search keeps **no hash maps**: `dist`/`prev` are
 //!   dense arrays indexed by [`NodeId`] and invalidated in O(1) between
 //!   searches by a generation stamp, so nothing is cleared or
 //!   reallocated across the thousands of searches a routing run performs.
@@ -20,12 +40,13 @@
 //!   node are ripped up and rerouted; legal nets keep their trees and
 //!   their occupancy. On conflict-free placements this converges in the
 //!   same iteration count as full rip-up, and it never does more work.
+//!   [`RouteStats`] reports how often it fired.
 //! * Heap ordering uses [`f64::total_cmp`] — with `partial_cmp(..)
 //!   .unwrap_or(Equal)` a single NaN cost would silently corrupt the
 //!   priority queue's invariants and misroute everything after it.
 
 use msaf_fabric::bitstream::RouteTree;
-use msaf_fabric::rrg::{NodeId, Rrg, RrNodeKind};
+use msaf_fabric::rrg::{NodeId, NodeSpan, Rrg, RrNodeKind};
 use std::collections::BinaryHeap;
 
 /// One net to route.
@@ -48,6 +69,16 @@ pub struct RouteOptions {
     pub pres_fac_mult: f64,
     /// History increment per overused node per iteration.
     pub hist_fac: f64,
+    /// A* lookahead strength: the heap is ordered by `g + astar_fac × h`
+    /// with `h` the Manhattan corner-grid gap to the nearest remaining
+    /// sink ([`NodeSpan::manhattan_to`]).
+    ///
+    /// `0.0` disables the lookahead and reproduces the uninformed
+    /// Dijkstra bit-for-bit (the reference mode pinned by the route
+    /// goldens). Values in `(0.0, 1.0]` are **admissible** — identical
+    /// route costs, fewer heap pops; values above `1.0` trade optimality
+    /// for speed (not used by default).
+    pub astar_fac: f64,
 }
 
 impl Default for RouteOptions {
@@ -56,6 +87,7 @@ impl Default for RouteOptions {
             max_iterations: 40,
             pres_fac_mult: 1.8,
             hist_fac: 0.4,
+            astar_fac: 1.0,
         }
     }
 }
@@ -89,6 +121,19 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Search-effort counters for one routing run — the observables the
+/// stress benchmarks track (`bench_summary` writes them to
+/// `BENCH_cad.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Total heap pops across every per-sink search (the router's unit
+    /// of work; the A* lookahead exists to shrink this).
+    pub nodes_popped: u64,
+    /// Nets ripped up and rerouted after the first iteration (0 on a
+    /// conflict-free run — incremental rip-up never fired).
+    pub ripups: u64,
+}
+
 /// Result of a successful routing run.
 #[derive(Debug, Clone)]
 pub struct RoutingResult {
@@ -96,6 +141,8 @@ pub struct RoutingResult {
     pub trees: Vec<RouteTree>,
     /// PathFinder iterations used.
     pub iterations: usize,
+    /// Search-effort counters.
+    pub stats: RouteStats,
 }
 
 /// A grown route tree: `(node, parent)` pairs in discovery order
@@ -108,21 +155,33 @@ fn is_wire(kind: RrNodeKind) -> bool {
     matches!(kind, RrNodeKind::HWire { .. } | RrNodeKind::VWire { .. })
 }
 
-/// Max-heap entry ordered for a min-heap (reversed compare), with a
-/// deterministic node-id tie-break. `total_cmp` keeps the heap invariant
-/// even if a cost goes NaN (it then sorts greatest, surfacing the bug as
-/// a bad route instead of silent queue corruption).
-#[derive(PartialEq)]
-struct Entry(f64, NodeId);
+/// Max-heap entry ordered for a min-heap (reversed compare) on the A*
+/// priority `f = g + h`, with a deterministic node-id tie-break; the
+/// plain path cost `g` rides along for the staleness check. With a zero
+/// heuristic `f == g` and the order is exactly the original Dijkstra's.
+/// `total_cmp` keeps the heap invariant even if a cost goes NaN (it then
+/// sorts greatest, surfacing the bug as a bad route instead of silent
+/// queue corruption).
+struct Entry {
+    f: f64,
+    g: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 
 impl Eq for Entry {}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         other
-            .0
-            .total_cmp(&self.0)
-            .then_with(|| other.1.cmp(&self.1))
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -146,6 +205,11 @@ struct Scratch {
     target_stamp: Vec<u32>,
     net: u32,
     heap: BinaryHeap<Entry>,
+    /// Remaining sinks of the current net with their corner-grid spans —
+    /// the A* heuristic's target set (pruned as sinks are reached).
+    targets: Vec<(NodeId, NodeSpan)>,
+    /// Heap pops accumulated across the whole routing run.
+    popped: u64,
 }
 
 impl Scratch {
@@ -159,6 +223,8 @@ impl Scratch {
             target_stamp: vec![0; n],
             net: 0,
             heap: BinaryHeap::new(),
+            targets: Vec::new(),
+            popped: 0,
         }
     }
 
@@ -180,6 +246,37 @@ impl Scratch {
     fn is_target(&self, n: NodeId) -> bool {
         self.target_stamp[n.index()] == self.net
     }
+
+    /// A* lookahead: `astar_fac ×` the Manhattan corner-grid gap from
+    /// `span` to the nearest remaining sink. Zero when the lookahead is
+    /// disabled (keeping the search bit-identical to plain Dijkstra).
+    #[inline]
+    fn lookahead(&self, astar_fac: f64, span: NodeSpan) -> f64 {
+        if astar_fac == 0.0 {
+            return 0.0;
+        }
+        let mut best = u32::MAX;
+        for &(_, ts) in &self.targets {
+            best = best.min(span.manhattan_to(ts));
+        }
+        astar_fac * f64::from(best)
+    }
+}
+
+/// Bounding-box half-perimeter of a request (source plus all sinks), in
+/// corner units — the congested-iteration ordering key: big boxes have
+/// the fewest detour options and negotiate first.
+fn bbox_half_perimeter(rrg: &Rrg, req: &RouteRequest) -> u32 {
+    let s = rrg.span(req.source);
+    let (mut x_lo, mut y_lo, mut x_hi, mut y_hi) = (s.x_lo, s.y_lo, s.x_hi, s.y_hi);
+    for &sink in &req.sinks {
+        let t = rrg.span(sink);
+        x_lo = x_lo.min(t.x_lo);
+        y_lo = y_lo.min(t.y_lo);
+        x_hi = x_hi.max(t.x_hi);
+        y_hi = y_hi.max(t.y_hi);
+    }
+    u32::from(x_hi - x_lo) + u32::from(y_hi - y_lo)
 }
 
 /// Routes all `requests` over `rrg`.
@@ -198,13 +295,18 @@ pub fn route(
     let mut trees: Vec<Option<NetTree>> = vec![None; requests.len()];
     let mut pres_fac = 1.0f64;
     let mut scratch = Scratch::new(n);
-    // Nets to (re)route this iteration; all of them on the first.
+    let mut ripups = 0u64;
+    // Nets to (re)route this iteration; all of them, in request order, on
+    // the first.
     let mut reroute: Vec<usize> = (0..requests.len()).collect();
+    // Congested-iteration ordering key, computed lazily on first rip-up.
+    let mut bbox: Vec<u32> = Vec::new();
 
     for iteration in 0..opts.max_iterations {
         for &ri in &reroute {
             // Rip up the net's previous tree, returning its occupancy.
             if let Some(tree) = trees[ri].take() {
+                ripups += 1;
                 for (node, _) in tree {
                     if is_wire(rrg.kind(node)) {
                         occupancy[node.index()] -= 1;
@@ -212,10 +314,18 @@ pub fn route(
                 }
             }
             let req = &requests[ri];
-            let tree = route_net(rrg, req, &occupancy, &history, pres_fac, &mut scratch)
-                .ok_or_else(|| RouteError::Unreachable {
-                    net: req.net.clone(),
-                })?;
+            let tree = route_net(
+                rrg,
+                req,
+                &occupancy,
+                &history,
+                pres_fac,
+                opts.astar_fac,
+                &mut scratch,
+            )
+            .ok_or_else(|| RouteError::Unreachable {
+                net: req.net.clone(),
+            })?;
             for (node, _) in &tree {
                 if is_wire(rrg.kind(*node)) {
                     occupancy[node.index()] += 1;
@@ -241,6 +351,10 @@ pub fn route(
             return Ok(RoutingResult {
                 trees,
                 iterations: iteration + 1,
+                stats: RouteStats {
+                    nodes_popped: scratch.popped,
+                    ripups,
+                },
             });
         }
         pres_fac *= opts.pres_fac_mult;
@@ -258,14 +372,27 @@ pub fn route(
                 reroute.push(ri);
             }
         }
+        // Congested-iteration net ordering: biggest bounding box first —
+        // those nets cross the most channels and have the fewest
+        // alternatives, so they claim wires before short nets fill in
+        // around them. Request index breaks ties for determinism.
+        if bbox.is_empty() {
+            bbox = requests
+                .iter()
+                .map(|req| bbox_half_perimeter(rrg, req))
+                .collect();
+        }
+        reroute.sort_by_key(|&ri| (std::cmp::Reverse(bbox[ri]), ri));
     }
 
     let overused = occupancy.iter().filter(|&&o| o > 1).count();
     Err(RouteError::Unroutable { overused })
 }
 
-/// Dijkstra-grown route tree for one net: returns `(node, parent)` pairs
-/// in discovery order (source first, parent `None`).
+/// A\*-grown route tree for one net: returns `(node, parent)` pairs
+/// in discovery order (source first, parent `None`). Each per-sink
+/// search is Dijkstra guided by [`Scratch::lookahead`]; with an
+/// admissible factor the found path costs are exactly Dijkstra's.
 ///
 /// Allocation-free per call apart from the returned tree: all search
 /// state lives in the stamped `scratch`.
@@ -275,6 +402,7 @@ fn route_net(
     occupancy: &[u32],
     history: &[f64],
     pres_fac: f64,
+    astar_fac: f64,
     scratch: &mut Scratch,
 ) -> Option<NetTree> {
     let node_cost = |id: NodeId, in_tree: bool| -> f64 {
@@ -300,13 +428,16 @@ fn route_net(
         scratch.target_stamp.fill(0);
         scratch.net = 1;
     }
+    let spans = rrg.spans();
     scratch.in_tree_stamp[req.source.index()] = scratch.net;
+    scratch.targets.clear();
     let mut remaining = 0usize;
     for &s in &req.sinks {
         // A sink already in the tree (the source itself) needs no search;
         // duplicated sinks count once.
         if !scratch.in_tree(s) && !scratch.is_target(s) {
             scratch.target_stamp[s.index()] = scratch.net;
+            scratch.targets.push((s, spans[s.index()]));
             remaining += 1;
         }
     }
@@ -315,8 +446,9 @@ fn route_net(
     let mut path: Vec<NodeId> = Vec::new();
 
     while remaining > 0 {
-        // Dijkstra from the whole current tree to the nearest remaining
-        // sink. Seed from every tree node at distance 0.
+        // A* from the whole current tree to the nearest remaining sink.
+        // Seed from every tree node at path cost 0 (heap priority = pure
+        // lookahead).
         scratch.search = scratch.search.wrapping_add(1);
         if scratch.search == 0 {
             scratch.search_stamp.fill(0);
@@ -326,11 +458,16 @@ fn route_net(
         for (node, _) in &tree {
             scratch.search_stamp[node.index()] = scratch.search;
             scratch.dist[node.index()] = 0.0;
-            scratch.heap.push(Entry(0.0, *node));
+            scratch.heap.push(Entry {
+                f: scratch.lookahead(astar_fac, spans[node.index()]),
+                g: 0.0,
+                node: *node,
+            });
         }
         let mut found: Option<NodeId> = None;
-        while let Some(Entry(d, u)) = scratch.heap.pop() {
-            if d > scratch.dist_of(u) {
+        while let Some(Entry { g, node: u, .. }) = scratch.heap.pop() {
+            scratch.popped += 1;
+            if g > scratch.dist_of(u) {
                 continue;
             }
             if scratch.is_target(u) && !scratch.in_tree(u) {
@@ -349,12 +486,16 @@ fn route_net(
                 if !enterable {
                     continue;
                 }
-                let nd = d + node_cost(v, scratch.in_tree(v));
+                let nd = g + node_cost(v, scratch.in_tree(v));
                 if nd < scratch.dist_of(v) {
                     scratch.search_stamp[v.index()] = scratch.search;
                     scratch.dist[v.index()] = nd;
                     scratch.prev[v.index()] = u;
-                    scratch.heap.push(Entry(nd, v));
+                    scratch.heap.push(Entry {
+                        f: nd + scratch.lookahead(astar_fac, spans[v.index()]),
+                        g: nd,
+                        node: v,
+                    });
                 }
             }
         }
@@ -379,8 +520,11 @@ fn route_net(
                 tree.push((child, Some(parent)));
             }
         }
-        // The sink is no longer a target.
+        // The sink is no longer a target (nor a lookahead attractor).
         scratch.target_stamp[sink.index()] = 0;
+        if let Some(pos) = scratch.targets.iter().position(|&(t, _)| t == sink) {
+            scratch.targets.swap_remove(pos);
+        }
         remaining -= 1;
     }
     Some(tree)
@@ -511,6 +655,89 @@ mod tests {
         }
         let err = route(&g, &reqs, &RouteOptions::default()).unwrap_err();
         assert!(matches!(err, RouteError::Unroutable { .. }));
+    }
+
+    /// A bus forced through a narrowed channel: 8 nets leave column 0 of
+    /// a 4×2 grid and terminate in column 3, with only 3 tracks per
+    /// channel — every vertical cut must carry all 8 nets over 9 wires,
+    /// so the first iteration overlaps somewhere (mirrors the
+    /// `stress_dual_rail_bus` bench workload).
+    fn contended_bus() -> (Rrg, Vec<RouteRequest>) {
+        let mut a = ArchSpec::paper(4, 2);
+        a.channel_width = 3;
+        let g = Rrg::build(&a);
+        let reqs = (0..8)
+            .map(|rail| RouteRequest {
+                net: format!("bus{rail}"),
+                source: g
+                    .node(RrNodeKind::Opin {
+                        x: 0,
+                        y: rail % 2,
+                        pin: rail / 2,
+                    })
+                    .unwrap(),
+                sinks: vec![g
+                    .node(RrNodeKind::Ipin {
+                        x: 3,
+                        y: rail % 2,
+                        pin: rail / 2,
+                    })
+                    .unwrap()],
+            })
+            .collect();
+        (g, reqs)
+    }
+
+    #[test]
+    fn congested_first_iteration_negotiates_and_rips_up() {
+        let (g, reqs) = contended_bus();
+        let res = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        // Convergence through actual negotiation, not a lucky first pass.
+        assert!(res.iterations > 1, "first iteration did not conflict");
+        assert!(res.stats.ripups > 0, "incremental rip-up never fired");
+        // Legality: no wire in two trees.
+        let mut used = std::collections::HashMap::new();
+        for t in &res.trees {
+            for n in &t.nodes {
+                if matches!(n, RrNodeKind::HWire { .. } | RrNodeKind::VWire { .. }) {
+                    if let Some(other) = used.insert(*n, t.net.clone()) {
+                        panic!("wire {n:?} shared by {other} and {}", t.net);
+                    }
+                }
+            }
+        }
+        // Every request still reaches all of its sinks.
+        for (t, req) in res.trees.iter().zip(&reqs) {
+            for &s in &req.sinks {
+                assert!(t.nodes.contains(&g.kind(s)), "{}: sink dropped", t.net);
+            }
+        }
+    }
+
+    #[test]
+    fn congested_outcome_identical_with_and_without_lookahead() {
+        // Guaranteed by admissibility: each per-sink search finds a
+        // path of the same congestion-weighted cost, with a smaller (≤)
+        // frontier. The iteration-count and wirelength *equalities* are
+        // stronger than the theory promises (equal-cost paths may
+        // tie-break differently) — they are empirical pins on this
+        // workload; if an innocuous change (new workload geometry,
+        // different arch) trips them while legality holds, re-pin.
+        let (g, reqs) = contended_bus();
+        let astar = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        let dijkstra = route(
+            &g,
+            &reqs,
+            &RouteOptions {
+                astar_fac: 0.0,
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(astar.iterations, dijkstra.iterations);
+        let wl = |r: &RoutingResult| -> usize { r.trees.iter().map(RouteTree::wirelength).sum() };
+        assert_eq!(wl(&astar), wl(&dijkstra));
+        assert!(astar.stats.nodes_popped < dijkstra.stats.nodes_popped);
     }
 
     #[test]

@@ -196,6 +196,43 @@ mod tests {
     }
 
     #[test]
+    fn congested_route_still_verifies() {
+        // Pin the channel width low enough that routing the QDI full
+        // adder needs PathFinder negotiation (>1 iteration, rip-ups) but
+        // still converges — then the programmed fabric must *still*
+        // transfer the same tokens. Guards the whole congestion path
+        // (history costs, incremental rip-up, net ordering, A*) at the
+        // functional level, not just graph legality.
+        use crate::flow::{compile, FlowOptions};
+        let nl = qdi_full_adder();
+        let opts = FlowOptions {
+            channel_width: Some(4),
+            ..FlowOptions::default()
+        };
+        let compiled = compile(&nl, &opts).expect("congested compile converges");
+        assert!(
+            compiled.report.route_iterations > 1,
+            "channel width 4 no longer congests; tighten the pin"
+        );
+        let mut inputs = BTreeMap::new();
+        inputs.insert("op".to_string(), (0..8).collect::<Vec<u64>>());
+        let report = verify_tokens(
+            &nl,
+            &compiled.mapped,
+            &compiled.config,
+            &inputs,
+            &PerKindDelay::new(),
+            &TokenRunOptions::default(),
+        )
+        .expect("verification runs");
+        assert!(
+            report.matches,
+            "congested route broke the fabric: original {:?} vs fabric {:?}",
+            report.original, report.fabric
+        );
+    }
+
+    #[test]
     fn micropipeline_fa_fabric_matches_source() {
         let report = compile_and_verify(
             &micropipeline_full_adder(SAFE_FA_MATCHED_DELAY),

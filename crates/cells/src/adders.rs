@@ -168,7 +168,7 @@ pub fn bundled_ripple_adder(width: usize, matched_delay: u32) -> Netlist {
 }
 
 /// A matched-delay tap count that covers the `width`-bit ripple datapath
-/// under [`msaf_sim::PerKindDelay`]: latch (3) + `width` majority LUTs
+/// under `msaf_sim::PerKindDelay`: latch (3) + `width` majority LUTs
 /// (4 each) + final XOR (3) + slack.
 #[must_use]
 pub fn suggested_bundled_adder_delay(width: usize) -> u32 {

@@ -1,7 +1,7 @@
 //! Dual-rail signals, DIMS function blocks and completion detection.
 //!
 //! DIMS (Delay-Insensitive Minterm Synthesis) is the textbook QDI logic
-//! style (Sparsø & Furber, the paper's reference [9]): every minterm of
+//! style (Sparsø & Furber, the paper's reference \[9\]): every minterm of
 //! the inputs gets a Muller C-element, and each output rail ORs the
 //! minterms on which it fires. Outputs become valid only after *all*
 //! inputs are valid and return to neutral only after all inputs are

@@ -137,7 +137,7 @@ pub fn micropipeline_full_adder(matched_delay: u32) -> Netlist {
 }
 
 /// A matched-delay tap setting that safely covers the full-adder datapath
-/// under the [`msaf_sim::PerKindDelay`] technology model: latch (3) +
+/// under the `msaf_sim::PerKindDelay` technology model: latch (3) +
 /// LUT3 (4) + slack.
 pub const SAFE_FA_MATCHED_DELAY: u32 = 12;
 

@@ -86,7 +86,7 @@ pub struct ImSpec {
     /// Whether LE outputs may loop back to LE inputs of the same PLB —
     /// the mechanism behind looped-LUT memory elements. Disabling this is
     /// the `no_feedback` ablation: C-elements then need a routing-fabric
-    /// round trip (as on a conventional FPGA, the paper's reference [3]).
+    /// round trip (as on a conventional FPGA, the paper's reference \[3\]).
     pub allows_feedback: bool,
 }
 
@@ -107,7 +107,7 @@ pub struct PlbSpec {
     pub outputs: usize,
     /// D flip-flops per PLB — **zero** in the paper's fabric (asynchronous
     /// logic cannot use them), non-zero on the synchronous baseline where
-    /// they sit idle and depress the filling ratio (reference [3]).
+    /// they sit idle and depress the filling ratio (reference \[3\]).
     pub dffs: usize,
 }
 

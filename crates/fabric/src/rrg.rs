@@ -20,6 +20,12 @@
 //! Wires are bidirectional; the graph stores undirected adjacency and the
 //! router expands both ways. Every node carries a capacity of one signal
 //! — the PathFinder router in `msaf-cad` negotiates congestion on top.
+//!
+//! Every node also carries its corner-grid extent ([`NodeSpan`],
+//! precomputed at build time): one hop never traverses more than one
+//! corner unit, so span-to-span Manhattan gaps lower-bound remaining hop
+//! counts — the admissible A* lookahead the router's searches are
+//! ordered by.
 
 use crate::arch::{ArchSpec, SwitchBoxKind};
 use serde::{Deserialize, Serialize};
@@ -92,10 +98,59 @@ pub enum RrNodeKind {
     },
 }
 
+/// Axis-aligned extent of a routing node on the switch-box corner grid,
+/// in corner units (see the module docs for the geometry conventions).
+///
+/// * a horizontal wire `H(x, y, t)` spans corners `(x, y)`–`(x+1, y)`;
+/// * a vertical wire `V(x, y, t)` spans `(x, y)`–`(x, y+1)`;
+/// * a pin of tile `(x, y)` spans the tile's bounding corners
+///   `(x, y)`–`(x+1, y+1)` (a pin's connection box can tap any of the
+///   four bounding channels, so the whole tile footprint is reachable in
+///   one hop);
+/// * a pad spans its perimeter channel segment.
+///
+/// Spans exist so the router can run an **admissible distance lookahead**
+/// ([`NodeSpan::manhattan_to`]): every routing hop traverses at most one
+/// corner unit, so the span-to-span Manhattan gap lower-bounds the number
+/// of nodes still to be entered on any path between two resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpan {
+    /// West extent, in corner units.
+    pub x_lo: u16,
+    /// South extent, in corner units.
+    pub y_lo: u16,
+    /// East extent, in corner units.
+    pub x_hi: u16,
+    /// North extent, in corner units.
+    pub y_hi: u16,
+}
+
+impl NodeSpan {
+    /// Manhattan gap between two spans: 0 when they overlap or touch on
+    /// both axes, otherwise the sum of the per-axis gaps.
+    ///
+    /// Because every wire is one corner unit long and pins/pads attach
+    /// to the channels bounding their span, a legal route from a node to
+    /// a target needs **at least** `manhattan_to` further hops, each of
+    /// cost ≥ 1 under the PathFinder cost function (base cost 1, history
+    /// and present factors only ever increase it). Scaled by a factor
+    /// ≤ the minimum per-hop cost this is therefore an admissible (and
+    /// consistent) A* heuristic.
+    #[must_use]
+    pub fn manhattan_to(self, other: NodeSpan) -> u32 {
+        let axis = |lo_a: u16, hi_a: u16, lo_b: u16, hi_b: u16| -> u32 {
+            u32::from(lo_b.saturating_sub(hi_a)) + u32::from(lo_a.saturating_sub(hi_b))
+        };
+        axis(self.x_lo, self.x_hi, other.x_lo, other.x_hi)
+            + axis(self.y_lo, self.y_hi, other.y_lo, other.y_hi)
+    }
+}
+
 /// The routing resource graph for one architecture instance.
 #[derive(Debug, Clone)]
 pub struct Rrg {
     nodes: Vec<RrNodeKind>,
+    spans: Vec<NodeSpan>,
     adj: Vec<Vec<NodeId>>,
     lookup: HashMap<RrNodeKind, NodeId>,
     pad_count: usize,
@@ -115,6 +170,7 @@ impl Rrg {
         let (w, h, cw) = (arch.width, arch.height, arch.channel_width);
         let mut g = Self {
             nodes: Vec::new(),
+            spans: Vec::new(),
             adj: Vec::new(),
             lookup: HashMap::new(),
             pad_count: 0,
@@ -182,9 +238,38 @@ impl Rrg {
     fn add(&mut self, kind: RrNodeKind) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("graph too large"));
         self.nodes.push(kind);
+        self.spans.push(self.span_of(kind));
         self.adj.push(Vec::new());
         self.lookup.insert(kind, id);
         id
+    }
+
+    /// Corner-grid extent of `kind` (see [`NodeSpan`]).
+    fn span_of(&self, kind: RrNodeKind) -> NodeSpan {
+        let c = |v: usize| u16::try_from(v).expect("grid too large for NodeSpan");
+        match kind {
+            RrNodeKind::HWire { x, y, .. } => NodeSpan {
+                x_lo: c(x),
+                y_lo: c(y),
+                x_hi: c(x + 1),
+                y_hi: c(y),
+            },
+            RrNodeKind::VWire { x, y, .. } => NodeSpan {
+                x_lo: c(x),
+                y_lo: c(y),
+                x_hi: c(x),
+                y_hi: c(y + 1),
+            },
+            RrNodeKind::Opin { x, y, .. } | RrNodeKind::Ipin { x, y, .. } => NodeSpan {
+                x_lo: c(x),
+                y_lo: c(y),
+                x_hi: c(x + 1),
+                y_hi: c(y + 1),
+            },
+            // A pad sits on its perimeter channel segment; reuse that
+            // wire's span (track choice does not move the span).
+            RrNodeKind::Pad { id } => self.span_of(self.pad_channel(id, 0)),
+        }
     }
 
     /// The channel wire pad `id` attaches to, track `t`.
@@ -346,6 +431,25 @@ impl Rrg {
         &self.adj[id.index()]
     }
 
+    /// Corner-grid extent of node `id` (see [`NodeSpan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn span(&self, id: NodeId) -> NodeSpan {
+        self.spans[id.index()]
+    }
+
+    /// All node spans as one dense slice indexed by [`NodeId::index`],
+    /// for consumers that read spans in a tight loop (the router's A*
+    /// lookahead fetches this once per net instead of calling
+    /// [`Rrg::span`] per relaxation).
+    #[must_use]
+    pub fn spans(&self) -> &[NodeSpan] {
+        &self.spans
+    }
+
     /// Looks a node up by kind.
     #[must_use]
     pub fn node(&self, kind: RrNodeKind) -> Option<NodeId> {
@@ -462,6 +566,94 @@ mod tests {
             );
             let (x, y) = g.pad_position(id);
             assert!(x < 2 && y < 2);
+        }
+    }
+
+    #[test]
+    fn spans_follow_geometry() {
+        let g = Rrg::build(&arch());
+        let h = g.node(RrNodeKind::HWire { x: 1, y: 2, t: 0 }).unwrap();
+        assert_eq!(
+            g.span(h),
+            NodeSpan {
+                x_lo: 1,
+                y_lo: 2,
+                x_hi: 2,
+                y_hi: 2
+            }
+        );
+        let v = g.node(RrNodeKind::VWire { x: 2, y: 0, t: 3 }).unwrap();
+        assert_eq!(
+            g.span(v),
+            NodeSpan {
+                x_lo: 2,
+                y_lo: 0,
+                x_hi: 2,
+                y_hi: 1
+            }
+        );
+        let pin = g.node(RrNodeKind::Ipin { x: 1, y: 1, pin: 0 }).unwrap();
+        assert_eq!(
+            g.span(pin),
+            NodeSpan {
+                x_lo: 1,
+                y_lo: 1,
+                x_hi: 2,
+                y_hi: 2
+            }
+        );
+        // Pad 0 sits on the south row segment H(0, 0).
+        let pad = g.node(RrNodeKind::Pad { id: 0 }).unwrap();
+        assert_eq!(g.span(pad), g.span(g.node(RrNodeKind::HWire { x: 0, y: 0, t: 0 }).unwrap()));
+        assert_eq!(g.spans().len(), g.len());
+    }
+
+    #[test]
+    fn span_distance_is_interval_gap() {
+        let a = NodeSpan {
+            x_lo: 0,
+            y_lo: 0,
+            x_hi: 1,
+            y_hi: 0,
+        };
+        let b = NodeSpan {
+            x_lo: 3,
+            y_lo: 2,
+            x_hi: 4,
+            y_hi: 2,
+        };
+        assert_eq!(a.manhattan_to(b), 2 + 2);
+        assert_eq!(b.manhattan_to(a), 4);
+        // Touching or overlapping spans have zero gap.
+        let c = NodeSpan {
+            x_lo: 1,
+            y_lo: 0,
+            x_hi: 2,
+            y_hi: 0,
+        };
+        assert_eq!(a.manhattan_to(c), 0);
+        assert_eq!(a.manhattan_to(a), 0);
+    }
+
+    #[test]
+    fn span_lower_bounds_hop_count() {
+        // The admissibility invariant the router's A* relies on: along
+        // any adjacency edge the span gap to a fixed target shrinks by
+        // at most 1.
+        let g = Rrg::build(&arch());
+        let target = g.span(g.node(RrNodeKind::Ipin { x: 1, y: 1, pin: 0 }).unwrap());
+        for i in 0..g.len() {
+            let u = NodeId(u32::try_from(i).unwrap());
+            let du = g.span(u).manhattan_to(target);
+            for &v in g.neighbors(u) {
+                let dv = g.span(v).manhattan_to(target);
+                assert!(
+                    dv + 1 >= du,
+                    "edge {:?} -> {:?} shrinks the gap by more than one ({du} -> {dv})",
+                    g.kind(u),
+                    g.kind(v)
+                );
+            }
         }
     }
 

@@ -174,7 +174,7 @@ pub enum GateKind {
     /// n-ary Muller C-element: output goes high when **all** inputs are
     /// high, low when **all** inputs are low, and otherwise holds its
     /// previous value. The canonical asynchronous synchronisation
-    /// primitive ([Sparsø & Furber], the paper's reference [9]).
+    /// primitive ([Sparsø & Furber], the paper's reference \[9\]).
     ///
     /// [Sparsø & Furber]: https://doi.org/10.1007/978-1-4757-3385-0
     Celement,

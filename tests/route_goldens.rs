@@ -1,0 +1,105 @@
+//! Route-golden regression for the A* lookahead (PR 2), in the style of
+//! `equivalence.rs`: the zero-heuristic fallback (`astar_fac = 0.0`)
+//! must keep producing the uninformed-Dijkstra routes bit-for-bit, and
+//! the default admissible lookahead must change only the search effort —
+//! never the cost of the solution.
+//!
+//! The digest below was captured from the zero-heuristic router on the
+//! `route_qdi_adder_4b` workload (the committed `BENCH_cad.json`
+//! workload: 66 nets, 1 iteration, wirelength 215) at the moment the A*
+//! machinery landed, when `astar_fac = 0.0` was verified to execute the
+//! exact pop/relax sequence of the pre-A* implementation (with a zero
+//! heuristic the A* priority `f = g + 0` and its tie-break collapse to
+//! the original Dijkstra ordering). Any drift means the fallback no
+//! longer reproduces the reference router — fail loudly.
+
+use msaf::cad::bitgen::bind;
+use msaf::cad::pack::pack;
+use msaf::cad::place::place;
+use msaf::cad::route::{route, RouteOptions, RoutingResult};
+use msaf::cad::techmap::map;
+use msaf::fabric::arch::ArchSpec;
+use msaf::fabric::bitstream::RouteTree;
+use msaf::fabric::rrg::Rrg;
+use msaf::prelude::*;
+
+/// FNV-1a over the debug rendering of every route tree, in request
+/// order — a stable, dependency-free "byte identity" for a routing
+/// solution (node kinds, tree shapes, and edge order all feed in).
+fn digest(trees: &[RouteTree]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in trees {
+        for byte in format!("{t:?}").bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The `route_qdi_adder_4b` workload exactly as `bench_summary` builds
+/// it (paper arch 8×8, placement seed 7).
+fn adder_workload() -> (Rrg, Vec<msaf::cad::route::RouteRequest>) {
+    let arch = ArchSpec::paper(8, 8);
+    let nl = qdi_ripple_adder(4);
+    let mapped = map(&nl, &arch).expect("maps");
+    let packed = pack(&mapped, &arch).expect("packs");
+    let placement = place(&mapped, &packed, &arch, 7).expect("places");
+    let rrg = Rrg::build(&arch);
+    let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
+    (rrg, binding.requests)
+}
+
+fn wirelength(r: &RoutingResult) -> usize {
+    r.trees.iter().map(RouteTree::wirelength).sum()
+}
+
+/// Captured from the zero-heuristic (reference Dijkstra) router.
+const GOLDEN_DIGEST: u64 = 1_597_757_177_387_201_146;
+
+#[test]
+fn zero_heuristic_fallback_matches_reference_dijkstra() {
+    let (rrg, requests) = adder_workload();
+    let opts = RouteOptions {
+        astar_fac: 0.0,
+        ..RouteOptions::default()
+    };
+    let res = route(&rrg, &requests, &opts).expect("routes");
+    assert_eq!(res.iterations, 1, "reference workload must stay conflict-free");
+    assert_eq!(res.stats.ripups, 0, "conflict-free run must not rip up");
+    assert_eq!(wirelength(&res), 215, "reference wirelength drifted");
+    assert_eq!(
+        digest(&res.trees),
+        GOLDEN_DIGEST,
+        "zero-heuristic routes are no longer byte-identical to the reference Dijkstra"
+    );
+}
+
+#[test]
+fn astar_is_cost_neutral_and_pops_fewer_nodes() {
+    let (rrg, requests) = adder_workload();
+    let astar = route(&rrg, &requests, &RouteOptions::default()).expect("routes");
+    let dijkstra = route(
+        &rrg,
+        &requests,
+        &RouteOptions {
+            astar_fac: 0.0,
+            ..RouteOptions::default()
+        },
+    )
+    .expect("routes");
+    // Admissibility guarantees equal congestion-weighted path costs per
+    // search. The iteration and wirelength *equalities* below are
+    // empirical pins of this workload (equal-cost trees happen to
+    // coincide); if a benign change trips them, verify legality and
+    // re-pin rather than suspecting the lookahead...
+    assert_eq!(astar.iterations, dijkstra.iterations);
+    assert_eq!(wirelength(&astar), wirelength(&dijkstra));
+    // ...but a strictly smaller search frontier.
+    assert!(
+        astar.stats.nodes_popped < dijkstra.stats.nodes_popped,
+        "A* popped {} nodes, reference Dijkstra {}",
+        astar.stats.nodes_popped,
+        dijkstra.stats.nodes_popped
+    );
+}
