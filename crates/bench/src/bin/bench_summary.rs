@@ -1,9 +1,20 @@
 //! Machine-readable perf snapshot: times the simulator token-throughput
-//! workloads and the router workload with [`std::time::Instant`] and
+//! workloads and the router workloads with [`std::time::Instant`] and
 //! writes `BENCH_sim.json` / `BENCH_cad.json` so the perf trajectory of
 //! every PR is diffable.
 //!
-//! Usage: `cargo run --release -p msaf-bench --bin bench_summary [outdir]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p msaf-bench --bin bench_summary [outdir] [--check]
+//! ```
+//!
+//! With `--check`, nothing is written: every workload runs once and its
+//! **structural** fields (event counts, glitches, net counts, router
+//! iterations, rip-ups, nodes popped, wirelength — everything except the
+//! timings) are diffed against the committed `BENCH_*.json` in `outdir`.
+//! A mismatch means circuit or tool behaviour drifted without the
+//! snapshot being regenerated — the process exits non-zero so CI fails.
 
 use msaf_cad::bitgen::bind;
 use msaf_cad::pack::pack;
@@ -17,12 +28,13 @@ use msaf_fabric::rrg::Rrg;
 use msaf_netlist::Netlist;
 use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
 use std::collections::BTreeMap;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn inputs(tokens: u64, mask: u64) -> BTreeMap<String, Vec<u64>> {
+fn inputs(channel: &str, tokens: u64, mask: u64) -> BTreeMap<String, Vec<u64>> {
     let mut m = BTreeMap::new();
     m.insert(
-        "in".to_string(),
+        channel.to_string(),
         (0..tokens).map(|i| (i * 7 + 3) & mask).collect(),
     );
     m
@@ -56,15 +68,19 @@ struct SimRow {
     glitches: u64,
 }
 
-fn sim_workload(name: &'static str, nl: &Netlist) -> SimRow {
-    let ins = inputs(32, 0xF);
+fn sim_workload(name: &'static str, nl: &Netlist, channel: &str, timed: bool) -> SimRow {
+    let ins = inputs(channel, 32, 0xF);
     let opts = TokenRunOptions::default();
     let report = token_run(nl, &PerKindDelay::new(), &ins, &opts).expect("workload runs");
-    let (reps, total, best) = time_it(10, 300.0, || {
-        let r = token_run(nl, &PerKindDelay::new(), &ins, &opts).expect("workload runs");
-        assert_eq!(r.events, report.events, "nondeterministic event count");
-    });
-    let mean = total / f64::from(reps);
+    let (best, mean) = if timed {
+        let (reps, total, best) = time_it(10, 300.0, || {
+            let r = token_run(nl, &PerKindDelay::new(), &ins, &opts).expect("workload runs");
+            assert_eq!(r.events, report.events, "nondeterministic event count");
+        });
+        (best, total / f64::from(reps))
+    } else {
+        (f64::NAN, f64::NAN)
+    };
     SimRow {
         name,
         events_per_run: report.events,
@@ -75,17 +91,112 @@ fn sim_workload(name: &'static str, nl: &Netlist) -> SimRow {
     }
 }
 
-fn main() {
-    let outdir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+struct CadRow {
+    name: String,
+    nets: usize,
+    iterations: usize,
+    ripups: u64,
+    nodes_popped: u64,
+    nodes_popped_dijkstra: u64,
+    wirelength: usize,
+    best_ms: f64,
+    mean_ms: f64,
+}
 
-    // --- Simulator workloads (mirrors benches/sim_throughput.rs) ---
-    let rows = [
-        sim_workload("wchb_fifo_d4_w4_32tok", &wchb_fifo(4, 4)),
-        sim_workload("bundled_fifo_d4_w4_32tok", &bundled_fifo(4, 4, 16)),
-    ];
-    let mut sim_json = String::from("{\n  \"workloads\": [\n");
+fn cad_workload(
+    name: &str,
+    rrg: &Rrg,
+    requests: &[msaf_cad::route::RouteRequest],
+    timed: bool,
+) -> CadRow {
+    let first = route(rrg, requests, &RouteOptions::default()).expect("routes");
+    let dijkstra = route(
+        rrg,
+        requests,
+        &RouteOptions {
+            astar_fac: 0.0,
+            ..RouteOptions::default()
+        },
+    )
+    .expect("routes");
+    let (best, mean) = if timed {
+        let (reps, total, best) = time_it(10, 300.0, || {
+            let r = route(rrg, requests, &RouteOptions::default()).expect("routes");
+            assert_eq!(
+                r.iterations, first.iterations,
+                "nondeterministic iterations"
+            );
+        });
+        (best, total / f64::from(reps))
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+    let wirelength: usize = first
+        .trees
+        .iter()
+        .map(msaf_fabric::bitstream::RouteTree::wirelength)
+        .sum();
+    CadRow {
+        name: name.to_string(),
+        nets: requests.len(),
+        iterations: first.iterations,
+        ripups: first.stats.ripups,
+        nodes_popped: first.stats.nodes_popped,
+        nodes_popped_dijkstra: dijkstra.stats.nodes_popped,
+        wirelength,
+        best_ms: best,
+        mean_ms: mean,
+    }
+}
+
+fn sim_rows(timed: bool) -> Vec<SimRow> {
+    let fifo2_msa = msaf_bench::workloads::msa_example("fifo2").expect("committed example");
+    vec![
+        sim_workload("wchb_fifo_d4_w4_32tok", &wchb_fifo(4, 4), "in", timed),
+        sim_workload(
+            "bundled_fifo_d4_w4_32tok",
+            &bundled_fifo(4, 4, 16),
+            "in",
+            timed,
+        ),
+        sim_workload(
+            "msa_fifo2_wchb_32tok",
+            &msaf_bench::workloads::from_msa(fifo2_msa, "wchb").expect("known style"),
+            "inp",
+            timed,
+        ),
+    ]
+}
+
+fn cad_rows(timed: bool) -> Vec<CadRow> {
+    let mut rows = Vec::new();
+    // The paper-scale flow route (mirrors benches/cad_flow.rs bench_route).
+    let arch = ArchSpec::paper(8, 8);
+    let nl = msaf_bench::workloads::adder("qdi", 4).expect("workload");
+    let mapped = map(&nl, &arch).expect("maps");
+    let packed = pack(&mapped, &arch).expect("packs");
+    let placement = place(&mapped, &packed, &arch, 7).expect("places");
+    let rrg = Rrg::build(&arch);
+    let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
+    rows.push(cad_workload(
+        "route_qdi_adder_4b",
+        &rrg,
+        &binding.requests,
+        timed,
+    ));
+
+    // The congestion stress workloads: first iteration conflicts, so
+    // `iterations > 1` and `ripups > 0` here are part of the contract.
+    for w in msaf_bench::workloads::routing_stress_suite() {
+        rows.push(cad_workload(w.name, &w.rrg, &w.requests, timed));
+    }
+    rows
+}
+
+fn render_sim(rows: &[SimRow]) -> String {
+    let mut json = String::from("{\n  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        sim_json.push_str(&format!(
+        json.push_str(&format!(
             "    {{\"name\": \"{}\", \"events_per_run\": {}, \"glitches\": {}, \
              \"best_ms\": {:.3}, \"mean_ms\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
             r.name,
@@ -97,77 +208,169 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    sim_json.push_str("  ]\n}\n");
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn render_cad(rows: &[CadRow]) -> String {
+    let mut json = String::from("{\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nets\": {}, \"iterations\": {}, \"ripups\": {}, \
+             \"nodes_popped\": {}, \"nodes_popped_dijkstra\": {}, \"wirelength\": {}, \
+             \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}{}\n",
+            r.name,
+            r.nets,
+            r.iterations,
+            r.ripups,
+            r.nodes_popped,
+            r.nodes_popped_dijkstra,
+            r.wirelength,
+            r.best_ms,
+            r.mean_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Extracts `"field": <unsigned integer>` from a one-row JSON line.
+fn field_u64(line: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\": ");
+    let at = line.find(&key)? + key.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The committed row line for a workload name, if present.
+fn committed_row<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"name\": \"{name}\"");
+    text.lines().find(|l| l.contains(&tag))
+}
+
+/// Diffs one structural field, appending a description on mismatch.
+fn diff_field(
+    mismatches: &mut Vec<String>,
+    file: &str,
+    row: &str,
+    line: Option<&str>,
+    field: &str,
+    current: u64,
+) {
+    match line.and_then(|l| field_u64(l, field)) {
+        Some(committed) if committed == current => {}
+        Some(committed) => mismatches.push(format!(
+            "{file}: {row}.{field}: committed {committed}, current {current}"
+        )),
+        None => mismatches.push(format!(
+            "{file}: {row}.{field}: missing from the committed snapshot"
+        )),
+    }
+}
+
+fn check(outdir: &str) -> ExitCode {
+    let mut mismatches = Vec::new();
+    let mut rows_checked = 0usize;
+
+    let sim_path = format!("{outdir}/BENCH_sim.json");
+    match std::fs::read_to_string(&sim_path) {
+        Ok(committed) => {
+            for r in sim_rows(false) {
+                let line = committed_row(&committed, r.name);
+                if line.is_none() {
+                    mismatches.push(format!("{sim_path}: row '{}' missing", r.name));
+                    continue;
+                }
+                diff_field(
+                    &mut mismatches,
+                    &sim_path,
+                    r.name,
+                    line,
+                    "events_per_run",
+                    r.events_per_run,
+                );
+                diff_field(
+                    &mut mismatches,
+                    &sim_path,
+                    r.name,
+                    line,
+                    "glitches",
+                    r.glitches,
+                );
+                rows_checked += 1;
+            }
+        }
+        Err(e) => mismatches.push(format!("{sim_path}: cannot read: {e}")),
+    }
+
+    let cad_path = format!("{outdir}/BENCH_cad.json");
+    match std::fs::read_to_string(&cad_path) {
+        Ok(committed) => {
+            for r in cad_rows(false) {
+                let line = committed_row(&committed, &r.name);
+                if line.is_none() {
+                    mismatches.push(format!("{cad_path}: row '{}' missing", r.name));
+                    continue;
+                }
+                for (field, value) in [
+                    ("nets", r.nets as u64),
+                    ("iterations", r.iterations as u64),
+                    ("ripups", r.ripups),
+                    ("nodes_popped", r.nodes_popped),
+                    ("nodes_popped_dijkstra", r.nodes_popped_dijkstra),
+                    ("wirelength", r.wirelength as u64),
+                ] {
+                    diff_field(&mut mismatches, &cad_path, &r.name, line, field, value);
+                }
+                rows_checked += 1;
+            }
+        }
+        Err(e) => mismatches.push(format!("{cad_path}: cannot read: {e}")),
+    }
+
+    if mismatches.is_empty() {
+        println!("bench_summary --check: OK ({rows_checked} rows structurally unchanged)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_summary --check: behaviour drifted from the committed snapshot \
+             (regenerate with `cargo run --release -p msaf-bench --bin bench_summary {outdir}` \
+             if the change is intended):"
+        );
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut outdir = ".".to_string();
+    let mut check_mode = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check_mode = true;
+        } else if arg.starts_with('-') {
+            eprintln!("unknown flag '{arg}'; usage: bench_summary [outdir] [--check]");
+            return ExitCode::FAILURE;
+        } else {
+            outdir = arg;
+        }
+    }
+    if check_mode {
+        return check(&outdir);
+    }
+
+    let sim_json = render_sim(&sim_rows(true));
     std::fs::write(format!("{outdir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     print!("BENCH_sim.json:\n{sim_json}");
 
-    // --- Router workloads ---
-    //
-    // Every row routes with the default options (A* lookahead on) and
-    // once more with `astar_fac = 0.0`, so the JSON carries both the A*
-    // effort (`nodes_popped`) and the uninformed-Dijkstra reference
-    // (`nodes_popped_dijkstra`) it is cutting down.
-    let mut cad_rows: Vec<String> = Vec::new();
-    let mut route_row = |name: &str, rrg: &Rrg, requests: &[msaf_cad::route::RouteRequest]| {
-        let first = route(rrg, requests, &RouteOptions::default()).expect("routes");
-        let dijkstra = route(
-            rrg,
-            requests,
-            &RouteOptions {
-                astar_fac: 0.0,
-                ..RouteOptions::default()
-            },
-        )
-        .expect("routes");
-        let (reps, total, best) = time_it(10, 300.0, || {
-            let r = route(rrg, requests, &RouteOptions::default()).expect("routes");
-            assert_eq!(r.iterations, first.iterations, "nondeterministic iterations");
-        });
-        let wirelength: usize = first
-            .trees
-            .iter()
-            .map(msaf_fabric::bitstream::RouteTree::wirelength)
-            .sum();
-        cad_rows.push(format!(
-            "{{\"name\": \"{}\", \"nets\": {}, \"iterations\": {}, \"ripups\": {}, \
-             \"nodes_popped\": {}, \"nodes_popped_dijkstra\": {}, \"wirelength\": {}, \
-             \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}",
-            name,
-            requests.len(),
-            first.iterations,
-            first.stats.ripups,
-            first.stats.nodes_popped,
-            dijkstra.stats.nodes_popped,
-            wirelength,
-            best,
-            total / f64::from(reps),
-        ));
-    };
-
-    // The paper-scale flow route (mirrors benches/cad_flow.rs bench_route).
-    let arch = ArchSpec::paper(8, 8);
-    let nl = msaf_bench::workloads::adder("qdi", 4).expect("workload");
-    let mapped = map(&nl, &arch).expect("maps");
-    let packed = pack(&mapped, &arch).expect("packs");
-    let placement = place(&mapped, &packed, &arch, 7).expect("places");
-    let rrg = Rrg::build(&arch);
-    let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
-    route_row("route_qdi_adder_4b", &rrg, &binding.requests);
-
-    // The congestion stress workloads: first iteration conflicts, so
-    // `iterations > 1` and `ripups > 0` here are part of the contract.
-    for w in msaf_bench::workloads::routing_stress_suite() {
-        route_row(w.name, &w.rrg, &w.requests);
-    }
-
-    let mut cad_json = String::from("{\n  \"workloads\": [\n");
-    for (i, row) in cad_rows.iter().enumerate() {
-        cad_json.push_str(&format!(
-            "    {row}{}\n",
-            if i + 1 < cad_rows.len() { "," } else { "" }
-        ));
-    }
-    cad_json.push_str("  ]\n}\n");
+    let cad_json = render_cad(&cad_rows(true));
     std::fs::write(format!("{outdir}/BENCH_cad.json"), &cad_json).expect("write BENCH_cad.json");
     print!("BENCH_cad.json:\n{cad_json}");
+    ExitCode::SUCCESS
 }

@@ -32,7 +32,11 @@ fn main() {
     let (ok, n) = correct_runs(&qdi_full_adder(), SEEDS, 1, 25);
     println!(
         "qdi_full_adder               : {ok:>2}/{n} runs correct -> {}",
-        if ok == n { "DELAY-INSENSITIVE" } else { "FAILS" }
+        if ok == n {
+            "DELAY-INSENSITIVE"
+        } else {
+            "FAILS"
+        }
     );
 
     println!();
@@ -43,7 +47,11 @@ fn main() {
         println!(
             "  matched delay {:>3} units   : {ok:>2}/{n} runs correct{}",
             taps,
-            if ok == n { "  (margin covers worst-case datapath)" } else { "" }
+            if ok == n {
+                "  (margin covers worst-case datapath)"
+            } else {
+                ""
+            }
         );
     }
     println!();

@@ -7,12 +7,20 @@ use msaf_fabric::arch::ArchSpec;
 fn main() {
     let arch = ArchSpec::paper(4, 4);
     let plb = &arch.plb;
-    println!("=== E1 / Figure 1: PLB internal structure ({}) ===", arch.name);
+    println!(
+        "=== E1 / Figure 1: PLB internal structure ({}) ===",
+        arch.name
+    );
     println!("logic elements per PLB : {}", plb.les);
     println!(
         "PDE                    : {}",
         match plb.pde {
-            Some(p) => format!("{} taps x {} delay units (max {})", p.taps, p.tap_delay, p.max_delay()),
+            Some(p) => format!(
+                "{} taps x {} delay units (max {})",
+                p.taps,
+                p.tap_delay,
+                p.max_delay()
+            ),
             None => "absent".to_string(),
         }
     );
@@ -21,10 +29,19 @@ fn main() {
     println!("PLB external outputs   : {}", plb.outputs);
     println!("LE input pins total    : {}", plb.le_input_pins());
     println!("LE output signals      : {}", plb.le_output_signals());
-    println!("D flip-flops           : {} (asynchronous fabric: none)", plb.dffs);
+    println!(
+        "D flip-flops           : {} (asynchronous fabric: none)",
+        plb.dffs
+    );
     println!();
-    println!("IM crossbar sources    : {} ext inputs + {} LE taps + PDE + consts",
-        plb.inputs, plb.le_output_signals());
-    println!("IM crossbar sinks      : {} LE pins + PDE in + {} ext outputs",
-        plb.le_input_pins(), plb.outputs);
+    println!(
+        "IM crossbar sources    : {} ext inputs + {} LE taps + PDE + consts",
+        plb.inputs,
+        plb.le_output_signals()
+    );
+    println!(
+        "IM crossbar sinks      : {} LE pins + PDE in + {} ext outputs",
+        plb.le_input_pins(),
+        plb.outputs
+    );
 }

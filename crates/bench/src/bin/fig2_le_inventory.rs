@@ -10,8 +10,14 @@ fn main() {
     let le = ArchSpec::paper(1, 1).plb.le;
     println!("=== E2 / Figure 2: logic element structure ===");
     println!("LUT inputs            : {}", le.lut_inputs);
-    println!("LUT outputs           : {} (A, B subtrees + root)", le.lut_outputs);
-    println!("subtree window        : {} shared inputs", le.subtree_inputs());
+    println!(
+        "LUT outputs           : {} (A, B subtrees + root)",
+        le.lut_outputs
+    );
+    println!(
+        "subtree window        : {} shared inputs",
+        le.subtree_inputs()
+    );
     println!("validity LUT2-1       : {}", le.has_lut2);
     println!("configuration bits    : {}", le.config_bits());
     println!();
@@ -24,7 +30,8 @@ fn main() {
         // pins [a_t, a_f, b_t, b_f]
         (v[0] & v[3]) | (v[1] & v[2])
     }));
-    cfg.lut.set_b(&LutTable::from_fn(4, |v| (v[0] & v[2]) | (v[1] & v[3])));
+    cfg.lut
+        .set_b(&LutTable::from_fn(4, |v| (v[0] & v[2]) | (v[1] & v[3])));
     cfg.lut2 = LUT2_OR;
     cfg.used_outputs = vec![LeOutput::A, LeOutput::B, LeOutput::Lut2];
 
@@ -37,9 +44,19 @@ fn main() {
         pins[2] = b == 1;
         pins[3] = b == 0;
         let (t, f, _, valid) = cfg.eval_all(&pins);
-        println!("  {a}  {b}  |   {}     {}     {}", u8::from(t), u8::from(f), u8::from(valid));
+        println!(
+            "  {a}  {b}  |   {}     {}     {}",
+            u8::from(t),
+            u8::from(f),
+            u8::from(valid)
+        );
     }
     println!("(neutral spacer: all rails low -> valid 0)");
     let (t, f, _, valid) = cfg.eval_all(&[false; 7]);
-    println!("  -  -  |   {}     {}     {}", u8::from(t), u8::from(f), u8::from(valid));
+    println!(
+        "  -  -  |   {}     {}     {}",
+        u8::from(t),
+        u8::from(f),
+        u8::from(valid)
+    );
 }

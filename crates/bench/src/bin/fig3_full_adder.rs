@@ -33,7 +33,11 @@ fn main() {
                 )
             })
             .collect();
-        println!("  LE{i:<2} pins {}/7 : {}", le.input_signals().len(), funcs.join(", "));
+        println!(
+            "  LE{i:<2} pins {}/7 : {}",
+            le.input_signals().len(),
+            funcs.join(", ")
+        );
     }
 
     let mut inputs = BTreeMap::new();
@@ -50,7 +54,11 @@ fn main() {
     println!();
     println!(
         "token verification    : {}",
-        if verdict.matches { "fabric == source (PASS)" } else { "MISMATCH" }
+        if verdict.matches {
+            "fabric == source (PASS)"
+        } else {
+            "MISMATCH"
+        }
     );
     println!("fabric result tokens  : {:?}", verdict.fabric.get("res"));
     assert!(verdict.matches);

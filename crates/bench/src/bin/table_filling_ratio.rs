@@ -15,7 +15,10 @@ fn main() {
     for style in ["micropipeline", "qdi"] {
         rows.push((format!("{style}_full_adder"), figure3(style).unwrap()));
         for width in [2usize, 4, 8] {
-            rows.push((format!("{style}_adder_{width}b"), adder(style, width).unwrap()));
+            rows.push((
+                format!("{style}_adder_{width}b"),
+                adder(style, width).unwrap(),
+            ));
         }
     }
     let mut fa_ratios = std::collections::BTreeMap::new();

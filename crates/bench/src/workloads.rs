@@ -13,7 +13,7 @@ use msaf_cad::route::RouteRequest;
 use msaf_cells::adders::{bundled_ripple_adder, qdi_ripple_adder, suggested_bundled_adder_delay};
 use msaf_cells::fulladder::{micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY};
 use msaf_fabric::arch::ArchSpec;
-use msaf_fabric::rrg::{Rrg, RrNodeKind};
+use msaf_fabric::rrg::{RrNodeKind, Rrg};
 use msaf_netlist::Netlist;
 
 /// The two Figure-3 adders, by style name.
@@ -37,6 +37,37 @@ pub fn adder(style: &str, width: usize) -> Option<Netlist> {
         )),
         _ => None,
     }
+}
+
+/// Elaborates a `.msa` pipeline description into a workload netlist in
+/// the named `msaf-lang` style (`"qdi"`, `"wchb"` or `"bundled"`).
+/// Returns `None` for an unknown style.
+///
+/// # Panics
+///
+/// Panics with rendered line/column diagnostics when `src` does not
+/// compile — a workload source is a fixture, and a broken fixture should
+/// fail loudly, not silently drop a bench row.
+#[must_use]
+pub fn from_msa(src: &str, style: &str) -> Option<Netlist> {
+    let style = msaf_lang::Style::from_name(style)?;
+    match msaf_lang::compile_msa(src, style) {
+        Ok(nl) => Some(nl),
+        Err(e) => panic!(".msa workload failed to compile:\n{}", e.render(src)),
+    }
+}
+
+/// The committed example `.msa` programs, by name — the same sources the
+/// `msafc` quickstart and the end-to-end tests use.
+#[must_use]
+pub fn msa_example(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "adder4" => include_str!("../../../examples/msa/adder4.msa"),
+        "parity8" => include_str!("../../../examples/msa/parity8.msa"),
+        "muxtree4" => include_str!("../../../examples/msa/muxtree4.msa"),
+        "fifo2" => include_str!("../../../examples/msa/fifo2.msa"),
+        _ => return None,
+    })
 }
 
 /// All operand tokens for a full adder.
@@ -87,7 +118,11 @@ pub fn dual_rail_bus_stress(bits: usize, span: usize, channel_width: usize) -> R
                     .node(RrNodeKind::Opin { x: 0, y, pin })
                     .expect("source pin exists"),
                 sinks: vec![rrg
-                    .node(RrNodeKind::Ipin { x: span - 1, y, pin })
+                    .node(RrNodeKind::Ipin {
+                        x: span - 1,
+                        y,
+                        pin,
+                    })
                     .expect("sink pin exists")],
             }
         })
@@ -155,6 +190,24 @@ mod tests {
         assert!(figure3("sync").is_none());
         assert!(adder("qdi", 4).is_some());
         assert_eq!(fa_tokens().len(), 8);
+    }
+
+    #[test]
+    fn msa_examples_elaborate_in_every_style() {
+        for name in ["adder4", "parity8", "muxtree4", "fifo2"] {
+            let src = msa_example(name).expect("committed example");
+            for style in ["qdi", "wchb", "bundled"] {
+                let nl = from_msa(src, style).expect("known style");
+                let v = nl.validate();
+                assert!(v.is_ok(), "{name}/{style}: {v}");
+            }
+        }
+        assert!(msa_example("nope").is_none());
+        assert!(from_msa(
+            "pipeline x { input a[1]; output y[1]; stage s { y = a; } }",
+            "sync"
+        )
+        .is_none());
     }
 
     #[test]

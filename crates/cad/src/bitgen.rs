@@ -17,7 +17,7 @@ use msaf_fabric::bitstream::{FabricConfig, PadAssignment, PadDir, RouteTree};
 use msaf_fabric::le::{LeConfig, LeOutput};
 use msaf_fabric::pde::PdeConfig;
 use msaf_fabric::plb::{ImSink, ImSource, PlbConfig};
-use msaf_fabric::rrg::{Rrg, RrNodeKind};
+use msaf_fabric::rrg::{RrNodeKind, Rrg};
 use msaf_netlist::LutTable;
 use std::collections::HashMap;
 
@@ -72,11 +72,7 @@ pub struct Binding {
 /// Builds a physical LUT table for `func` given the signal→pin map.
 fn physical_table(func: &MappedFunc, pin_of: &HashMap<SignalId, usize>, window: usize) -> LutTable {
     LutTable::from_fn(window, |pins| {
-        let vals: Vec<bool> = func
-            .inputs
-            .iter()
-            .map(|s| pins[pin_of[s]])
-            .collect();
+        let vals: Vec<bool> = func.inputs.iter().map(|s| pins[pin_of[s]]).collect();
         func.table.eval(&vals)
     })
 }
@@ -99,7 +95,11 @@ pub fn bind(
     arch: &ArchSpec,
     rrg: &Rrg,
 ) -> Result<Binding, BitgenError> {
-    assert_eq!(placement.plb_pos.len(), packed.plb_count(), "placement mismatch");
+    assert_eq!(
+        placement.plb_pos.len(),
+        packed.plb_count(),
+        "placement mismatch"
+    );
     let mut config = FabricConfig::empty(design.name.clone(), arch.clone());
 
     // signal -> (plb index, local output pin) once bound.
@@ -197,15 +197,21 @@ pub fn bind(
             let mut le_cfg = LeConfig::default();
             for f in &le.funcs {
                 match f.tap {
-                    LeOutput::A => le_cfg
-                        .lut
-                        .set_a(&physical_table(f, &pin_of, arch.plb.le.subtree_inputs())),
-                    LeOutput::B => le_cfg
-                        .lut
-                        .set_b(&physical_table(f, &pin_of, arch.plb.le.subtree_inputs())),
-                    LeOutput::Root => le_cfg
-                        .lut
-                        .set_root(&physical_table(f, &pin_of, arch.plb.le.lut_inputs)),
+                    LeOutput::A => {
+                        le_cfg
+                            .lut
+                            .set_a(&physical_table(f, &pin_of, arch.plb.le.subtree_inputs()))
+                    }
+                    LeOutput::B => {
+                        le_cfg
+                            .lut
+                            .set_b(&physical_table(f, &pin_of, arch.plb.le.subtree_inputs()))
+                    }
+                    LeOutput::Root => {
+                        le_cfg
+                            .lut
+                            .set_root(&physical_table(f, &pin_of, arch.plb.le.lut_inputs))
+                    }
                     LeOutput::Lut2 => {
                         // Table over (A, B); inputs are [A.out, B.out].
                         let mut bits = 0u8;
@@ -383,10 +389,7 @@ mod tests {
     #[test]
     fn micropipeline_fa_bitstream_programs_the_pde() {
         let arch = ArchSpec::paper(4, 4);
-        let cfg = full_pipeline(
-            &micropipeline_full_adder(SAFE_FA_MATCHED_DELAY),
-            &arch,
-        );
+        let cfg = full_pipeline(&micropipeline_full_adder(SAFE_FA_MATCHED_DELAY), &arch);
         let pde_plb = cfg.plbs.iter().find(|p| p.pde.is_used()).expect("PDE used");
         let spec = arch.plb.pde.unwrap();
         assert!(

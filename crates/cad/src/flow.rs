@@ -1,8 +1,8 @@
 //! The end-to-end compile flow: netlist in, programmed fabric out.
 
 use crate::bitgen::{assemble, bind, BitgenError};
-use crate::pack::{pack, PackedDesign, PackError};
-use crate::place::{place, Placement, PlaceError};
+use crate::pack::{pack, PackError, PackedDesign};
+use crate::place::{place, PlaceError, Placement};
 use crate::report::FlowReport;
 use crate::route::{route, RouteError, RouteOptions};
 use crate::techmap::{map, MapError, MappedDesign};
@@ -126,7 +126,9 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
             io += 1;
         }
     }
-    let (w, h) = opts.grid.unwrap_or_else(|| size_grid(packed.plb_count(), io));
+    let (w, h) = opts
+        .grid
+        .unwrap_or_else(|| size_grid(packed.plb_count(), io));
 
     let mut arch = opts.arch.clone();
     arch.width = w;
@@ -142,8 +144,7 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     let mut attempts = if opts.channel_width.is_some() { 1 } else { 4 };
     let (rrg, binding, routed) = loop {
         let rrg = Rrg::build(&arch);
-        let binding =
-            bind(&mapped, &packed, &placement, &arch, &rrg).map_err(FlowError::Bitgen)?;
+        let binding = bind(&mapped, &packed, &placement, &arch, &rrg).map_err(FlowError::Bitgen)?;
         match route(&rrg, &binding.requests, &opts.route) {
             Ok(routed) => break (rrg, binding, routed),
             Err(e) => {

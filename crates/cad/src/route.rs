@@ -46,7 +46,7 @@
 //!   priority queue's invariants and misroute everything after it.
 
 use msaf_fabric::bitstream::RouteTree;
-use msaf_fabric::rrg::{NodeId, NodeSpan, Rrg, RrNodeKind};
+use msaf_fabric::rrg::{NodeId, NodeSpan, RrNodeKind, Rrg};
 use std::collections::BinaryHeap;
 
 /// One net to route.
@@ -530,11 +530,7 @@ fn route_net(
     Some(tree)
 }
 
-fn to_route_tree(
-    rrg: &Rrg,
-    req: &RouteRequest,
-    tree: &[(NodeId, Option<NodeId>)],
-) -> RouteTree {
+fn to_route_tree(rrg: &Rrg, req: &RouteRequest, tree: &[(NodeId, Option<NodeId>)]) -> RouteTree {
     RouteTree {
         net: req.net.clone(),
         source: rrg.kind(req.source),
@@ -619,9 +615,7 @@ mod tests {
             reqs.push(RouteRequest {
                 net: format!("n{pin}"),
                 source: g.node(RrNodeKind::Opin { x: 0, y: 0, pin }).unwrap(),
-                sinks: vec![g
-                    .node(RrNodeKind::Ipin { x: 1, y: 1, pin })
-                    .unwrap()],
+                sinks: vec![g.node(RrNodeKind::Ipin { x: 1, y: 1, pin }).unwrap()],
             });
         }
         let res = route(&g, &reqs, &RouteOptions::default()).unwrap();

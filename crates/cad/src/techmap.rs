@@ -200,7 +200,10 @@ impl std::fmt::Display for MapError {
         match self {
             MapError::InvalidNetlist(e) => write!(f, "netlist invalid: {e}"),
             MapError::TooWide { gate, support } => {
-                write!(f, "gate '{gate}' too wide for LUT window ({support} inputs)")
+                write!(
+                    f,
+                    "gate '{gate}' too wide for LUT window ({support} inputs)"
+                )
             }
             MapError::UnmappedOutput(n) => write!(f, "primary output '{n}' unmapped"),
         }
@@ -305,10 +308,10 @@ pub fn map(netlist: &Netlist, arch: &ArchSpec) -> Result<MappedDesign, MapError>
     let mut producers: Vec<Producer> = Vec::new();
     let mut net_rep_to_signal: HashMap<NetId, SignalId> = HashMap::new();
     let signal_of = |names: &mut Vec<String>,
-                         prods: &mut Vec<Producer>,
-                         map: &mut HashMap<NetId, SignalId>,
-                         rep: &[NetId],
-                         net: NetId|
+                     prods: &mut Vec<Producer>,
+                     map: &mut HashMap<NetId, SignalId>,
+                     rep: &[NetId],
+                     net: NetId|
      -> SignalId {
         let r = rep[net.index()];
         *map.entry(r).or_insert_with(|| {
@@ -323,8 +326,13 @@ pub fn map(netlist: &Netlist, arch: &ArchSpec) -> Result<MappedDesign, MapError>
     let mut cands: Vec<Cand> = Vec::new();
     let mut pdes: Vec<MappedPde> = Vec::new();
     for (_, gate) in netlist.iter_gates() {
-        let out =
-            signal_of(&mut signal_names, &mut producers, &mut net_rep_to_signal, &rep, gate.output());
+        let out = signal_of(
+            &mut signal_names,
+            &mut producers,
+            &mut net_rep_to_signal,
+            &rep,
+            gate.output(),
+        );
         match gate.kind() {
             GateKind::Buf => {
                 // Normally aliased away; kept as an identity LUT when the
@@ -469,9 +477,8 @@ pub fn map(netlist: &Netlist, arch: &ArchSpec) -> Result<MappedDesign, MapError>
                             level += 1;
                         }
                         let k = sig_inputs.len();
-                        let table = LutTable::from_fn(k + 1, |v| {
-                            GateKind::Celement.eval(&v[..k], v[k])
-                        });
+                        let table =
+                            LutTable::from_fn(k + 1, |v| GateKind::Celement.eval(&v[..k], v[k]));
                         let mut ins = sig_inputs.clone();
                         ins.push(out);
                         cands.push(Cand {
@@ -493,8 +500,7 @@ pub fn map(netlist: &Netlist, arch: &ArchSpec) -> Result<MappedDesign, MapError>
                     // Append a feedback pin: table over (inputs..., fb).
                     let k = sig_inputs.len();
                     let table = LutTable::from_fn(k + 1, |v| {
-                        let gate_ins: Vec<bool> =
-                            positions.iter().map(|&p| v[p]).collect();
+                        let gate_ins: Vec<bool> = positions.iter().map(|&p| v[p]).collect();
                         kind.eval(&gate_ins, v[k])
                     });
                     let mut ins = sig_inputs.clone();
@@ -503,8 +509,7 @@ pub fn map(netlist: &Netlist, arch: &ArchSpec) -> Result<MappedDesign, MapError>
                 } else {
                     let k = sig_inputs.len();
                     let table = LutTable::from_fn(k, |v| {
-                        let gate_ins: Vec<bool> =
-                            positions.iter().map(|&p| v[p]).collect();
+                        let gate_ins: Vec<bool> = positions.iter().map(|&p| v[p]).collect();
                         kind.eval(&gate_ins, false)
                     });
                     (table, sig_inputs.clone(), already_looped)
@@ -618,9 +623,7 @@ pub fn map(netlist: &Netlist, arch: &ArchSpec) -> Result<MappedDesign, MapError>
                     && design.net_to_signal[g.output().index()] == po
             });
             if !produced && !is_const_gate {
-                return Err(MapError::UnmappedOutput(
-                    design.signal_name(po).to_string(),
-                ));
+                return Err(MapError::UnmappedOutput(design.signal_name(po).to_string()));
             }
         }
     }
@@ -670,7 +673,11 @@ fn fold_inverters(cands: &mut Vec<Cand>, pos: &[SignalId], pdes: &[MappedPde]) {
                         }
                         // The folded pin reads !existing (position shifts if
                         // existing > pin because of removal).
-                        let epos = if existing > pin { existing - 1 } else { existing };
+                        let epos = if existing > pin {
+                            existing - 1
+                        } else {
+                            existing
+                        };
                         full[pin] = !v[epos];
                         old_table.eval(&full)
                     });
@@ -791,9 +798,8 @@ fn pack_les(
         u.dedup();
         u.len()
     };
-    let shared = |g: &Cand, h: &Cand| -> usize {
-        g.inputs.iter().filter(|s| h.inputs.contains(s)).count()
-    };
+    let shared =
+        |g: &Cand, h: &Cand| -> usize { g.inputs.iter().filter(|s| h.inputs.contains(s)).count() };
 
     let mut paired: Vec<bool> = vec![false; cands.len()];
     let mut pairs: Vec<Pair> = Vec::new();
@@ -892,10 +898,7 @@ fn pack_les(
                         let s = SignalId(names.len());
                         names.push(format!("{}_lut2", cands[p.a].name));
                         producers.push(Producer::Const(false));
-                        p.lut2 = Some((
-                            LutTable::new(2, u128::from(op.lut2())),
-                            s,
-                        ));
+                        p.lut2 = Some((LutTable::new(2, u128::from(op.lut2())), s));
                         let c = &mut cands[k];
                         c.inputs.retain(|&x| x != ao && x != bo);
                         c.inputs.push(s);
@@ -1027,7 +1030,10 @@ mod tests {
         assert_eq!(feedback_funcs, 8, "8 C-elements as looped LUTs");
         // Pairing must happen: at least 4 LEs carry two+ functions.
         let paired = mapped.les.iter().filter(|le| le.funcs.len() >= 2).count();
-        assert!(paired >= 4, "dual-rail pairs should share LEs, got {paired}");
+        assert!(
+            paired >= 4,
+            "dual-rail pairs should share LEs, got {paired}"
+        );
         assert!(mapped.pdes.is_empty());
     }
 
@@ -1062,14 +1068,8 @@ mod tests {
         // micropipeline (51%). Check the input-pin ratio gap on the FA.
         let arch = paper_arch();
         let qdi = map(&qdi_full_adder(), &arch).expect("maps");
-        let mp = map(
-            &micropipeline_full_adder(SAFE_FA_MATCHED_DELAY),
-            &arch,
-        )
-        .expect("maps");
-        let ratio = |m: &MappedDesign| {
-            m.used_input_pins() as f64 / (7.0 * m.les.len() as f64)
-        };
+        let mp = map(&micropipeline_full_adder(SAFE_FA_MATCHED_DELAY), &arch).expect("maps");
+        let ratio = |m: &MappedDesign| m.used_input_pins() as f64 / (7.0 * m.les.len() as f64);
         let (rq, rm) = (ratio(&qdi), ratio(&mp));
         assert!(
             rq > rm + 0.1,

@@ -138,8 +138,20 @@ mod tests {
     #[test]
     fn deeper_adders_have_longer_paths() {
         let arch = ArchSpec::paper(8, 8);
-        let d4 = analyze(&map(&bundled_ripple_adder(4, suggested_bundled_adder_delay(4)), &arch).unwrap());
-        let d8 = analyze(&map(&bundled_ripple_adder(8, suggested_bundled_adder_delay(8)), &arch).unwrap());
+        let d4 = analyze(
+            &map(
+                &bundled_ripple_adder(4, suggested_bundled_adder_delay(4)),
+                &arch,
+            )
+            .unwrap(),
+        );
+        let d8 = analyze(
+            &map(
+                &bundled_ripple_adder(8, suggested_bundled_adder_delay(8)),
+                &arch,
+            )
+            .unwrap(),
+        );
         assert!(
             d8.critical_delay > d4.critical_delay,
             "8-bit ripple {} must exceed 4-bit {}",

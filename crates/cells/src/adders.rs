@@ -10,9 +10,7 @@
 
 use crate::bundled::bundled_stage;
 use crate::dualrail::{dims, dr_channel_data, dr_inputs, Dr};
-use msaf_netlist::{
-    Channel, ChannelDir, Encoding, GateKind, LutTable, NetId, Netlist, Protocol,
-};
+use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, LutTable, NetId, Netlist, Protocol};
 
 /// Reference behaviour: the result token for one operand token of an
 /// `n`-bit ripple adder (see module docs for the layouts).
@@ -211,8 +209,8 @@ mod tests {
             .collect();
         let mut inputs = BTreeMap::new();
         inputs.insert("op".to_string(), toks);
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_eq!(report.outputs["res"].values(), want, "width {width}");
         assert!(report.violations.is_empty());
     }

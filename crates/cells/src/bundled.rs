@@ -43,17 +43,12 @@ pub fn bundled_stage(
     matched_delay: u32,
 ) -> BundledStage {
     let (_, nack) = nl.add_gate_new(GateKind::Not, format!("{prefix}_nack"), &[ack_out]);
-    let (_, enable) = nl.add_gate_new(
-        GateKind::Celement,
-        format!("{prefix}_ctl"),
-        &[req_in, nack],
-    );
+    let (_, enable) = nl.add_gate_new(GateKind::Celement, format!("{prefix}_ctl"), &[req_in, nack]);
     let data_out = data_in
         .iter()
         .enumerate()
         .map(|(i, &d)| {
-            let (_, q) =
-                nl.add_gate_new(GateKind::Latch, format!("{prefix}_lat{i}"), &[enable, d]);
+            let (_, q) = nl.add_gate_new(GateKind::Latch, format!("{prefix}_lat{i}"), &[enable, d]);
             q
         })
         .collect();
@@ -101,14 +96,7 @@ pub fn bundled_fifo(depth: usize, width: usize, matched_delay: u32) -> Netlist {
     let mut data = data_in.clone();
     let mut stages = Vec::with_capacity(depth);
     for (k, hole) in holes.iter().enumerate() {
-        let stage = bundled_stage(
-            &mut nl,
-            &format!("s{k}"),
-            req,
-            &data,
-            *hole,
-            matched_delay,
-        );
+        let stage = bundled_stage(&mut nl, &format!("s{k}"), req, &data, *hole, matched_delay);
         req = stage.req_out;
         data = stage.data_out.clone();
         stages.push(stage);
@@ -165,8 +153,8 @@ mod tests {
         assert!(v.is_ok(), "{v}");
         let mut inputs = BTreeMap::new();
         inputs.insert("in".to_string(), tokens);
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         report.outputs["out"].values()
     }
 
@@ -183,7 +171,10 @@ mod tests {
 
     #[test]
     fn wide_fifo_transfers_tokens() {
-        assert_eq!(run_fifo(2, 8, 16, vec![0xAB, 0x5A, 0xFF]), vec![0xAB, 0x5A, 0xFF]);
+        assert_eq!(
+            run_fifo(2, 8, 16, vec![0xAB, 0x5A, 0xFF]),
+            vec![0xAB, 0x5A, 0xFF]
+        );
     }
 
     #[test]
@@ -193,8 +184,8 @@ mod tests {
         let nl = bundled_fifo(1, 2, 1);
         let mut inputs = BTreeMap::new();
         inputs.insert("in".to_string(), vec![1, 2, 3, 1, 2]);
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_ne!(
             report.outputs["out"].values(),
             vec![1, 2, 3, 1, 2],
@@ -220,18 +211,15 @@ mod tests {
 
     #[test]
     fn fifo_with_unit_delays_is_fast_but_correct() {
-        assert_eq!(
-            run_fifo_fixed(2, 2, 4, vec![1, 2, 3]),
-            vec![1, 2, 3]
-        );
+        assert_eq!(run_fifo_fixed(2, 2, 4, vec![1, 2, 3]), vec![1, 2, 3]);
     }
 
     fn run_fifo_fixed(depth: usize, width: usize, delay: u32, tokens: Vec<u64>) -> Vec<u64> {
         let nl = bundled_fifo(depth, width, delay);
         let mut inputs = BTreeMap::new();
         inputs.insert("in".to_string(), tokens);
-        let report = token_run(&nl, &FixedDelay::new(1), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &FixedDelay::new(1), &inputs, &Default::default()).expect("token run");
         report.outputs["out"].values()
     }
 }

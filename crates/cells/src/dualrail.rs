@@ -70,18 +70,18 @@ pub fn validity(nl: &mut Netlist, prefix: &str, bit: Dr) -> NetId {
 ///
 /// Panics if `items` is empty.
 pub fn completion_tree(nl: &mut Netlist, prefix: &str, items: &[NetId]) -> NetId {
-    assert!(!items.is_empty(), "completion tree needs at least one input");
+    assert!(
+        !items.is_empty(),
+        "completion tree needs at least one input"
+    );
     let mut layer: Vec<NetId> = items.to_vec();
     let mut level = 0;
     while layer.len() > 1 {
         let mut next = Vec::with_capacity(layer.len().div_ceil(2));
         for (i, pair) in layer.chunks(2).enumerate() {
             if pair.len() == 2 {
-                let (_, y) = nl.add_gate_new(
-                    GateKind::Celement,
-                    format!("{prefix}_c{level}_{i}"),
-                    pair,
-                );
+                let (_, y) =
+                    nl.add_gate_new(GateKind::Celement, format!("{prefix}_c{level}_{i}"), pair);
                 next.push(y);
             } else {
                 next.push(pair[0]);
@@ -169,11 +169,8 @@ pub fn dims(nl: &mut Netlist, prefix: &str, inputs: &[Dr], funcs: &[DimsFn<'_>])
                     }
                     1 => terms[0],
                     _ => {
-                        let (_, y) = nl.add_gate_new(
-                            GateKind::Or,
-                            format!("{prefix}_{name}_{rail}"),
-                            terms,
-                        );
+                        let (_, y) =
+                            nl.add_gate_new(GateKind::Or, format!("{prefix}_{name}_{rail}"), terms);
                         y
                     }
                 }
@@ -246,13 +243,8 @@ mod tests {
         let mut inputs = BTreeMap::new();
         // tokens encode (a,b) as bits 0,1.
         inputs.insert("in".to_string(), vec![0b00, 0b01, 0b10, 0b11]);
-        let report = token_run(
-            &nl,
-            &FixedDelay::new(1),
-            &inputs,
-            &Default::default(),
-        )
-        .expect("token run");
+        let report =
+            token_run(&nl, &FixedDelay::new(1), &inputs, &Default::default()).expect("token run");
         assert!(report.violations.is_empty());
         report.outputs["out"].values()
     }

@@ -14,9 +14,7 @@
 
 use crate::bundled::bundled_stage;
 use crate::dualrail::{dims, dr_channel_data, dr_inputs};
-use msaf_netlist::{
-    Channel, ChannelDir, Encoding, GateKind, LutTable, Netlist, Protocol,
-};
+use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, LutTable, Netlist, Protocol};
 
 /// Reference behaviour shared by tests and experiments: `(sum, cout)` of
 /// one full-adder token (bit 0 = a, bit 1 = b, bit 2 = cin), packed as
@@ -172,8 +170,8 @@ mod tests {
         assert!(v.is_ok(), "{v}");
         let mut inputs = BTreeMap::new();
         inputs.insert("op".to_string(), all_ops());
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_eq!(report.outputs["res"].values(), expected());
         assert!(report.violations.is_empty());
     }
@@ -201,8 +199,8 @@ mod tests {
         assert!(v.is_ok(), "{v}");
         let mut inputs = BTreeMap::new();
         inputs.insert("op".to_string(), all_ops());
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_eq!(report.outputs["res"].values(), expected());
     }
 
@@ -213,8 +211,8 @@ mod tests {
         let nl = micropipeline_full_adder(1);
         let mut inputs = BTreeMap::new();
         inputs.insert("op".to_string(), all_ops());
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_ne!(
             report.outputs["res"].values(),
             expected(),

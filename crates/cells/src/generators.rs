@@ -93,9 +93,7 @@ pub fn bundled_parity_tree(width: usize, matched_delay: u32) -> Netlist {
     assert!((2..=32).contains(&width), "width must be in 2..=32");
     let mut nl = Netlist::new(format!("bundled_parity_{width}"));
     let req = nl.add_input("op_req");
-    let data_in: Vec<NetId> = (0..width)
-        .map(|i| nl.add_input(format!("x{i}")))
-        .collect();
+    let data_in: Vec<NetId> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
     let res_ack = nl.add_input("res_ack");
     let stage = bundled_stage(&mut nl, "st", req, &data_in, res_ack, matched_delay);
 

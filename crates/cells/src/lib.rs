@@ -41,6 +41,6 @@ pub mod wchb;
 pub use adders::{bundled_ripple_adder, qdi_ripple_adder};
 pub use bundled::{bundled_fifo, bundled_stage, BundledStage};
 pub use celement::{celement2, celement_lut, celement_tree};
-pub use dualrail::{completion_tree, dims, validity, Dr};
+pub use dualrail::{completion_tree, dims, dr_channel_data, dr_inputs, validity, Dr};
 pub use fulladder::{micropipeline_full_adder, qdi_full_adder};
-pub use wchb::{wchb_fifo, wchb_stage};
+pub use wchb::{one_of_four_fifo, wchb_fifo, wchb_stage};

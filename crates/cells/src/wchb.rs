@@ -18,27 +18,16 @@ use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, NetId, Netlist, Prot
 ///
 /// Returns `(outs, ack_in)` where `ack_in` (completion of this stage) is
 /// the acknowledge towards upstream.
-pub fn wchb_stage(
-    nl: &mut Netlist,
-    prefix: &str,
-    ins: &[Dr],
-    ack_out: NetId,
-) -> (Vec<Dr>, NetId) {
+pub fn wchb_stage(nl: &mut Netlist, prefix: &str, ins: &[Dr], ack_out: NetId) -> (Vec<Dr>, NetId) {
     let (_, en) = nl.add_gate_new(GateKind::Not, format!("{prefix}_en"), &[ack_out]);
     let outs: Vec<Dr> = ins
         .iter()
         .enumerate()
         .map(|(i, d)| {
-            let (_, t) = nl.add_gate_new(
-                GateKind::Celement,
-                format!("{prefix}_b{i}_ct"),
-                &[d.t, en],
-            );
-            let (_, f) = nl.add_gate_new(
-                GateKind::Celement,
-                format!("{prefix}_b{i}_cf"),
-                &[d.f, en],
-            );
+            let (_, t) =
+                nl.add_gate_new(GateKind::Celement, format!("{prefix}_b{i}_ct"), &[d.t, en]);
+            let (_, f) =
+                nl.add_gate_new(GateKind::Celement, format!("{prefix}_b{i}_cf"), &[d.f, en]);
             Dr { t, f }
         })
         .collect();
@@ -47,8 +36,7 @@ pub fn wchb_stage(
         .iter()
         .enumerate()
         .map(|(i, d)| {
-            let (_, v) =
-                nl.add_gate_new(GateKind::Or, format!("{prefix}_b{i}_v"), &[d.t, d.f]);
+            let (_, v) = nl.add_gate_new(GateKind::Or, format!("{prefix}_b{i}_v"), &[d.t, d.f]);
             v
         })
         .collect();
@@ -128,8 +116,8 @@ mod tests {
         assert!(v.is_ok(), "{v}");
         let mut inputs = BTreeMap::new();
         inputs.insert("in".to_string(), vec![0, 1, 2, 3, 2, 1]);
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_eq!(report.outputs["out"].values(), vec![0, 1, 2, 3, 2, 1]);
         assert!(report.violations.is_empty());
     }
@@ -139,8 +127,8 @@ mod tests {
         let nl = wchb_fifo(1, 1);
         let mut inputs = BTreeMap::new();
         inputs.insert("in".to_string(), vec![1, 0, 1]);
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_eq!(report.outputs["out"].values(), vec![1, 0, 1]);
     }
 
@@ -215,11 +203,8 @@ pub fn one_of_four_fifo(depth: usize, digits: usize) -> Netlist {
                 .iter()
                 .enumerate()
                 .map(|(v, &r)| {
-                    let (_, y) = nl.add_gate_new(
-                        GateKind::Celement,
-                        format!("s{k}_d{d}_c{v}"),
-                        &[r, en],
-                    );
+                    let (_, y) =
+                        nl.add_gate_new(GateKind::Celement, format!("s{k}_d{d}_c{v}"), &[r, en]);
                     y
                 })
                 .collect();
@@ -283,8 +268,8 @@ mod oo4_tests {
         let toks: Vec<u64> = vec![0, 5, 15, 9, 3];
         let mut inputs = BTreeMap::new();
         inputs.insert("in".to_string(), toks.clone());
-        let report = token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default())
-            .expect("token run");
+        let report =
+            token_run(&nl, &PerKindDelay::new(), &inputs, &Default::default()).expect("token run");
         assert_eq!(report.outputs["out"].values(), toks);
         assert!(report.violations.is_empty());
     }

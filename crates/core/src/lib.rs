@@ -41,6 +41,7 @@
 pub use msaf_cad as cad;
 pub use msaf_cells as cells;
 pub use msaf_fabric as fabric;
+pub use msaf_lang as lang;
 pub use msaf_netlist as netlist;
 pub use msaf_sim as sim;
 
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use msaf_fabric::arch::ArchSpec;
     pub use msaf_fabric::bitstream::FabricConfig;
     pub use msaf_fabric::utilization::Utilization;
+    pub use msaf_lang::{compile_msa, Style};
     pub use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, Netlist, Protocol};
     pub use msaf_sim::ditest::{di_stress, DiConfig};
     pub use msaf_sim::{

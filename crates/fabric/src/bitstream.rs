@@ -8,7 +8,7 @@
 
 use crate::arch::ArchSpec;
 use crate::plb::PlbConfig;
-use crate::rrg::{Rrg, RrNodeKind};
+use crate::rrg::{RrNodeKind, Rrg};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 

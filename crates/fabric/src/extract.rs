@@ -158,9 +158,7 @@ pub fn extract_netlist(config: &FabricConfig) -> Result<ExtractedDesign, Extract
     let mut pad_out_src: HashMap<usize, NetId> = HashMap::new();
     for tree in &config.routes {
         let src_net = match tree.source {
-            RrNodeKind::Pad { id } => *pad_nets
-                .get(&id)
-                .ok_or(ExtractError::UnassignedPad(id))?,
+            RrNodeKind::Pad { id } => *pad_nets.get(&id).ok_or(ExtractError::UnassignedPad(id))?,
             RrNodeKind::Opin { x, y, pin } => {
                 let src = resolve_opin(x, y, pin)?;
                 source_to_net(
@@ -351,12 +349,8 @@ mod tests {
         let mut cfg = FabricConfig::empty("tiny", arch);
         {
             let plb = cfg.plb_mut(0, 0);
-            plb.les[0]
-                .lut
-                .set_a(&LutTable::from_fn(2, |v| v[0] & v[1]));
-            plb.les[0]
-                .lut
-                .set_b(&LutTable::from_fn(2, |v| v[0] ^ v[1]));
+            plb.les[0].lut.set_a(&LutTable::from_fn(2, |v| v[0] & v[1]));
+            plb.les[0].lut.set_b(&LutTable::from_fn(2, |v| v[0] ^ v[1]));
             plb.les[0].lut2 = LUT2_OR;
             plb.les[0].used_outputs = vec![LeOutput::A, LeOutput::Lut2];
             plb.les[0].pins_used = [true, true, false, false, false, false, false];

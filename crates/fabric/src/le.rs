@@ -231,7 +231,10 @@ impl LeConfig {
         }
         for (i, used) in self.pins_used.iter().enumerate() {
             if *used && i >= spec.lut_inputs {
-                return Err(format!("pin {i} used but LE has {} inputs", spec.lut_inputs));
+                return Err(format!(
+                    "pin {i} used but LE has {} inputs",
+                    spec.lut_inputs
+                ));
             }
         }
         Ok(())

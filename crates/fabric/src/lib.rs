@@ -47,5 +47,5 @@ pub use bitstream::{FabricConfig, PadAssignment, RouteTree};
 pub use le::{LeConfig, LeOutput, MultiLut};
 pub use pde::PdeConfig;
 pub use plb::{ImSink, ImSource, PlbConfig};
-pub use rrg::{NodeId, Rrg, RrNodeKind};
+pub use rrg::{NodeId, RrNodeKind, Rrg};
 pub use utilization::{FillingRatio, Utilization};

@@ -40,7 +40,9 @@ impl PdeConfig {
         if taps as usize > spec.taps {
             return Err(spec.max_delay());
         }
-        Ok(Self { taps: taps as usize })
+        Ok(Self {
+            taps: taps as usize,
+        })
     }
 }
 

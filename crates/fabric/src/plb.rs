@@ -105,7 +105,10 @@ impl PlbConfig {
             le.check(&spec.le).map_err(|e| format!("LE{i}: {e}"))?;
         }
         if self.pde.is_used() {
-            let pde_spec = spec.pde.as_ref().ok_or("PDE used but architecture has none")?;
+            let pde_spec = spec
+                .pde
+                .as_ref()
+                .ok_or("PDE used but architecture has none")?;
             if self.pde.taps > pde_spec.taps {
                 return Err(format!(
                     "PDE programmed to {} taps, chain has {}",

@@ -280,11 +280,7 @@ impl Rrg {
             RrNodeKind::HWire { x: id, y: 0, t }
         } else if id < 2 * w {
             // North row: H(x, h).
-            RrNodeKind::HWire {
-                x: id - w,
-                y: h,
-                t,
-            }
+            RrNodeKind::HWire { x: id - w, y: h, t }
         } else if id < 2 * w + h {
             // West column: V(0, y).
             RrNodeKind::VWire {
@@ -338,12 +334,7 @@ impl Rrg {
                 RrNodeKind::VWire { x, y, .. } => RrNodeKind::VWire { x, y, t: tt },
                 other => other,
             };
-            for (a, b) in [
-                (west, south),
-                (west, north),
-                (east, south),
-                (east, north),
-            ] {
+            for (a, b) in [(west, south), (west, north), (east, south), (east, north)] {
                 if let (Some(a), Some(b)) = (a, b) {
                     self.link_kind(a, remap(b));
                 }
@@ -356,9 +347,9 @@ impl Rrg {
         // The four channels bounding tile (x, y).
         let channels = |t: usize| {
             [
-                RrNodeKind::HWire { x, y, t },     // south
+                RrNodeKind::HWire { x, y, t },        // south
                 RrNodeKind::HWire { x, y: y + 1, t }, // north
-                RrNodeKind::VWire { x, y, t },     // west
+                RrNodeKind::VWire { x, y, t },        // west
                 RrNodeKind::VWire { x: x + 1, y, t }, // east
             ]
         };
@@ -604,7 +595,10 @@ mod tests {
         );
         // Pad 0 sits on the south row segment H(0, 0).
         let pad = g.node(RrNodeKind::Pad { id: 0 }).unwrap();
-        assert_eq!(g.span(pad), g.span(g.node(RrNodeKind::HWire { x: 0, y: 0, t: 0 }).unwrap()));
+        assert_eq!(
+            g.span(pad),
+            g.span(g.node(RrNodeKind::HWire { x: 0, y: 0, t: 0 }).unwrap())
+        );
         assert_eq!(g.spans().len(), g.len());
     }
 

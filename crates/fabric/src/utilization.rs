@@ -92,9 +92,8 @@ impl Utilization {
             // Slots: each LE contributes its taps; the PDE one more; DFFs
             // (synchronous baseline) contribute slots that async logic can
             // never use — the reference-[3] waste, visible in plb_slot.
-            slots_avail += arch.plb.les * taps_per_le
-                + usize::from(arch.plb.pde.is_some())
-                + arch.plb.dffs;
+            slots_avail +=
+                arch.plb.les * taps_per_le + usize::from(arch.plb.pde.is_some()) + arch.plb.dffs;
             for le in &plb.les {
                 if !le.is_used() {
                     continue;

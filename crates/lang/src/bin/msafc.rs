@@ -1,0 +1,200 @@
+//! `msafc` — the `.msa` pipeline compiler.
+//!
+//! ```text
+//! msafc <file.msa> [--style qdi|wchb|bundled | --all-styles]
+//!                  [--tokens <chan>=<v,v,...>]... [--verify]
+//! ```
+//!
+//! Parses and checks the source (reporting line/column diagnostics on
+//! stderr), elaborates it in the requested style(s), compiles each
+//! netlist through the full CAD flow (`map → pack → place → route →
+//! bitstream`) and prints one `FlowReport` row per style. With
+//! `--tokens`, the source circuit is simulated and the output token
+//! stream printed; with `--verify`, the *programmed fabric* is simulated
+//! too and checked token-for-token against the source circuit.
+
+use msaf_cad::flow::{compile, FlowOptions};
+use msaf_cad::verify::verify_tokens;
+use msaf_lang::Style;
+use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    styles: Vec<Style>,
+    tokens: BTreeMap<String, Vec<u64>>,
+    verify: bool,
+}
+
+fn usage() -> String {
+    "usage: msafc <file.msa> [--style qdi|wchb|bundled | --all-styles] \
+     [--tokens <chan>=<v,v,...>]... [--verify]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut file = None;
+    let mut styles = Vec::new();
+    let mut tokens = BTreeMap::new();
+    let mut verify = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--style" => {
+                let v = it.next().ok_or("--style needs a value")?;
+                styles.push(
+                    Style::from_name(v)
+                        .ok_or_else(|| format!("unknown style '{v}' (qdi|wchb|bundled)"))?,
+                );
+            }
+            "--all-styles" => styles.extend(Style::ALL),
+            "--tokens" => {
+                let v = it.next().ok_or("--tokens needs <chan>=<v,v,...>")?;
+                let (chan, csv) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--tokens '{v}': expected <chan>=<v,v,...>"))?;
+                let vals = csv
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("--tokens '{v}': '{s}' is not a number"))
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?;
+                tokens.insert(chan.to_string(), vals);
+            }
+            "--verify" => verify = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'\n{}", usage()));
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one input file\n{}", usage()));
+                }
+            }
+        }
+    }
+    let file = file.ok_or_else(usage)?;
+    if styles.is_empty() {
+        styles.extend(Style::ALL);
+    }
+    if verify && tokens.is_empty() {
+        return Err("--verify needs at least one --tokens <chan>=<v,...>".to_string());
+    }
+    Ok(Args {
+        file,
+        styles,
+        tokens,
+        verify,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read '{}': {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Parse and check once — only elaboration depends on the style —
+    // so diagnostics are the only thing a failing run prints.
+    let ast = match msaf_lang::parse(&src) {
+        Ok(ast) => ast,
+        Err(d) => {
+            eprintln!("{}: {}", args.file, d.render(&src));
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match msaf_lang::analyze(&ast) {
+        Ok(a) => a,
+        Err(diags) => {
+            for d in diags {
+                eprintln!("{}: {}", args.file, d.render(&src));
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<8} {:>6} {:>5} {:>5} {:>9} {:>5} {:>6} {:>11}",
+        "style", "gates", "LEs", "PLBs", "filling", "PDEs", "wires", "route_iters"
+    );
+    for style in &args.styles {
+        let nl = msaf_lang::elaborate(&ast, &analysis, *style);
+        let compiled = match compile(&nl, &FlowOptions::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: CAD flow failed for style {style}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let r = &compiled.report;
+        println!(
+            "{:<8} {:>6} {:>5} {:>5} {:>8.1}% {:>5} {:>6} {:>11}",
+            style.name(),
+            r.source_gates,
+            r.les,
+            r.plbs,
+            100.0 * r.filling_ratio(),
+            r.pdes,
+            r.wirelength,
+            r.route_iterations,
+        );
+
+        if !args.tokens.is_empty() {
+            let report = match token_run(
+                &nl,
+                &PerKindDelay::new(),
+                &args.tokens,
+                &TokenRunOptions::default(),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: simulation failed for style {style}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (chan, stream) in &report.outputs {
+                println!("  {chan} tokens: {:?}", stream.values());
+            }
+            if args.verify {
+                match verify_tokens(
+                    &nl,
+                    &compiled.mapped,
+                    &compiled.config,
+                    &args.tokens,
+                    &PerKindDelay::new(),
+                    &TokenRunOptions::default(),
+                ) {
+                    Ok(v) if v.matches => println!("  fabric verification: OK"),
+                    Ok(v) => {
+                        eprintln!(
+                            "error: fabric diverged for style {style}: source {:?} vs \
+                             fabric {:?}",
+                            v.original, v.fabric
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("error: verification failed for style {style}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

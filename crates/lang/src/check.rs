@@ -1,0 +1,580 @@
+//! Semantic validation of a parsed pipeline.
+//!
+//! The checks are exactly the invariants the elaborator relies on:
+//!
+//! * **widths** — every operation's arguments have compatible widths and
+//!   every slice stays inside its source value; output assignments match
+//!   the declared port width.
+//! * **acyclicity** — stages are linear and every reference must resolve
+//!   to an *already defined* value (an earlier `let` of the same stage,
+//!   the previous stage's bindings, or the input ports in stage 0), so
+//!   value dependencies can never form a cycle.
+//! * **dangling channels** — every input port is read by stage 0, every
+//!   binding is read *somewhere* (later in its own stage or by the next
+//!   one — a value nothing observes would occupy buffer rails that break
+//!   the QDI completion handshake), and the output port is assigned
+//!   exactly once, in the final stage.
+//!
+//! [`analyze`] returns an [`Analysis`] with the resolved width of every
+//! binding and, per stage boundary, the *crossing set*: the bindings the
+//! next stage actually reads, i.e. exactly the values the pipelined
+//! styles must buffer at that boundary.
+
+use crate::ast::{Expr, OpKind, Pipeline, Stmt};
+use crate::diag::Diag;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum channel/value width. Token payloads are `u64` and the widest
+/// committed workloads stay far below this.
+pub const MAX_WIDTH: usize = 32;
+
+/// Resolved facts the elaborator needs.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Width of every binding, keyed by `(stage_index, name)`.
+    pub binding_widths: BTreeMap<(usize, String), usize>,
+    /// Per stage `k`: the bindings of stage `k` (in declaration order)
+    /// that stage `k + 1` reads — the values a pipelined style buffers
+    /// at that boundary. Empty for the final stage.
+    pub crossings: Vec<Vec<String>>,
+}
+
+/// What one stage defined and touched, collected in the scope walk.
+#[derive(Default)]
+struct StageData {
+    /// Bindings in declaration order with widths.
+    bindings: Vec<(String, usize)>,
+    /// Names defined in this stage that this stage later read.
+    used_cur: BTreeSet<String>,
+    /// Incoming names (ports or previous bindings) this stage read.
+    used_prev: BTreeSet<String>,
+}
+
+/// The name-resolution state while walking one stage.
+struct Scope {
+    /// Bindings defined so far in the current stage.
+    cur: BTreeMap<String, usize>,
+    /// Incoming values (input ports in stage 0, previous bindings after).
+    prev: BTreeMap<String, usize>,
+}
+
+/// Validates `p`, returning its [`Analysis`] or every diagnostic found.
+///
+/// # Errors
+///
+/// Returns all diagnostics at once (the parser stops at the first syntax
+/// error, but semantic errors are independent and reported together).
+pub fn analyze(p: &Pipeline) -> Result<Analysis, Vec<Diag>> {
+    let mut diags = Vec::new();
+
+    // Port discipline.
+    let mut port_widths: BTreeMap<&str, usize> = BTreeMap::new();
+    for port in &p.ports {
+        if port.width == 0 || port.width > MAX_WIDTH {
+            diags.push(Diag::new(
+                port.span,
+                format!(
+                    "port '{}' has width {}, supported range is 1..={MAX_WIDTH}",
+                    port.name, port.width
+                ),
+            ));
+        }
+        if port_widths.insert(&port.name, port.width).is_some() {
+            diags.push(Diag::new(
+                port.span,
+                format!("port '{}' is declared twice", port.name),
+            ));
+        }
+    }
+    if p.inputs().count() == 0 {
+        diags.push(Diag::new(p.name_span, "pipeline has no input port"));
+    }
+    let outputs: Vec<_> = p.outputs().collect();
+    match outputs.len() {
+        0 => diags.push(Diag::new(p.name_span, "pipeline has no output port")),
+        1 => {}
+        _ => diags.push(Diag::new(
+            outputs[1].span,
+            "only one output port is supported (all three styles share a \
+             single environment acknowledge)",
+        )),
+    }
+
+    // Stage names unique.
+    let mut stage_names: BTreeMap<&str, usize> = BTreeMap::new();
+    for (k, stage) in p.stages.iter().enumerate() {
+        if stage_names.insert(&stage.name, k).is_some() {
+            diags.push(Diag::new(
+                stage.name_span,
+                format!("stage '{}' is declared twice", stage.name),
+            ));
+        }
+    }
+
+    // Scope walk, one stage at a time.
+    let mut per_stage: Vec<StageData> = Vec::with_capacity(p.stages.len());
+    let mut assigned: BTreeMap<&str, usize> = BTreeMap::new(); // output -> count
+    for (k, stage) in p.stages.iter().enumerate() {
+        let last = k + 1 == p.stages.len();
+        let prev: BTreeMap<String, usize> = if k == 0 {
+            p.inputs().map(|q| (q.name.clone(), q.width)).collect()
+        } else {
+            per_stage[k - 1]
+                .bindings
+                .iter()
+                .map(|(n, w)| (n.clone(), *w))
+                .collect()
+        };
+        let mut scope = Scope {
+            cur: BTreeMap::new(),
+            prev,
+        };
+        let mut data = StageData::default();
+
+        for stmt in &stage.stmts {
+            match stmt {
+                Stmt::Let {
+                    name,
+                    name_span,
+                    expr,
+                } => {
+                    let width = expr_width(expr, &scope, &mut data, &mut diags);
+                    if port_widths.contains_key(name.as_str()) {
+                        diags.push(Diag::new(
+                            *name_span,
+                            format!("binding '{name}' shadows a port of the same name"),
+                        ));
+                    } else if let Some(w) = width {
+                        if scope.cur.insert(name.clone(), w).is_some() {
+                            diags.push(Diag::new(
+                                *name_span,
+                                format!("'{name}' is already defined in this stage"),
+                            ));
+                        } else {
+                            data.bindings.push((name.clone(), w));
+                        }
+                    }
+                }
+                Stmt::Assign {
+                    target,
+                    target_span,
+                    expr,
+                } => {
+                    let is_output = p.outputs().any(|q| q.name == *target);
+                    if !is_output {
+                        diags.push(Diag::new(
+                            *target_span,
+                            format!(
+                                "'{target}' is not an output port (use 'let' for \
+                                 stage-local values)"
+                            ),
+                        ));
+                    } else if !last {
+                        diags.push(Diag::new(
+                            *target_span,
+                            format!(
+                                "output '{target}' assigned in stage '{}', but outputs \
+                                 may only be driven by the final stage",
+                                stage.name
+                            ),
+                        ));
+                    } else {
+                        *assigned.entry(target.as_str()).or_insert(0) += 1;
+                        if assigned[target.as_str()] > 1 {
+                            diags.push(Diag::new(
+                                *target_span,
+                                format!("output '{target}' is assigned more than once"),
+                            ));
+                        }
+                    }
+                    if let Some(w) = expr_width(expr, &scope, &mut data, &mut diags) {
+                        if let Some(&want) = port_widths.get(target.as_str()) {
+                            if is_output && w != want {
+                                diags.push(Diag::new(
+                                    expr.span(),
+                                    format!(
+                                        "output '{target}' is {want} bits wide but the \
+                                         expression produces {w} bits"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        per_stage.push(data);
+    }
+
+    // Dangling detection. Input ports must be read by stage 0:
+    if let Some(first) = per_stage.first() {
+        for port in p.inputs() {
+            if !first.used_prev.contains(&port.name) {
+                diags.push(Diag::new(
+                    port.span,
+                    format!(
+                        "input port '{}' is never read by stage '{}' (dangling \
+                         values break the completion handshake)",
+                        port.name, p.stages[0].name
+                    ),
+                ));
+            }
+        }
+    }
+    // Every binding must be read somewhere: later in its own stage, or by
+    // the next stage.
+    for (k, stage) in p.stages.iter().enumerate() {
+        let next_used: Option<&BTreeSet<String>> = per_stage.get(k + 1).map(|d| &d.used_prev);
+        for (name, _) in &per_stage[k].bindings {
+            let used_here = per_stage[k].used_cur.contains(name);
+            let used_next = next_used.is_some_and(|u| u.contains(name));
+            if !used_here && !used_next {
+                diags.push(Diag::new(
+                    stage.name_span,
+                    format!(
+                        "binding '{name}' in stage '{}' is never read (dangling \
+                         values break the completion handshake)",
+                        stage.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Every output assigned.
+    if let Some(out) = outputs.first() {
+        if !assigned.contains_key(out.name.as_str()) {
+            diags.push(Diag::new(
+                out.span,
+                format!("output '{}' is never assigned", out.name),
+            ));
+        }
+    }
+
+    if !diags.is_empty() {
+        return Err(diags);
+    }
+
+    // Assemble the analysis: crossings are the bindings the next stage
+    // actually read, in declaration order.
+    let mut analysis = Analysis::default();
+    for (k, data) in per_stage.iter().enumerate() {
+        for (name, w) in &data.bindings {
+            analysis.binding_widths.insert((k, name.clone()), *w);
+        }
+        let crossing = match per_stage.get(k + 1) {
+            Some(next) => data
+                .bindings
+                .iter()
+                .filter(|(n, _)| next.used_prev.contains(n))
+                .map(|(n, _)| n.clone())
+                .collect(),
+            None => Vec::new(),
+        };
+        analysis.crossings.push(crossing);
+    }
+    Ok(analysis)
+}
+
+/// Computes an expression's width, recording which names it reads and
+/// reporting width errors. Returns `None` when a sub-expression failed
+/// (the error is already pushed).
+fn expr_width(
+    expr: &Expr,
+    scope: &Scope,
+    data: &mut StageData,
+    diags: &mut Vec<Diag>,
+) -> Option<usize> {
+    let resolve = |name: &str, data: &mut StageData| -> Option<usize> {
+        if let Some(&w) = scope.cur.get(name) {
+            data.used_cur.insert(name.to_string());
+            Some(w)
+        } else if let Some(&w) = scope.prev.get(name) {
+            data.used_prev.insert(name.to_string());
+            Some(w)
+        } else {
+            None
+        }
+    };
+    match expr {
+        Expr::Ref { name, span } => match resolve(name, data) {
+            Some(w) => Some(w),
+            None => {
+                diags.push(Diag::new(
+                    *span,
+                    format!(
+                        "'{name}' is not defined here (stage logic may only read \
+                         earlier bindings of this stage, the previous stage's \
+                         bindings, or the input ports in stage 0)"
+                    ),
+                ));
+                None
+            }
+        },
+        Expr::Slice { name, lo, hi, span } => match resolve(name, data) {
+            Some(w) => {
+                if *lo >= *hi || *hi > w {
+                    diags.push(Diag::new(
+                        *span,
+                        format!("slice [{lo}..{hi}] is out of range for '{name}' ({w} bits)"),
+                    ));
+                    None
+                } else {
+                    Some(hi - lo)
+                }
+            }
+            None => {
+                diags.push(Diag::new(*span, format!("'{name}' is not defined here")));
+                None
+            }
+        },
+        Expr::Op { op, args, span } => {
+            let widths: Vec<Option<usize>> = args
+                .iter()
+                .map(|a| expr_width(a, scope, data, diags))
+                .collect();
+            if widths.iter().any(Option::is_none) {
+                return None;
+            }
+            let w: Vec<usize> = widths.into_iter().flatten().collect();
+            let fail = |diags: &mut Vec<Diag>, msg: String| {
+                diags.push(Diag::new(*span, msg));
+                None
+            };
+            match op {
+                OpKind::And | OpKind::Or | OpKind::Xor => {
+                    if w[0] != w[1] {
+                        return fail(
+                            diags,
+                            format!(
+                                "'{}' needs equal widths, got {} and {}",
+                                op.name(),
+                                w[0],
+                                w[1]
+                            ),
+                        );
+                    }
+                    Some(w[0])
+                }
+                OpKind::Not => Some(w[0]),
+                OpKind::Parity => Some(1),
+                OpKind::Mux => {
+                    if w[0] != 1 {
+                        return fail(diags, format!("'mux' select must be 1 bit, got {}", w[0]));
+                    }
+                    if w[1] != w[2] {
+                        return fail(
+                            diags,
+                            format!(
+                                "'mux' branches need equal widths, got {} and {}",
+                                w[1], w[2]
+                            ),
+                        );
+                    }
+                    Some(w[1])
+                }
+                OpKind::Add => {
+                    if w[0] != w[1] {
+                        return fail(
+                            diags,
+                            format!(
+                                "'add' operands need equal widths, got {} and {}",
+                                w[0], w[1]
+                            ),
+                        );
+                    }
+                    if w[2] != 1 {
+                        return fail(diags, format!("'add' carry-in must be 1 bit, got {}", w[2]));
+                    }
+                    if w[0] + 1 > MAX_WIDTH {
+                        return fail(
+                            diags,
+                            format!("'add' result width {} exceeds {MAX_WIDTH}", w[0] + 1),
+                        );
+                    }
+                    Some(w[0] + 1)
+                }
+                OpKind::Cat => {
+                    let total: usize = w.iter().sum();
+                    if total > MAX_WIDTH {
+                        return fail(
+                            diags,
+                            format!("'cat' result width {total} exceeds {MAX_WIDTH}"),
+                        );
+                    }
+                    Some(total)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<Analysis, Vec<Diag>> {
+        analyze(&parse(src).expect("parses"))
+    }
+
+    fn messages(src: &str) -> String {
+        check(src)
+            .unwrap_err()
+            .iter()
+            .map(|d| d.message.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn adder_analyzes() {
+        let a = check(
+            "pipeline p { input op[5]; output res[3];
+             stage s0 { res = add(op[0..2], op[2..4], op[4]); } }",
+        )
+        .unwrap();
+        assert!(a.crossings[0].is_empty());
+    }
+
+    #[test]
+    fn crossing_widths_recorded() {
+        let a = check(
+            "pipeline p { input a[4]; output y[4];
+             stage s0 { let t = not(a); }
+             stage s1 { y = not(t); } }",
+        )
+        .unwrap();
+        assert_eq!(a.crossings[0], vec!["t".to_string()]);
+        assert_eq!(a.binding_widths[&(0, "t".to_string())], 4);
+    }
+
+    #[test]
+    fn same_stage_helpers_do_not_cross() {
+        // 'h' is consumed inside s0; only 't' crosses to s1.
+        let a = check(
+            "pipeline p { input a[4]; output y[1];
+             stage s0 { let h = xor(a[0..2], a[2..4]); let t = parity(h); }
+             stage s1 { y = t; } }",
+        )
+        .unwrap();
+        assert_eq!(a.crossings[0], vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn rebinding_idiom_allowed() {
+        // `let x = x;` reads the previous stage's x, then shadows it.
+        let a = check(
+            "pipeline p { input a[2]; output y[2];
+             stage s0 { let x = a; }
+             stage s1 { let x = x; }
+             stage s2 { y = x; } }",
+        )
+        .unwrap();
+        assert_eq!(a.crossings[0], vec!["x".to_string()]);
+        assert_eq!(a.crossings[1], vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let m = messages(
+            "pipeline p { input a[4]; output y[1];
+             stage s0 { y = parity(xor(a[0..2], a[1..4])); } }",
+        );
+        assert!(m.contains("equal widths"), "{m}");
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let m = messages(
+            "pipeline p { input a[2]; output y[2];
+             stage s0 { let t = xor(u, a); let u = a; y = t; } }",
+        );
+        assert!(m.contains("'u' is not defined"), "{m}");
+    }
+
+    #[test]
+    fn skipping_a_stage_is_an_error() {
+        // Stage 1 reads the *input* directly — values must be re-bound
+        // through every boundary.
+        let m = messages(
+            "pipeline p { input a[2]; output y[2];
+             stage s0 { let t = a; }
+             stage s1 { let u = xor(t, a); }
+             stage s2 { y = u; } }",
+        );
+        assert!(m.contains("'a' is not defined"), "{m}");
+    }
+
+    #[test]
+    fn dangling_input_detected() {
+        let m = messages(
+            "pipeline p { input a[2]; input b[2]; output y[2];
+             stage s0 { y = not(a); } }",
+        );
+        assert!(m.contains("'b' is never read"), "{m}");
+    }
+
+    #[test]
+    fn dangling_binding_detected() {
+        let m = messages(
+            "pipeline p { input a[2]; output y[2];
+             stage s0 { let t = not(a); let dead = a; }
+             stage s1 { y = t; } }",
+        );
+        assert!(m.contains("'dead' in stage 's0' is never read"), "{m}");
+    }
+
+    #[test]
+    fn output_in_middle_stage_rejected() {
+        let m = messages(
+            "pipeline p { input a[2]; output y[2];
+             stage s0 { y = a; let t = a; }
+             stage s1 { let u = t; }
+             stage s2 { y = u; } }",
+        );
+        assert!(m.contains("final stage"), "{m}");
+    }
+
+    #[test]
+    fn second_output_port_rejected() {
+        let m = messages(
+            "pipeline p { input a[2]; output y[2]; output z[2];
+             stage s0 { y = a; z = a; } }",
+        );
+        assert!(m.contains("one output port"), "{m}");
+    }
+
+    #[test]
+    fn unassigned_output_detected() {
+        let m = messages(
+            "pipeline p { input a[1]; output y[1];
+             stage s0 { let t = a; }
+             stage s1 { let u = not(t); y = u; } }"
+                .replace("y = u; ", "")
+                .as_str(),
+        );
+        assert!(m.contains("'y' is never assigned"), "{m}");
+    }
+
+    #[test]
+    fn zero_width_port_rejected() {
+        let m = messages("pipeline p { input a[0]; output y[1]; stage s0 { y = parity(a); } }");
+        assert!(m.contains("width 0"), "{m}");
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let m = messages("pipeline p { input a[4]; output y[1]; stage s0 { y = a[4]; } }");
+        assert!(m.contains("out of range"), "{m}");
+    }
+
+    #[test]
+    fn shadowing_a_port_rejected() {
+        let m = messages(
+            "pipeline p { input a[2]; output y[2];
+             stage s0 { let a = not(a); y = a; } }",
+        );
+        assert!(m.contains("shadows a port"), "{m}");
+    }
+}

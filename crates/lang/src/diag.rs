@@ -1,0 +1,153 @@
+//! Source spans and diagnostics.
+//!
+//! Every lexer token and AST node carries a byte [`Span`] into the
+//! original `.msa` source. A [`Diag`] pairs a span with a message;
+//! [`Diag::render`] resolves the span to a line/column position and
+//! produces the classic two-line "source excerpt + caret" report, so
+//! parse and check errors always point at the offending text.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A 1-based line/column position resolved from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes; the language is ASCII).
+    pub col: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Resolves a byte offset to its line/column in `src`.
+#[must_use]
+pub fn line_col(src: &str, offset: usize) -> LineCol {
+    let offset = offset.min(src.len());
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, b) in src.bytes().enumerate().take(offset) {
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    LineCol {
+        line,
+        col: offset - line_start + 1,
+    }
+}
+
+/// One error attached to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diag {
+    /// Creates a diagnostic.
+    #[must_use]
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Self {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// The line/column of the diagnostic's start within `src`.
+    #[must_use]
+    pub fn position(&self, src: &str) -> LineCol {
+        line_col(src, self.span.start)
+    }
+
+    /// Renders `error: <msg> at <line>:<col>` plus the offending source
+    /// line with a caret underline.
+    #[must_use]
+    pub fn render(&self, src: &str) -> String {
+        let pos = self.position(src);
+        let line_text = src.lines().nth(pos.line - 1).unwrap_or("");
+        let width = (self.span.end.saturating_sub(self.span.start)).max(1);
+        let caret_width = width.min(line_text.len().saturating_sub(pos.col - 1).max(1));
+        let mut out = format!("error: {} at {}\n", self.message, pos);
+        out.push_str(&format!("  | {line_text}\n"));
+        out.push_str(&format!(
+            "  | {}{}",
+            " ".repeat(pos.col - 1),
+            "^".repeat(caret_width)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error: {} at bytes {}..{}",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 1), LineCol { line: 1, col: 2 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 2 });
+        // Past-the-end clamps.
+        assert_eq!(line_col(src, 99), LineCol { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn render_points_at_line() {
+        let src = "pipeline p {\n  inpt x[4];\n}";
+        let d = Diag::new(Span::new(15, 19), "unknown keyword 'inpt'");
+        let rendered = d.render(src);
+        assert!(rendered.contains("at 2:3"), "{rendered}");
+        assert!(rendered.contains("inpt x[4];"), "{rendered}");
+        assert!(rendered.contains("^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn span_join() {
+        assert_eq!(Span::new(3, 5).to(Span::new(1, 4)), Span::new(1, 5));
+    }
+}

@@ -1,0 +1,840 @@
+//! Multi-style elaboration: one checked pipeline, three netlists.
+//!
+//! The elaborator lowers a pipeline into a [`msaf_netlist::Netlist`] in
+//! any of the fabric's supported styles, reusing the `msaf-cells`
+//! constructions throughout:
+//!
+//! * [`Style::Qdi`] — the whole computation as one flat block of QDI
+//!   dual-rail DIMS logic ([`msaf_cells::dualrail::dims`]); stage
+//!   boundaries dissolve (DIMS has no internal pipelining — this is the
+//!   paper's Figure-3b shape). Channels are dual-rail and share the
+//!   single environment acknowledge.
+//! * [`Style::Wchb`] — a true QDI pipeline: every stage starts with a
+//!   weak-conditioned half-buffer ([`msaf_cells::wchb::wchb_stage`])
+//!   capturing the values that cross the boundary, followed by the
+//!   stage's logic in DIMS. No timing assumption anywhere.
+//! * [`Style::Bundled`] — a micropipeline: every stage starts with a
+//!   4-phase bundled-data latch stage
+//!   ([`msaf_cells::bundled::bundled_stage`]) followed by single-rail
+//!   logic, with the matched delay computed from the lowered logic's
+//!   critical path under [`msaf_sim::PerKindDelay`] plus slack — the
+//!   timing assumption the fabric's programmable delay element exists
+//!   to cover.
+//!
+//! All three produce the channel layout `token_run` expects, so the same
+//! input token streams drive every style.
+
+use crate::ast::{Expr, OpKind, Pipeline, Stmt};
+use crate::check::Analysis;
+use msaf_cells::bundled::bundled_stage;
+use msaf_cells::celement::celement_tree;
+use msaf_cells::dualrail::{dims, dr_channel_data, dr_inputs, Dr};
+use msaf_cells::wchb::wchb_stage;
+use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, LutTable, NetId, Netlist, Protocol};
+use msaf_sim::PerKindDelay;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The asynchronous implementation style to elaborate into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Style {
+    /// Flat QDI dual-rail DIMS logic (no internal pipelining).
+    Qdi,
+    /// WCHB-buffered QDI pipeline (dual-rail, delay-insensitive).
+    Wchb,
+    /// Bundled-data micropipeline (single-rail, matched delays).
+    Bundled,
+}
+
+impl Style {
+    /// All styles, in canonical order.
+    pub const ALL: [Style; 3] = [Style::Qdi, Style::Wchb, Style::Bundled];
+
+    /// The surface name used by `msafc --style` and the benches.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Style::Qdi => "qdi",
+            Style::Wchb => "wchb",
+            Style::Bundled => "bundled",
+        }
+    }
+
+    /// Resolves a surface name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "qdi" => Style::Qdi,
+            "wchb" => Style::Wchb,
+            "bundled" => Style::Bundled,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Style {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Extra slack added to every computed matched delay, over the latch
+/// delay plus the stage logic's critical path (mirrors the margin
+/// `msaf_cells::adders::suggested_bundled_adder_delay` carries).
+const MATCHED_DELAY_SLACK: u64 = 6;
+
+/// Elaborates a checked pipeline into a netlist in `style`.
+///
+/// `analysis` must come from [`crate::check::analyze`] on the same
+/// pipeline; the elaborator assumes every invariant it established.
+///
+/// # Panics
+///
+/// Panics if `pipeline`/`analysis` violate the checked invariants (a
+/// caller bug — go through [`crate::compile_msa`]).
+#[must_use]
+pub fn elaborate(pipeline: &Pipeline, analysis: &Analysis, style: Style) -> Netlist {
+    let mut nl = Netlist::new(format!("{}_{}", pipeline.name, style.name()));
+    match style {
+        Style::Qdi => elab_qdi(pipeline, &mut nl),
+        Style::Wchb => elab_wchb(pipeline, analysis, &mut nl),
+        Style::Bundled => elab_bundled(pipeline, analysis, &mut nl),
+    }
+    nl
+}
+
+/// The single output port (the check pass guarantees exactly one).
+fn out_port(p: &Pipeline) -> &crate::ast::Port {
+    p.outputs().next().expect("checked: one output port")
+}
+
+// ---------------------------------------------------------------------
+// Dual-rail lowering (shared by the QDI and WCHB styles)
+// ---------------------------------------------------------------------
+
+/// Gate-name generator: every lowered operation gets a unique prefix.
+struct Names {
+    uid: usize,
+}
+
+impl Names {
+    fn new() -> Self {
+        Self { uid: 0 }
+    }
+
+    fn fresh(&mut self, tag: &str) -> String {
+        self.uid += 1;
+        format!("{tag}{}", self.uid)
+    }
+}
+
+type DrEnv = BTreeMap<String, Vec<Dr>>;
+
+fn dr_value(env: &DrEnv, name: &str) -> Vec<Dr> {
+    env.get(name).expect("checked: name in scope").clone()
+}
+
+fn dr_expr(nl: &mut Netlist, names: &mut Names, env: &DrEnv, expr: &Expr) -> Vec<Dr> {
+    match expr {
+        Expr::Ref { name, .. } => dr_value(env, name),
+        Expr::Slice { name, lo, hi, .. } => dr_value(env, name)[*lo..*hi].to_vec(),
+        Expr::Op { op, args, .. } => {
+            let args: Vec<Vec<Dr>> = args.iter().map(|a| dr_expr(nl, names, env, a)).collect();
+            match op {
+                // Dual-rail inversion is a rail swap: zero gates.
+                OpKind::Not => args[0].iter().map(|d| Dr { t: d.f, f: d.t }).collect(),
+                OpKind::Cat => args.into_iter().flatten().collect(),
+                OpKind::And | OpKind::Or | OpKind::Xor => {
+                    let and_f = |v: &[bool]| v[0] && v[1];
+                    let or_f = |v: &[bool]| v[0] || v[1];
+                    let xor_f = |v: &[bool]| v[0] ^ v[1];
+                    let f: &dyn Fn(&[bool]) -> bool = match op {
+                        OpKind::And => &and_f,
+                        OpKind::Or => &or_f,
+                        _ => &xor_f,
+                    };
+                    args[0]
+                        .iter()
+                        .zip(&args[1])
+                        .map(|(&a, &b)| {
+                            let prefix = names.fresh(op.name());
+                            dims(nl, &prefix, &[a, b], &[(op.name(), f)])[0]
+                        })
+                        .collect()
+                }
+                OpKind::Mux => {
+                    let sel = args[0][0];
+                    args[1]
+                        .iter()
+                        .zip(&args[2])
+                        .map(|(&a, &b)| {
+                            let prefix = names.fresh("mux");
+                            // v = [sel, a, b]: picks b when sel is 1.
+                            dims(
+                                nl,
+                                &prefix,
+                                &[sel, a, b],
+                                &[("mux", &|v: &[bool]| if v[0] { v[2] } else { v[1] })],
+                            )[0]
+                        })
+                        .collect()
+                }
+                OpKind::Add => {
+                    // Shared-minterm DIMS full adder per bit — the exact
+                    // structure of `msaf_cells::adders::qdi_ripple_adder`.
+                    let mut carry = args[2][0];
+                    let mut out = Vec::with_capacity(args[0].len() + 1);
+                    for (&a, &b) in args[0].iter().zip(&args[1]) {
+                        let prefix = names.fresh("fa");
+                        let outs = dims(
+                            nl,
+                            &prefix,
+                            &[a, b, carry],
+                            &[
+                                ("sum", &|v: &[bool]| v[0] ^ v[1] ^ v[2]),
+                                ("carry", &|v: &[bool]| {
+                                    (v[0] & v[1]) | (v[0] & v[2]) | (v[1] & v[2])
+                                }),
+                            ],
+                        );
+                        out.push(outs[0]);
+                        carry = outs[1];
+                    }
+                    out.push(carry);
+                    out
+                }
+                OpKind::Parity => {
+                    // Balanced XOR2 tree — the `qdi_parity_tree` shape.
+                    let mut layer = args[0].clone();
+                    while layer.len() > 1 {
+                        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                        for pair in layer.chunks(2) {
+                            if pair.len() == 2 {
+                                let prefix = names.fresh("par");
+                                next.push(
+                                    dims(nl, &prefix, pair, &[("xor", &|v: &[bool]| v[0] ^ v[1])])
+                                        [0],
+                                );
+                            } else {
+                                next.push(pair[0]);
+                            }
+                        }
+                        layer = next;
+                    }
+                    vec![layer[0]]
+                }
+            }
+        }
+    }
+}
+
+/// Runs one stage's statements in the dual-rail domain. Returns the
+/// stage's bindings (in order) and, for the final stage, the output bits.
+fn dr_run_stage(
+    nl: &mut Netlist,
+    names: &mut Names,
+    env: &mut DrEnv,
+    stage: &crate::ast::Stage,
+) -> Option<Vec<Dr>> {
+    let mut out = None;
+    for stmt in &stage.stmts {
+        match stmt {
+            Stmt::Let { name, expr, .. } => {
+                let bits = dr_expr(nl, names, env, expr);
+                env.insert(name.clone(), bits);
+            }
+            Stmt::Assign { expr, .. } => {
+                out = Some(dr_expr(nl, names, env, expr));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// QDI: one flat DIMS block
+// ---------------------------------------------------------------------
+
+fn elab_qdi(p: &Pipeline, nl: &mut Netlist) {
+    let out = out_port(p);
+    let mut names = Names::new();
+
+    let mut env: DrEnv = BTreeMap::new();
+    let mut in_ports = Vec::new();
+    for port in p.inputs() {
+        let bits = dr_inputs(nl, &port.name, port.width);
+        env.insert(port.name.clone(), bits.clone());
+        in_ports.push((port, bits));
+    }
+    let ack = nl.add_input(format!("{}_ack", out.name));
+
+    // Stage boundaries dissolve: each stage's scope is the previous
+    // stage's bindings, wired straight through.
+    let mut out_bits = None;
+    for (k, stage) in p.stages.iter().enumerate() {
+        let mut scope: DrEnv = if k == 0 {
+            env.clone()
+        } else {
+            std::mem::take(&mut env)
+        };
+        let produced = dr_run_stage(nl, &mut names, &mut scope, stage);
+        if k == 0 {
+            // Keep only the bindings for the next stage's scope.
+            for port in p.inputs() {
+                scope.remove(&port.name);
+            }
+        }
+        env = scope;
+        if produced.is_some() {
+            out_bits = produced;
+        }
+    }
+    let mut out_bits = out_bits.expect("checked: output assigned");
+
+    // An identity pipeline can hand a primary-input rail straight to the
+    // output channel; decouple it with buffers so the net has a driver
+    // on the fabric side.
+    for bit in &mut out_bits {
+        for rail in [&mut bit.t, &mut bit.f] {
+            if nl.net(*rail).is_primary_input() {
+                let (_, y) = nl.add_gate_new(GateKind::Buf, names.fresh("outbuf"), &[*rail]);
+                *rail = y;
+            }
+        }
+    }
+
+    for bit in &out_bits {
+        nl.mark_output(bit.t);
+        nl.mark_output(bit.f);
+    }
+    for (port, bits) in &in_ports {
+        nl.add_channel(Channel::new(
+            port.name.clone(),
+            ChannelDir::Input,
+            Protocol::FourPhase,
+            Encoding::DualRail { width: port.width },
+            None,
+            ack,
+            dr_channel_data(bits),
+        ));
+    }
+    nl.add_channel(Channel::new(
+        out.name.clone(),
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::DualRail { width: out.width },
+        None,
+        ack,
+        dr_channel_data(&out_bits),
+    ));
+}
+
+// ---------------------------------------------------------------------
+// WCHB: half-buffer per stage, DIMS logic between buffers
+// ---------------------------------------------------------------------
+
+fn elab_wchb(p: &Pipeline, analysis: &Analysis, nl: &mut Netlist) {
+    let out = out_port(p);
+    let mut names = Names::new();
+    let depth = p.stages.len();
+
+    let mut in_ports = Vec::new();
+    for port in p.inputs() {
+        let bits = dr_inputs(nl, &port.name, port.width);
+        in_ports.push((port, bits));
+    }
+    let out_ack = nl.add_input(format!("{}_ack", out.name));
+
+    // Ack holes filled once downstream buffers exist (the same
+    // front-to-back trick as `msaf_cells::wchb::wchb_fifo`).
+    let holes: Vec<NetId> = (0..depth)
+        .map(|k| nl.add_net(format!("bs{k}_ack_hole")))
+        .collect();
+
+    let mut acks = Vec::with_capacity(depth);
+    let mut env: DrEnv = BTreeMap::new();
+    let mut out_bits = None;
+    for (k, stage) in p.stages.iter().enumerate() {
+        // What crosses into this stage: the input ports for stage 0, the
+        // previous stage's bindings afterwards.
+        let crossing: Vec<(String, Vec<Dr>)> = if k == 0 {
+            in_ports
+                .iter()
+                .map(|(port, bits)| (port.name.clone(), bits.clone()))
+                .collect()
+        } else {
+            analysis.crossings[k - 1]
+                .iter()
+                .map(|name| (name.clone(), dr_value(&env, name)))
+                .collect()
+        };
+        let flat: Vec<Dr> = crossing.iter().flat_map(|(_, b)| b.clone()).collect();
+        let (buffered, ack_in) = wchb_stage(nl, &format!("bs{k}"), &flat, holes[k]);
+        acks.push(ack_in);
+
+        // Rebuild the stage scope from the buffered rails.
+        let mut scope: DrEnv = BTreeMap::new();
+        let mut off = 0;
+        for (name, bits) in &crossing {
+            scope.insert(name.clone(), buffered[off..off + bits.len()].to_vec());
+            off += bits.len();
+        }
+        let produced = dr_run_stage(nl, &mut names, &mut scope, stage);
+        if produced.is_some() {
+            out_bits = produced;
+        }
+        env = scope;
+    }
+    let out_bits = out_bits.expect("checked: output assigned");
+
+    for k in 0..depth {
+        let src = if k + 1 < depth { acks[k + 1] } else { out_ack };
+        nl.add_gate(GateKind::Buf, format!("bs{k}_ack_fill"), &[src], holes[k]);
+    }
+
+    for bit in &out_bits {
+        nl.mark_output(bit.t);
+        nl.mark_output(bit.f);
+    }
+    nl.mark_output(acks[0]);
+
+    for (port, bits) in &in_ports {
+        nl.add_channel(Channel::new(
+            port.name.clone(),
+            ChannelDir::Input,
+            Protocol::FourPhase,
+            Encoding::DualRail { width: port.width },
+            None,
+            acks[0],
+            dr_channel_data(bits),
+        ));
+    }
+    nl.add_channel(Channel::new(
+        out.name.clone(),
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::DualRail { width: out.width },
+        None,
+        out_ack,
+        dr_channel_data(&out_bits),
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Bundled data: latch stage + single-rail logic per stage
+// ---------------------------------------------------------------------
+
+type SrEnv = BTreeMap<String, Vec<NetId>>;
+
+fn sr_value(env: &SrEnv, name: &str) -> Vec<NetId> {
+    env.get(name).expect("checked: name in scope").clone()
+}
+
+fn sr_expr(nl: &mut Netlist, names: &mut Names, env: &SrEnv, expr: &Expr) -> Vec<NetId> {
+    match expr {
+        Expr::Ref { name, .. } => sr_value(env, name),
+        Expr::Slice { name, lo, hi, .. } => sr_value(env, name)[*lo..*hi].to_vec(),
+        Expr::Op { op, args, .. } => {
+            let args: Vec<Vec<NetId>> = args.iter().map(|a| sr_expr(nl, names, env, a)).collect();
+            match op {
+                OpKind::Cat => args.into_iter().flatten().collect(),
+                OpKind::Not => args[0]
+                    .iter()
+                    .map(|&a| nl.add_gate_new(GateKind::Not, names.fresh("not"), &[a]).1)
+                    .collect(),
+                OpKind::And | OpKind::Or | OpKind::Xor => {
+                    let kind = match op {
+                        OpKind::And => GateKind::And,
+                        OpKind::Or => GateKind::Or,
+                        _ => GateKind::Xor,
+                    };
+                    args[0]
+                        .iter()
+                        .zip(&args[1])
+                        .map(|(&a, &b)| nl.add_gate_new(kind, names.fresh(op.name()), &[a, b]).1)
+                        .collect()
+                }
+                OpKind::Mux => {
+                    let sel = args[0][0];
+                    args[1]
+                        .iter()
+                        .zip(&args[2])
+                        .map(|(&a, &b)| {
+                            nl.add_gate_new(GateKind::Mux2, names.fresh("mux"), &[sel, a, b])
+                                .1
+                        })
+                        .collect()
+                }
+                OpKind::Add => {
+                    // XOR3 sum + majority-LUT carry per bit — the
+                    // `bundled_ripple_adder` datapath.
+                    let mut carry = args[2][0];
+                    let mut outs = Vec::with_capacity(args[0].len() + 1);
+                    for (&a, &b) in args[0].iter().zip(&args[1]) {
+                        let (_, sum) =
+                            nl.add_gate_new(GateKind::Xor, names.fresh("fa_sum"), &[a, b, carry]);
+                        let (_, c) = nl.add_gate_new(
+                            GateKind::Lut(LutTable::majority3()),
+                            names.fresh("fa_cout"),
+                            &[a, b, carry],
+                        );
+                        outs.push(sum);
+                        carry = c;
+                    }
+                    outs.push(carry);
+                    outs
+                }
+                OpKind::Parity => {
+                    // Balanced XOR2 tree (a single wide XOR would exceed
+                    // the fabric's 7-input LUT on wide channels).
+                    let mut layer = args[0].clone();
+                    while layer.len() > 1 {
+                        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                        for pair in layer.chunks(2) {
+                            if pair.len() == 2 {
+                                next.push(
+                                    nl.add_gate_new(GateKind::Xor, names.fresh("par"), pair).1,
+                                );
+                            } else {
+                                next.push(pair[0]);
+                            }
+                        }
+                        layer = next;
+                    }
+                    vec![layer[0]]
+                }
+            }
+        }
+    }
+}
+
+fn sr_run_stage(
+    nl: &mut Netlist,
+    names: &mut Names,
+    env: &mut SrEnv,
+    stage: &crate::ast::Stage,
+) -> Option<Vec<NetId>> {
+    let mut out = None;
+    for stmt in &stage.stmts {
+        match stmt {
+            Stmt::Let { name, expr, .. } => {
+                let bits = sr_expr(nl, names, env, expr);
+                env.insert(name.clone(), bits);
+            }
+            Stmt::Assign { expr, .. } => {
+                out = Some(sr_expr(nl, names, env, expr));
+            }
+        }
+    }
+    out
+}
+
+/// Critical path of one stage's lowered single-rail logic under
+/// [`PerKindDelay`], computed on a scratch netlist (the real stage needs
+/// this number *before* its latch bank exists, because the matched delay
+/// is an argument to [`bundled_stage`]).
+fn stage_logic_depth(stage: &crate::ast::Stage, widths: &[(String, usize)]) -> u64 {
+    let mut scratch = Netlist::new("scratch");
+    let mut env: SrEnv = BTreeMap::new();
+    for (name, width) in widths {
+        let bits = (0..*width)
+            .map(|i| scratch.add_input(format!("{name}{i}")))
+            .collect();
+        env.insert(name.clone(), bits);
+    }
+    let mut names = Names::new();
+    let _ = sr_run_stage(&mut scratch, &mut names, &mut env, stage);
+
+    // Gates were emitted in topological order, so one forward pass gives
+    // the longest path (in PerKindDelay units) from any input.
+    let mut depth = vec![0u64; scratch.nets().len()];
+    let mut worst = 0;
+    for (_, gate) in scratch.iter_gates() {
+        let arrive = gate
+            .inputs()
+            .iter()
+            .map(|n| depth[n.index()])
+            .max()
+            .unwrap_or(0)
+            + PerKindDelay::base_delay(gate.kind());
+        depth[gate.output().index()] = arrive;
+        worst = worst.max(arrive);
+    }
+    worst
+}
+
+fn elab_bundled(p: &Pipeline, analysis: &Analysis, nl: &mut Netlist) {
+    let out = out_port(p);
+    let mut names = Names::new();
+    let depth = p.stages.len();
+
+    let mut in_ports = Vec::new();
+    let mut reqs = Vec::new();
+    for port in p.inputs() {
+        let req = nl.add_input(format!("{}_req", port.name));
+        let bits: Vec<NetId> = (0..port.width)
+            .map(|i| nl.add_input(format!("{}{i}", port.name)))
+            .collect();
+        reqs.push(req);
+        in_ports.push((port, req, bits));
+    }
+    let res_ack = nl.add_input(format!("{}_ack", out.name));
+
+    // Multiple input channels rendezvous on a C-element tree: the joint
+    // request rises only once every producer has presented its bundle.
+    let req_join = if reqs.len() == 1 {
+        reqs[0]
+    } else {
+        celement_tree(nl, "req_join", &reqs)
+    };
+
+    let holes: Vec<NetId> = (0..depth)
+        .map(|k| nl.add_net(format!("bs{k}_ack_hole")))
+        .collect();
+
+    let mut stage_acks = Vec::with_capacity(depth);
+    let mut req = req_join;
+    let mut env: SrEnv = BTreeMap::new();
+    let mut out_bits = None;
+    for (k, stage) in p.stages.iter().enumerate() {
+        let crossing: Vec<(String, Vec<NetId>)> = if k == 0 {
+            in_ports
+                .iter()
+                .map(|(port, _, bits)| (port.name.clone(), bits.clone()))
+                .collect()
+        } else {
+            analysis.crossings[k - 1]
+                .iter()
+                .map(|name| (name.clone(), sr_value(&env, name)))
+                .collect()
+        };
+        let widths: Vec<(String, usize)> =
+            crossing.iter().map(|(n, b)| (n.clone(), b.len())).collect();
+        // Matched delay: latch propagation + this stage's logic depth +
+        // slack, in PerKindDelay units.
+        let matched = PerKindDelay::base_delay(&GateKind::Latch)
+            + stage_logic_depth(stage, &widths)
+            + MATCHED_DELAY_SLACK;
+        let flat: Vec<NetId> = crossing.iter().flat_map(|(_, b)| b.clone()).collect();
+        let latch = bundled_stage(
+            nl,
+            &format!("bs{k}"),
+            req,
+            &flat,
+            holes[k],
+            u32::try_from(matched).expect("matched delay fits u32"),
+        );
+        stage_acks.push(latch.ack_in);
+        req = latch.req_out;
+
+        let mut scope: SrEnv = BTreeMap::new();
+        let mut off = 0;
+        for (name, bits) in &crossing {
+            scope.insert(name.clone(), latch.data_out[off..off + bits.len()].to_vec());
+            off += bits.len();
+        }
+        let produced = sr_run_stage(nl, &mut names, &mut scope, stage);
+        if produced.is_some() {
+            out_bits = produced;
+        }
+        env = scope;
+    }
+    let out_bits = out_bits.expect("checked: output assigned");
+
+    for k in 0..depth {
+        let src = if k + 1 < depth {
+            stage_acks[k + 1]
+        } else {
+            res_ack
+        };
+        nl.add_gate(GateKind::Buf, format!("bs{k}_ack_fill"), &[src], holes[k]);
+    }
+
+    for &bit in &out_bits {
+        nl.mark_output(bit);
+    }
+    nl.mark_output(req);
+    nl.mark_output(stage_acks[0]);
+
+    for (port, port_req, bits) in &in_ports {
+        nl.add_channel(Channel::new(
+            port.name.clone(),
+            ChannelDir::Input,
+            Protocol::FourPhase,
+            Encoding::Bundled { width: port.width },
+            Some(*port_req),
+            stage_acks[0],
+            bits.clone(),
+        ));
+    }
+    nl.add_channel(Channel::new(
+        out.name.clone(),
+        ChannelDir::Output,
+        Protocol::FourPhase,
+        Encoding::Bundled { width: out.width },
+        Some(req),
+        res_ack,
+        out_bits,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::analyze;
+    use crate::parser::parse;
+    use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
+    use std::collections::BTreeMap as Map;
+
+    const ADDER2: &str = "pipeline adder2 { input op[5]; output res[3];
+        stage s0 { res = add(op[0..2], op[2..4], op[4]); } }";
+
+    const FIFO2: &str = "pipeline fifo2 { input inp[3]; output outp[3];
+        stage s0 { let x = inp; }
+        stage s1 { outp = x; } }";
+
+    fn build(src: &str, style: Style) -> Netlist {
+        let ast = parse(src).expect("parses");
+        let analysis = analyze(&ast).expect("checks");
+        let nl = elaborate(&ast, &analysis, style);
+        let v = nl.validate();
+        assert!(v.is_ok(), "{style}: {v}");
+        nl
+    }
+
+    fn run(nl: &Netlist, chan: &str, toks: Vec<u64>) -> Vec<u64> {
+        let mut inputs = Map::new();
+        inputs.insert(chan.to_string(), toks);
+        let report = token_run(
+            nl,
+            &PerKindDelay::new(),
+            &inputs,
+            &TokenRunOptions::default(),
+        )
+        .expect("token run");
+        assert!(report.violations.is_empty(), "protocol violations");
+        let out = report.outputs.keys().next().expect("one output").clone();
+        report.outputs[&out].values()
+    }
+
+    #[test]
+    fn adder_all_styles_agree_with_reference() {
+        let toks: Vec<u64> = vec![0, 0b1_11_11, 0b0_01_10, 0b1_00_11];
+        let want: Vec<u64> = toks
+            .iter()
+            .map(|&t| msaf_cells::adders::ripple_adder_reference(2, t))
+            .collect();
+        for style in Style::ALL {
+            let nl = build(ADDER2, style);
+            assert_eq!(run(&nl, "op", toks.clone()), want, "style {style}");
+        }
+    }
+
+    #[test]
+    fn fifo_all_styles_transfer_tokens() {
+        let toks: Vec<u64> = vec![5, 0, 7, 3, 1];
+        for style in Style::ALL {
+            let nl = build(FIFO2, style);
+            assert_eq!(run(&nl, "inp", toks.clone()), toks, "style {style}");
+        }
+    }
+
+    #[test]
+    fn wchb_fifo_matches_cells_generator_shape() {
+        use msaf_netlist::NetlistStats;
+        let lang = build(FIFO2, Style::Wchb);
+        let cells = msaf_cells::wchb::wchb_fifo(2, 3);
+        let a = NetlistStats::of(&lang);
+        let b = NetlistStats::of(&cells);
+        assert_eq!(a.by_kind, b.by_kind, "lang {a} vs cells {b}");
+        assert_eq!(a.gates, b.gates);
+    }
+
+    #[test]
+    fn multiple_input_channels_join() {
+        let src = "pipeline two { input a[2]; input b[2]; output y[2];
+            stage s0 { y = xor(a, b); } }";
+        for style in Style::ALL {
+            let nl = build(src, style);
+            let mut inputs = Map::new();
+            inputs.insert("a".to_string(), vec![0b00, 0b01, 0b11]);
+            inputs.insert("b".to_string(), vec![0b10, 0b01, 0b01]);
+            let report = token_run(
+                &nl,
+                &PerKindDelay::new(),
+                &inputs,
+                &TokenRunOptions::default(),
+            )
+            .expect("token run");
+            assert_eq!(
+                report.outputs["y"].values(),
+                vec![0b10, 0b00, 0b10],
+                "{style}"
+            );
+        }
+    }
+
+    #[test]
+    fn not_is_free_in_dual_rail_and_a_gate_in_bundled() {
+        let src = "pipeline inv { input a[4]; output y[4];
+            stage s0 { y = not(a); } }";
+        let qdi = build(src, Style::Qdi);
+        // Rail swap only: the sole gates are the PI-decoupling buffers.
+        assert!(qdi
+            .gates()
+            .iter()
+            .all(|g| matches!(g.kind(), GateKind::Buf)));
+        let bundled = build(src, Style::Bundled);
+        assert_eq!(
+            bundled
+                .gates()
+                .iter()
+                .filter(|g| matches!(g.kind(), GateKind::Not))
+                .count(),
+            // 4 data inverters + the controller's ack inverter.
+            5
+        );
+        assert_eq!(run(&qdi, "a", vec![0b1010]), vec![0b0101]);
+        assert_eq!(run(&bundled, "a", vec![0b1010]), vec![0b0101]);
+    }
+
+    #[test]
+    fn bundled_matched_delay_scales_with_logic_depth() {
+        let shallow = build(FIFO2, Style::Bundled);
+        let deep = build(ADDER2, Style::Bundled);
+        let delay_of = |nl: &Netlist| {
+            nl.iter_gates()
+                .filter_map(|(_, g)| match g.kind() {
+                    GateKind::Delay(d) => Some(*d),
+                    _ => None,
+                })
+                .max()
+                .expect("has a matched delay")
+        };
+        assert!(
+            delay_of(&deep) > delay_of(&shallow),
+            "adder delay {} vs fifo delay {}",
+            delay_of(&deep),
+            delay_of(&shallow)
+        );
+    }
+
+    #[test]
+    fn styles_produce_distinct_netlists_from_one_source() {
+        let qdi = build(ADDER2, Style::Qdi);
+        let wchb = build(ADDER2, Style::Wchb);
+        let bundled = build(ADDER2, Style::Bundled);
+        // QDI: pure DIMS, no latches, no delays.
+        assert_eq!(qdi.count_kind(|k| matches!(k, GateKind::Latch)), 0);
+        assert_eq!(qdi.count_kind(|k| matches!(k, GateKind::Delay(_))), 0);
+        // WCHB: C-elements for buffering, still no matched delay.
+        assert_eq!(wchb.count_kind(|k| matches!(k, GateKind::Delay(_))), 0);
+        assert!(
+            wchb.count_kind(|k| matches!(k, GateKind::Celement))
+                > qdi.count_kind(|k| matches!(k, GateKind::Celement))
+        );
+        // Bundled: latches plus exactly one matched delay per stage.
+        assert!(bundled.count_kind(|k| matches!(k, GateKind::Latch)) >= 5);
+        assert_eq!(bundled.count_kind(|k| matches!(k, GateKind::Delay(_))), 1);
+    }
+}

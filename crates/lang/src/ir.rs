@@ -1,0 +1,203 @@
+//! The span-free pipeline IR.
+//!
+//! [`crate::ast`] nodes carry source spans for diagnostics; this module
+//! is the same shape with the spans erased, giving a *canonical* value
+//! with structural equality and a pretty-printer whose output parses
+//! back to the identical IR (`parse(print(ir)) == ir` — pinned by the
+//! grammar property tests). Programmatic front-ends (benches, tests,
+//! generators) build this form directly.
+
+use crate::ast;
+pub use crate::ast::{OpKind, PortDir};
+use std::fmt;
+
+/// A span-free expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A whole named value.
+    Ref(String),
+    /// `name[lo..hi]`, half-open.
+    Slice(String, usize, usize),
+    /// An operation over arguments.
+    Op(OpKind, Vec<Expr>),
+}
+
+/// A span-free statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let(String, Expr),
+    /// `target = expr;`
+    Assign(String, Expr),
+}
+
+/// A span-free port declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Payload width.
+    pub width: usize,
+}
+
+/// A span-free stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage name.
+    pub name: String,
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A span-free pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Pipeline name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Stages first-to-last.
+    pub stages: Vec<Stage>,
+}
+
+impl From<&ast::Expr> for Expr {
+    fn from(e: &ast::Expr) -> Self {
+        match e {
+            ast::Expr::Ref { name, .. } => Expr::Ref(name.clone()),
+            ast::Expr::Slice { name, lo, hi, .. } => Expr::Slice(name.clone(), *lo, *hi),
+            ast::Expr::Op { op, args, .. } => Expr::Op(*op, args.iter().map(Expr::from).collect()),
+        }
+    }
+}
+
+impl From<&ast::Pipeline> for Pipeline {
+    fn from(p: &ast::Pipeline) -> Self {
+        Pipeline {
+            name: p.name.clone(),
+            ports: p
+                .ports
+                .iter()
+                .map(|port| Port {
+                    name: port.name.clone(),
+                    dir: port.dir,
+                    width: port.width,
+                })
+                .collect(),
+            stages: p
+                .stages
+                .iter()
+                .map(|s| Stage {
+                    name: s.name.clone(),
+                    stmts: s
+                        .stmts
+                        .iter()
+                        .map(|st| match st {
+                            ast::Stmt::Let { name, expr, .. } => {
+                                Stmt::Let(name.clone(), Expr::from(expr))
+                            }
+                            ast::Stmt::Assign { target, expr, .. } => {
+                                Stmt::Assign(target.clone(), Expr::from(expr))
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Ref(name) => f.write_str(name),
+            Expr::Slice(name, lo, hi) => write!(f, "{name}[{lo}..{hi}]"),
+            Expr::Op(op, args) => {
+                write!(f, "{}(", op.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pipeline {} {{", self.name)?;
+        for p in &self.ports {
+            let kw = match p.dir {
+                PortDir::Input => "input",
+                PortDir::Output => "output",
+            };
+            writeln!(f, "  {kw} {}[{}];", p.name, p.width)?;
+        }
+        for s in &self.stages {
+            writeln!(f, "  stage {} {{", s.name)?;
+            for st in &s.stmts {
+                match st {
+                    Stmt::Let(name, e) => writeln!(f, "    let {name} = {e};")?,
+                    Stmt::Assign(target, e) => writeln!(f, "    {target} = {e};")?,
+                }
+            }
+            writeln!(f, "  }}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn print_then_parse_is_identity() {
+        let ir = Pipeline {
+            name: "p".into(),
+            ports: vec![
+                Port {
+                    name: "a".into(),
+                    dir: PortDir::Input,
+                    width: 4,
+                },
+                Port {
+                    name: "y".into(),
+                    dir: PortDir::Output,
+                    width: 5,
+                },
+            ],
+            stages: vec![Stage {
+                name: "s0".into(),
+                stmts: vec![
+                    Stmt::Let(
+                        "t".into(),
+                        Expr::Op(
+                            OpKind::Xor,
+                            vec![Expr::Slice("a".into(), 0, 2), Expr::Slice("a".into(), 2, 4)],
+                        ),
+                    ),
+                    Stmt::Assign(
+                        "y".into(),
+                        Expr::Op(
+                            OpKind::Add,
+                            vec![
+                                Expr::Ref("t".into()),
+                                Expr::Slice("a".into(), 0, 2),
+                                Expr::Slice("a".into(), 3, 4),
+                            ],
+                        ),
+                    ),
+                ],
+            }],
+        };
+        let printed = ir.to_string();
+        let reparsed = Pipeline::from(&parse(&printed).unwrap());
+        assert_eq!(reparsed, ir, "printed form:\n{printed}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Hand-rolled lexer for `.msa` source.
+//!
+//! Produces the whole token stream up front (the language is small
+//! enough that streaming buys nothing) with byte-accurate [`Span`]s.
+//! `//` starts a line comment. Any byte outside the language's ASCII
+//! alphabet is a lex error with a span, never a panic — the parser's
+//! "never panics on arbitrary input" property starts here.
+
+use crate::diag::{Diag, Span};
+use crate::token::{Tok, TokKind};
+
+/// Lexes `src` into tokens (with a trailing [`TokKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`Diag`] pointing at the first unlexable byte or malformed
+/// number.
+pub fn lex(src: &str) -> Result<Vec<Tok>, Diag> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => push1(&mut toks, TokKind::LBrace, &mut i),
+            b'}' => push1(&mut toks, TokKind::RBrace, &mut i),
+            b'[' => push1(&mut toks, TokKind::LBracket, &mut i),
+            b']' => push1(&mut toks, TokKind::RBracket, &mut i),
+            b'(' => push1(&mut toks, TokKind::LParen, &mut i),
+            b')' => push1(&mut toks, TokKind::RParen, &mut i),
+            b',' => push1(&mut toks, TokKind::Comma, &mut i),
+            b';' => push1(&mut toks, TokKind::Semi, &mut i),
+            b'=' => push1(&mut toks, TokKind::Eq, &mut i),
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    toks.push(Tok {
+                        kind: TokKind::DotDot,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(Diag::new(
+                        Span::new(i, i + 1),
+                        "expected '..' (a lone '.' is not a token)",
+                    ));
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: usize = text.parse().map_err(|_| {
+                    Diag::new(
+                        Span::new(start, i),
+                        format!("integer '{text}' is too large"),
+                    )
+                })?;
+                toks.push(Tok {
+                    kind: TokKind::Int(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = match text {
+                    "pipeline" => TokKind::Pipeline,
+                    "input" => TokKind::Input,
+                    "output" => TokKind::Output,
+                    "stage" => TokKind::Stage,
+                    "let" => TokKind::Let,
+                    _ => TokKind::Ident(text.to_string()),
+                };
+                toks.push(Tok {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Step over a whole UTF-8 scalar so the span (and the
+                // error message) stays on a char boundary.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                return Err(Diag::new(
+                    Span::new(i, i + ch_len),
+                    format!("unexpected character {:?}", &src[i..i + ch_len]),
+                ));
+            }
+        }
+    }
+    toks.push(Tok {
+        kind: TokKind::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(toks)
+}
+
+fn push1(toks: &mut Vec<Tok>, kind: TokKind, i: &mut usize) {
+    toks.push(Tok {
+        kind,
+        span: Span::new(*i, *i + 1),
+    });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_declaration() {
+        assert_eq!(
+            kinds("input op[9];"),
+            vec![
+                TokKind::Input,
+                TokKind::Ident("op".into()),
+                TokKind::LBracket,
+                TokKind::Int(9),
+                TokKind::RBracket,
+                TokKind::Semi,
+                TokKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_ranges() {
+        assert_eq!(
+            kinds("a[0..4] // trailing comment\n"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::LBracket,
+                TokKind::Int(0),
+                TokKind::DotDot,
+                TokKind::Int(4),
+                TokKind::RBracket,
+                TokKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(kinds("let")[0], TokKind::Let);
+        assert_eq!(kinds("lets")[0], TokKind::Ident("lets".into()));
+    }
+
+    #[test]
+    fn bad_byte_reports_span() {
+        let err = lex("abc $ def").unwrap_err();
+        assert_eq!(err.span, Span::new(4, 5));
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn lone_dot_rejected() {
+        assert!(lex("a.b").is_err());
+    }
+
+    #[test]
+    fn huge_integer_rejected() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn multibyte_junk_does_not_panic() {
+        let err = lex("pipeline é {}").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Recursive-descent parser for `.msa` pipeline descriptions.
+//!
+//! Grammar (see `docs/LANG.md` for the prose version):
+//!
+//! ```text
+//! pipeline := "pipeline" IDENT "{" port* stage+ "}"
+//! port     := ("input" | "output") IDENT "[" INT "]" ";"
+//! stage    := "stage" IDENT "{" stmt* "}"
+//! stmt     := "let" IDENT "=" expr ";"
+//!           | IDENT "=" expr ";"
+//! expr     := IDENT "(" expr ("," expr)* ")"     — operation call
+//!           | IDENT "[" INT (".." INT)? "]"      — bit slice
+//!           | IDENT                              — whole value
+//! ```
+//!
+//! Operation names (`and`, `or`, `xor`, `not`, `mux`, `add`, `parity`,
+//! `cat`) are contextual: they are only special immediately before `(`,
+//! so they remain usable as port or binding names.
+
+use crate::ast::{Expr, OpKind, Pipeline, Port, PortDir, Stage, Stmt};
+use crate::diag::{Diag, Span};
+use crate::lexer::lex;
+use crate::token::{Tok, TokKind};
+
+/// Parses a complete `.msa` source text.
+///
+/// # Errors
+///
+/// Returns the first lex or parse [`Diag`], whose span points at the
+/// offending source text (render it with [`Diag::render`]).
+pub fn parse(src: &str) -> Result<Pipeline, Diag> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let pipeline = p.pipeline()?;
+    p.expect_eof()?;
+    Ok(pipeline)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &TokKind) -> Result<Tok, Diag> {
+        let t = self.peek().clone();
+        if &t.kind == want {
+            Ok(self.bump())
+        } else {
+            Err(Diag::new(
+                t.span,
+                format!("expected {want}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), Diag> {
+        let t = self.peek();
+        if t.kind == TokKind::Eof {
+            Ok(())
+        } else {
+            Err(Diag::new(
+                t.span,
+                format!("expected end of input after the pipeline, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), Diag> {
+        let t = self.peek().clone();
+        if let TokKind::Ident(name) = t.kind {
+            self.bump();
+            Ok((name, t.span))
+        } else {
+            Err(Diag::new(
+                t.span,
+                format!("expected {what}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<(usize, Span), Diag> {
+        let t = self.peek().clone();
+        if let TokKind::Int(v) = t.kind {
+            self.bump();
+            Ok((v, t.span))
+        } else {
+            Err(Diag::new(
+                t.span,
+                format!("expected {what}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn pipeline(&mut self) -> Result<Pipeline, Diag> {
+        self.expect(&TokKind::Pipeline)?;
+        let (name, name_span) = self.ident("a pipeline name")?;
+        self.expect(&TokKind::LBrace)?;
+
+        let mut ports = Vec::new();
+        loop {
+            let dir = match self.peek().kind {
+                TokKind::Input => PortDir::Input,
+                TokKind::Output => PortDir::Output,
+                _ => break,
+            };
+            let start = self.bump().span;
+            let (pname, _) = self.ident("a port name")?;
+            self.expect(&TokKind::LBracket)?;
+            let (width, _) = self.int("a port width")?;
+            self.expect(&TokKind::RBracket)?;
+            let end = self.expect(&TokKind::Semi)?.span;
+            ports.push(Port {
+                name: pname,
+                dir,
+                width,
+                span: start.to(end),
+            });
+        }
+
+        let mut stages = Vec::new();
+        while self.peek().kind == TokKind::Stage {
+            stages.push(self.stage()?);
+        }
+        if stages.is_empty() {
+            let t = self.peek().clone();
+            return Err(Diag::new(
+                t.span,
+                format!("expected at least one 'stage' block, found {}", t.kind),
+            ));
+        }
+        self.expect(&TokKind::RBrace)?;
+        Ok(Pipeline {
+            name,
+            name_span,
+            ports,
+            stages,
+        })
+    }
+
+    fn stage(&mut self) -> Result<Stage, Diag> {
+        self.expect(&TokKind::Stage)?;
+        let (name, name_span) = self.ident("a stage name")?;
+        self.expect(&TokKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokKind::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokKind::RBrace)?;
+        Ok(Stage {
+            name,
+            name_span,
+            stmts,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diag> {
+        if self.peek().kind == TokKind::Let {
+            self.bump();
+            let (name, name_span) = self.ident("a binding name")?;
+            self.expect(&TokKind::Eq)?;
+            let expr = self.expr()?;
+            self.expect(&TokKind::Semi)?;
+            return Ok(Stmt::Let {
+                name,
+                name_span,
+                expr,
+            });
+        }
+        let (target, target_span) = self.ident("'let' or an output port name")?;
+        self.expect(&TokKind::Eq)?;
+        let expr = self.expr()?;
+        self.expect(&TokKind::Semi)?;
+        Ok(Stmt::Assign {
+            target,
+            target_span,
+            expr,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diag> {
+        let (name, name_span) = self.ident("an expression")?;
+        match self.peek().kind {
+            TokKind::LParen => {
+                let op = OpKind::from_name(&name).ok_or_else(|| {
+                    Diag::new(
+                        name_span,
+                        format!(
+                            "unknown operation '{name}' (expected one of and, or, xor, \
+                             not, mux, add, parity, cat)"
+                        ),
+                    )
+                })?;
+                self.bump();
+                let mut args = vec![self.expr()?];
+                while self.peek().kind == TokKind::Comma {
+                    self.bump();
+                    args.push(self.expr()?);
+                }
+                let close = self.expect(&TokKind::RParen)?;
+                let span = name_span.to(close.span);
+                let (min, max) = op.arity();
+                if args.len() < min || args.len() > max {
+                    let wants = if max == usize::MAX {
+                        format!("at least {min}")
+                    } else if min == max {
+                        format!("exactly {min}")
+                    } else {
+                        format!("{min}..={max}")
+                    };
+                    return Err(Diag::new(
+                        span,
+                        format!(
+                            "operation '{}' takes {wants} arguments, got {}",
+                            op.name(),
+                            args.len()
+                        ),
+                    ));
+                }
+                Ok(Expr::Op { op, args, span })
+            }
+            TokKind::LBracket => {
+                self.bump();
+                let (lo, _) = self.int("a bit index")?;
+                let hi = if self.peek().kind == TokKind::DotDot {
+                    self.bump();
+                    self.int("an end bit index")?.0
+                } else {
+                    lo + 1
+                };
+                let close = self.expect(&TokKind::RBracket)?;
+                Ok(Expr::Slice {
+                    name,
+                    lo,
+                    hi,
+                    span: name_span.to(close.span),
+                })
+            }
+            _ => Ok(Expr::Ref {
+                name,
+                span: name_span,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::line_col;
+
+    const ADDER: &str = "\
+pipeline adder2 {
+  input op[5];
+  output res[3];
+  stage s0 {
+    res = add(op[0..2], op[2..4], op[4]);
+  }
+}
+";
+
+    #[test]
+    fn parses_the_adder() {
+        let p = parse(ADDER).unwrap();
+        assert_eq!(p.name, "adder2");
+        assert_eq!(p.ports.len(), 2);
+        assert_eq!(p.stages.len(), 1);
+        let Stmt::Assign { target, expr, .. } = &p.stages[0].stmts[0] else {
+            panic!("expected an assignment");
+        };
+        assert_eq!(target, "res");
+        let Expr::Op { op, args, .. } = expr else {
+            panic!("expected an op");
+        };
+        assert_eq!(*op, OpKind::Add);
+        assert_eq!(args.len(), 3);
+        assert_eq!(
+            args[2],
+            Expr::Slice {
+                name: "op".into(),
+                lo: 4,
+                hi: 5,
+                span: args[2].span(),
+            }
+        );
+    }
+
+    #[test]
+    fn missing_semicolon_has_line_col() {
+        let src = "pipeline p {\n  input a[2];\n  output b[2];\n  stage s { b = a }\n}";
+        let err = parse(src).unwrap_err();
+        let pos = line_col(src, err.span.start);
+        assert_eq!(pos.line, 4, "{}", err.render(src));
+        assert!(err.message.contains("';'"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        let src = "pipeline p { input a[1]; output b[1]; stage s { b = nandify(a); } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unknown operation"), "{}", err.message);
+    }
+
+    #[test]
+    fn arity_is_checked_syntactically() {
+        let src = "pipeline p { input a[1]; output b[1]; stage s { b = mux(a, a); } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("exactly 3"), "{}", err.message);
+    }
+
+    #[test]
+    fn op_names_are_contextual() {
+        // 'add' as a port name is fine; only `add(` is an operation.
+        let src = "pipeline p { input add[2]; output b[2]; stage s { b = add; } }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.ports[0].name, "add");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let src = "pipeline p { input a[1]; output b[1]; stage s { b = a; } } extra";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("end of input"), "{}", err.message);
+    }
+
+    #[test]
+    fn empty_source_is_a_diag_not_a_panic() {
+        assert!(parse("").is_err());
+        assert!(parse("pipeline").is_err());
+        assert!(parse("pipeline p {").is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Lexical tokens of the `.msa` language.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// The kind of one lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Keyword `pipeline`.
+    Pipeline,
+    /// Keyword `input`.
+    Input,
+    /// Keyword `output`.
+    Output,
+    /// Keyword `stage`.
+    Stage,
+    /// Keyword `let`.
+    Let,
+    /// An identifier (`[A-Za-z_][A-Za-z0-9_]*`, keywords excluded).
+    Ident(String),
+    /// An unsigned decimal integer.
+    Int(usize),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `..`
+    DotDot,
+    /// End of input (synthesised once at the end of the stream).
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Pipeline => f.write_str("'pipeline'"),
+            TokKind::Input => f.write_str("'input'"),
+            TokKind::Output => f.write_str("'output'"),
+            TokKind::Stage => f.write_str("'stage'"),
+            TokKind::Let => f.write_str("'let'"),
+            TokKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokKind::Int(n) => write!(f, "integer {n}"),
+            TokKind::LBrace => f.write_str("'{'"),
+            TokKind::RBrace => f.write_str("'}'"),
+            TokKind::LBracket => f.write_str("'['"),
+            TokKind::RBracket => f.write_str("']'"),
+            TokKind::LParen => f.write_str("'('"),
+            TokKind::RParen => f.write_str("')'"),
+            TokKind::Comma => f.write_str("','"),
+            TokKind::Semi => f.write_str("';'"),
+            TokKind::Eq => f.write_str("'='"),
+            TokKind::DotDot => f.write_str("'..'"),
+            TokKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}

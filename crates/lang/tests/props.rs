@@ -1,0 +1,135 @@
+//! Property tests for the `.msa` grammar.
+//!
+//! 1. **Round-trip**: a randomly generated IR, pretty-printed and
+//!    re-parsed, yields the identical IR — the printer and parser are
+//!    exact inverses over the whole syntactic domain (including
+//!    semantically meaningless programs; widths are `check`'s job).
+//! 2. **Total parser**: `parse` never panics, on arbitrary bytes and on
+//!    random mutations of a valid program — it either produces a
+//!    pipeline or a spanned diagnostic.
+
+use msaf_lang::ast::PortDir;
+use msaf_lang::ir::{Expr, Pipeline, Port, Stage, Stmt};
+use msaf_lang::{analyze, parse, OpKind};
+use proptest::prelude::*;
+
+const NAMES: [&str; 10] = ["a", "b", "c", "x", "y", "z", "t", "u", "res", "op"];
+const OPS: [OpKind; 8] = [
+    OpKind::And,
+    OpKind::Or,
+    OpKind::Xor,
+    OpKind::Not,
+    OpKind::Mux,
+    OpKind::Add,
+    OpKind::Parity,
+    OpKind::Cat,
+];
+
+fn gen_name(rng: &mut TestRng) -> String {
+    NAMES[rng.below(NAMES.len() as u64) as usize].to_string()
+}
+
+fn gen_expr(rng: &mut TestRng, depth: u32) -> Expr {
+    let choices = if depth == 0 { 2 } else { 5 };
+    match rng.below(choices) {
+        0 => Expr::Ref(gen_name(rng)),
+        1 => {
+            let lo = rng.below(8) as usize;
+            let len = 1 + rng.below(8) as usize;
+            Expr::Slice(gen_name(rng), lo, lo + len)
+        }
+        _ => {
+            let op = OPS[rng.below(OPS.len() as u64) as usize];
+            let (min, _) = op.arity();
+            let n = match op {
+                OpKind::Cat => min + rng.below(3) as usize,
+                _ => min,
+            };
+            let args = (0..n).map(|_| gen_expr(rng, depth - 1)).collect();
+            Expr::Op(op, args)
+        }
+    }
+}
+
+fn gen_pipeline(seed: u64) -> Pipeline {
+    let mut rng = TestRng::new(seed);
+    let ports = (0..rng.below(4))
+        .map(|i| Port {
+            name: format!("p{i}"),
+            dir: if rng.below(2) == 0 {
+                PortDir::Input
+            } else {
+                PortDir::Output
+            },
+            width: 1 + rng.below(31) as usize,
+        })
+        .collect();
+    let stages = (0..1 + rng.below(3))
+        .map(|k| Stage {
+            name: format!("s{k}"),
+            stmts: (0..rng.below(4))
+                .map(|i| {
+                    let expr = gen_expr(&mut rng, 3);
+                    if rng.below(2) == 0 {
+                        Stmt::Let(format!("v{k}_{i}"), expr)
+                    } else {
+                        Stmt::Assign(gen_name(&mut rng), expr)
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Pipeline {
+        name: format!("gen{}", seed % 1000),
+        ports,
+        stages,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ir_pretty_print_parse_round_trips(seed in any::<u64>()) {
+        let ir = gen_pipeline(seed);
+        let printed = ir.to_string();
+        let reparsed = parse(&printed);
+        prop_assert!(
+            reparsed.is_ok(),
+            "printed IR failed to parse: {:?}\n{printed}",
+            reparsed.err()
+        );
+        let back = Pipeline::from(&reparsed.unwrap());
+        prop_assert_eq!(&back, &ir, "round-trip changed the IR; printed form:\n{}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..300)) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Either outcome is fine — the property is "no panic", and on
+        // success the checker must be total too.
+        if let Ok(ast) = parse(&text) {
+            let _ = analyze(&ast);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_programs(
+        (cut, splice, junk) in (0usize..200, 0usize..200, collection::vec(any::<u8>(), 0..12))
+    ) {
+        const VALID: &str = "pipeline adder4 { input op[9]; output res[5];
+            stage sum { res = add(op[0..4], op[4..8], op[8]); } }";
+        let bytes = VALID.as_bytes();
+        let cut = cut.min(bytes.len());
+        let splice = splice.min(bytes.len());
+        let (lo, hi) = (cut.min(splice), cut.max(splice));
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..lo]);
+        mutated.extend_from_slice(&junk);
+        mutated.extend_from_slice(&bytes[hi..]);
+        let text = String::from_utf8_lossy(&mutated);
+        if let Ok(ast) = parse(&text) {
+            let _ = analyze(&ast);
+        }
+    }
+}

@@ -17,11 +17,7 @@ impl Netlist {
         let _ = writeln!(s, "digraph \"{}\" {{", escape(self.name()));
         let _ = writeln!(s, "  rankdir=LR;");
         for &pi in self.inputs() {
-            let _ = writeln!(
-                s,
-                "  \"{}\" [shape=oval];",
-                escape(self.net(pi).name())
-            );
+            let _ = writeln!(s, "  \"{}\" [shape=oval];", escape(self.net(pi).name()));
         }
         for (gid, gate) in self.iter_gates() {
             let fill = if gate.breaks_cycles() {
@@ -52,7 +48,10 @@ impl Netlist {
         }
         for &po in self.outputs() {
             let name = escape(self.net(po).name());
-            let _ = writeln!(s, "  \"out_{name}\" [shape=doublecircle, label=\"{name}\"];");
+            let _ = writeln!(
+                s,
+                "  \"out_{name}\" [shape=doublecircle, label=\"{name}\"];"
+            );
             let src = match self.net(po).driver() {
                 Some(d) => format!("\"{d}\""),
                 None => format!("\"{name}\""),

@@ -142,7 +142,9 @@ impl LutTable {
     /// pins do not count. Used by utilisation metrics.
     #[must_use]
     pub fn support_size(&self) -> usize {
-        (0..self.arity()).filter(|&pin| self.depends_on(pin)).count()
+        (0..self.arity())
+            .filter(|&pin| self.depends_on(pin))
+            .count()
     }
 }
 

@@ -1,6 +1,5 @@
 //! Netlist statistics used by reports and experiment tables.
 
-
 use crate::netlist::Netlist;
 use crate::topo::levelize;
 use std::collections::BTreeMap;

@@ -43,9 +43,9 @@ impl Issue {
     #[must_use]
     pub fn severity(&self) -> Severity {
         match self {
-            Issue::UndrivenNet(_)
-            | Issue::CombinationalLoop(_)
-            | Issue::ChannelUndrivenNet(..) => Severity::Error,
+            Issue::UndrivenNet(_) | Issue::CombinationalLoop(_) | Issue::ChannelUndrivenNet(..) => {
+                Severity::Error
+            }
             Issue::DanglingNet(_) | Issue::DuplicateNetName(_) | Issue::DuplicateGateName(_) => {
                 Severity::Warning
             }
@@ -243,9 +243,7 @@ mod tests {
         nl.add_gate(GateKind::Buf, "g1", &[y0], y1);
         nl.mark_output(y1);
         let v = nl.validate();
-        assert!(v
-            .errors()
-            .any(|i| matches!(i, Issue::CombinationalLoop(_))));
+        assert!(v.errors().any(|i| matches!(i, Issue::CombinationalLoop(_))));
     }
 
     #[test]

@@ -41,10 +41,7 @@ fn random_dag(n_inputs: usize, picks: &[(u8, Vec<u16>)]) -> Netlist {
     nl
 }
 
-fn pad2(
-    ins: &[msaf_netlist::NetId],
-    nets: &[msaf_netlist::NetId],
-) -> Vec<msaf_netlist::NetId> {
+fn pad2(ins: &[msaf_netlist::NetId], nets: &[msaf_netlist::NetId]) -> Vec<msaf_netlist::NetId> {
     if ins.len() >= 2 {
         ins.to_vec()
     } else {

@@ -369,7 +369,10 @@ impl<'a> Simulator<'a> {
     #[inline]
     fn eval_gate(&mut self, gid: GateId, committed: bool) -> bool {
         let gi = gid.index();
-        let (start, end) = (self.in_offsets[gi] as usize, self.in_offsets[gi + 1] as usize);
+        let (start, end) = (
+            self.in_offsets[gi] as usize,
+            self.in_offsets[gi + 1] as usize,
+        );
         let ins = &self.in_nets[start..end];
         if ins.len() <= INLINE_INPUTS {
             let mut buf = [false; INLINE_INPUTS];
@@ -427,15 +430,13 @@ impl<'a> Simulator<'a> {
                         time: self.now,
                     });
                     if target != committed {
-                        let seq =
-                            self.push_event(self.now + self.delays[gid.index()], out, target);
+                        let seq = self.push_event(self.now + self.delays[gid.index()], out, target);
                         self.pending[gid.index()] = Some(Pending { seq, value: target });
                     }
                 }
                 None => {
                     if target != committed {
-                        let seq =
-                            self.push_event(self.now + self.delays[gid.index()], out, target);
+                        let seq = self.push_event(self.now + self.delays[gid.index()], out, target);
                         self.pending[gid.index()] = Some(Pending { seq, value: target });
                     }
                 }

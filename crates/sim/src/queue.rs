@@ -523,7 +523,11 @@ mod tests {
                 q.push(ev(42, s));
             }
             let got = drain(&mut q);
-            assert_eq!(got, (0..50).map(|s| (42, s)).collect::<Vec<_>>(), "{kind:?}");
+            assert_eq!(
+                got,
+                (0..50).map(|s| (42, s)).collect::<Vec<_>>(),
+                "{kind:?}"
+            );
         }
     }
 

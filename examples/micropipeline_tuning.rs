@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("matched delay sweep on the micropipeline full adder");
     println!("(per-kind delay model: latch 3 + majority LUT 4 on the datapath)");
     println!();
-    println!("{:>14} {:>10} {:>24}", "delay (taps)", "correct?", "result tokens");
+    println!(
+        "{:>14} {:>10} {:>24}",
+        "delay (taps)", "correct?", "result tokens"
+    );
     let mut first_correct = None;
     for taps in [1u32, 2, 4, 6, 8, 10, 14, 20] {
         let nl = micropipeline_full_adder(taps);

@@ -62,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         println!(
             "fabric seed {seed}    : {}",
-            if verdict.matches { "tokens match" } else { "MISMATCH" }
+            if verdict.matches {
+                "tokens match"
+            } else {
+                "MISMATCH"
+            }
         );
         assert!(verdict.matches);
     }

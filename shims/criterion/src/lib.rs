@@ -76,7 +76,11 @@ impl Criterion {
         let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
         println!(
             "bench {id:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples x {} iters)",
-            min, median, mean, per_iter.len(), b.batch
+            min,
+            median,
+            mean,
+            per_iter.len(),
+            b.batch
         );
         self
     }

@@ -333,7 +333,9 @@ macro_rules! prop_assert_ne {
         match (&$a, &$b) {
             (left, right) => $crate::prop_assert!(
                 left != right,
-                "assertion failed: `{:?}` != `{:?}`", left, right
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
             ),
         }
     };

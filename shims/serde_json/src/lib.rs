@@ -249,9 +249,8 @@ impl Parser<'_> {
                             if self.pos + 4 > self.bytes.len() {
                                 return Err(Error("truncated \\u escape".into()));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| Error("bad \\u escape".into()))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error("bad \\u escape".into()))?;
                             let cp = u32::from_str_radix(hex, 16)
                                 .map_err(|_| Error("bad \\u escape".into()))?;
                             self.pos += 4;

@@ -58,8 +58,8 @@ fn qdi_ripple_adder_4b_through_fabric() {
     let nl = qdi_ripple_adder(width);
     let toks: Vec<u64> = vec![
         0,
-        0b0001_1111,              // a=15 b=1
-        (1 << 8) | 0b1111_1111,   // cin + both max
+        0b0001_1111,            // a=15 b=1
+        (1 << 8) | 0b1111_1111, // cin + both max
         0b1010_0101,
     ];
     let want: Vec<u64> = toks
@@ -161,7 +161,10 @@ fn extracted_fabric_is_still_delay_insensitive() {
             &TokenRunOptions::default(),
         )
         .unwrap();
-        assert!(verdict.matches, "seed {seed}: fabric diverged under random delays");
+        assert!(
+            verdict.matches,
+            "seed {seed}: fabric diverged under random delays"
+        );
     }
 }
 

@@ -26,8 +26,8 @@ fn inputs() -> BTreeMap<String, Vec<u64>> {
 /// Golden output token sequence (FIFOs are identity; pinned literally so
 /// encode/decode drift is caught independently of the input formula).
 const GOLDEN_TOKENS: [u64; 32] = [
-    3, 10, 1, 8, 15, 6, 13, 4, 11, 2, 9, 0, 7, 14, 5, 12, 3, 10, 1, 8, 15, 6, 13, 4, 11, 2, 9,
-    0, 7, 14, 5, 12,
+    3, 10, 1, 8, 15, 6, 13, 4, 11, 2, 9, 0, 7, 14, 5, 12, 3, 10, 1, 8, 15, 6, 13, 4, 11, 2, 9, 0,
+    7, 14, 5, 12,
 ];
 
 fn run(netlist: &Netlist, queue: QueueKind) -> msaf::sim::agents::TokenRunReport {
@@ -52,7 +52,10 @@ fn wchb_fifo_matches_pre_optimization_engine() {
             GOLDEN_TOKENS,
             "{queue:?}: output tokens drifted"
         );
-        assert!(report.violations.is_empty(), "{queue:?}: protocol violation");
+        assert!(
+            report.violations.is_empty(),
+            "{queue:?}: protocol violation"
+        );
     }
 }
 
@@ -70,7 +73,10 @@ fn bundled_fifo_matches_pre_optimization_engine() {
             GOLDEN_TOKENS,
             "{queue:?}: output tokens drifted"
         );
-        assert!(report.violations.is_empty(), "{queue:?}: protocol violation");
+        assert!(
+            report.violations.is_empty(),
+            "{queue:?}: protocol violation"
+        );
     }
 }
 
@@ -104,7 +110,10 @@ fn queue_backends_agree_on_di_stress() {
         )
         .expect("wheel run");
         assert_eq!(heap.events, wheel.events, "seed {seed}: events diverged");
-        assert_eq!(heap.glitches, wheel.glitches, "seed {seed}: glitches diverged");
+        assert_eq!(
+            heap.glitches, wheel.glitches,
+            "seed {seed}: glitches diverged"
+        );
         assert_eq!(heap.end_time, wheel.end_time, "seed {seed}: time diverged");
         assert_eq!(
             heap.outputs["out"].values(),

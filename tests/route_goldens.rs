@@ -65,7 +65,10 @@ fn zero_heuristic_fallback_matches_reference_dijkstra() {
         ..RouteOptions::default()
     };
     let res = route(&rrg, &requests, &opts).expect("routes");
-    assert_eq!(res.iterations, 1, "reference workload must stay conflict-free");
+    assert_eq!(
+        res.iterations, 1,
+        "reference workload must stay conflict-free"
+    );
     assert_eq!(res.stats.ripups, 0, "conflict-free run must not rip up");
     assert_eq!(wirelength(&res), 215, "reference wirelength drifted");
     assert_eq!(
