@@ -7,7 +7,7 @@ use msaf_bench::workloads::{adder, figure3};
 use msaf_cad::bitgen::bind;
 use msaf_cad::flow::{compile, FlowOptions};
 use msaf_cad::pack::pack;
-use msaf_cad::place::place;
+use msaf_cad::place::{place, place_with, CostMode, PlaceOptions};
 use msaf_cad::route::{route, RouteOptions};
 use msaf_cad::techmap::map;
 use msaf_fabric::arch::ArchSpec;
@@ -38,6 +38,15 @@ fn bench_pack_place(c: &mut Criterion) {
     c.bench_function("place/qdi_adder_8b", |b| {
         b.iter(|| place(black_box(&mapped), &packed, &arch, 7).unwrap())
     });
+    // The O(nets) reference mode — the denominator of the incremental
+    // engine's moves/sec speedup (same move sequence, same result).
+    let full = PlaceOptions {
+        seed: 7,
+        cost_mode: CostMode::FullRecompute,
+    };
+    c.bench_function("place/qdi_adder_8b_full_recompute", |b| {
+        b.iter(|| place_with(black_box(&mapped), &packed, &arch, &full).unwrap())
+    });
 }
 
 fn bench_route(c: &mut Criterion) {
@@ -51,6 +60,15 @@ fn bench_route(c: &mut Criterion) {
     let binding = bind(&mapped, &packed, &placement, &arch, &rrg).unwrap();
     c.bench_function("route/qdi_adder_4b", |b| {
         b.iter(|| route(&rrg, black_box(&binding.requests), &RouteOptions::default()).unwrap())
+    });
+    // Byte-identical results at 4 workers (wall time is what varies —
+    // on a multi-core host the chunked first iteration spreads out).
+    let par = RouteOptions {
+        threads: 4,
+        ..RouteOptions::default()
+    };
+    c.bench_function("route/qdi_adder_4b_t4", |b| {
+        b.iter(|| route(&rrg, black_box(&binding.requests), &par).unwrap())
     });
 }
 

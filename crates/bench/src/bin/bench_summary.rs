@@ -1,30 +1,38 @@
 //! Machine-readable perf snapshot: times the simulator token-throughput
-//! workloads and the router workloads with [`std::time::Instant`] and
-//! writes `BENCH_sim.json` / `BENCH_cad.json` so the perf trajectory of
-//! every PR is diffable.
+//! workloads and the CAD placement/routing workloads with
+//! [`std::time::Instant`] and writes `BENCH_sim.json` / `BENCH_cad.json`
+//! so the perf trajectory of every PR is diffable.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p msaf-bench --bin bench_summary [outdir] [--check]
+//! cargo run --release -p msaf-bench --bin bench_summary [outdir] [--check] [--filter <substr>]
 //! ```
 //!
 //! With `--check`, nothing is written: every workload runs once and its
 //! **structural** fields (event counts, glitches, net counts, router
-//! iterations, rip-ups, nodes popped, wirelength — everything except the
-//! timings) are diffed against the committed `BENCH_*.json` in `outdir`.
-//! A mismatch means circuit or tool behaviour drifted without the
-//! snapshot being regenerated — the process exits non-zero so CI fails.
+//! iterations, rip-ups, nodes popped, wirelength, placement cost and
+//! move counts — everything except the timings) are diffed against the
+//! committed `BENCH_*.json` in `outdir`. A mismatch means circuit or
+//! tool behaviour drifted without the snapshot being regenerated — the
+//! process exits non-zero so CI fails.
+//!
+//! With `--filter <substr>`, only workloads whose row name contains the
+//! substring run — the fast-subset knob for CI (the timed smoke run
+//! skips the fabric-scale rows) and for local iteration. A filtered run
+//! never writes snapshot files: a partial `BENCH_*.json` would read as
+//! "rows vanished" to the next `--check`.
+//!
+//! The routing rows report `best_ms` (serial) and `best_ms_t4`
+//! (deterministic chunked routing at 4 worker threads — byte-identical
+//! results, wall time only); the placement rows report incremental vs
+//! full-recompute annealing (`moves_per_sec` / `moves_per_sec_full`)
+//! over the identical move sequence.
 
-use msaf_cad::bitgen::bind;
-use msaf_cad::pack::pack;
-use msaf_cad::place::place;
+use msaf_cad::place::{place_with, CostMode, PlaceOptions};
 use msaf_cad::route::{route, RouteOptions};
-use msaf_cad::techmap::map;
 use msaf_cells::bundled::bundled_fifo;
 use msaf_cells::wchb::wchb_fifo;
-use msaf_fabric::arch::ArchSpec;
-use msaf_fabric::rrg::Rrg;
 use msaf_netlist::Netlist;
 use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
 use std::collections::BTreeMap;
@@ -101,11 +109,24 @@ struct CadRow {
     wirelength: usize,
     best_ms: f64,
     mean_ms: f64,
+    /// Chunked routing at 4 worker threads (byte-identical result).
+    best_ms_t4: f64,
+}
+
+struct PlaceRow {
+    name: String,
+    plbs: usize,
+    grid: (usize, usize),
+    moves: u64,
+    accepted: u64,
+    cost: u64,
+    best_ms: f64,
+    best_ms_full: f64,
 }
 
 fn cad_workload(
     name: &str,
-    rrg: &Rrg,
+    rrg: &msaf_fabric::rrg::Rrg,
     requests: &[msaf_cad::route::RouteRequest],
     timed: bool,
 ) -> CadRow {
@@ -119,7 +140,20 @@ fn cad_workload(
         },
     )
     .expect("routes");
-    let (best, mean) = if timed {
+    let par_opts = RouteOptions {
+        threads: 4,
+        ..RouteOptions::default()
+    };
+    // Parallel routing must be byte-identical to serial: same effort
+    // counters, same iteration count, same total wirelength (the golden
+    // tests additionally pin the tree digests).
+    let par = route(rrg, requests, &par_opts).expect("routes");
+    assert_eq!(
+        par.iterations, first.iterations,
+        "parallel iterations drifted"
+    );
+    assert_eq!(par.stats, first.stats, "parallel stats drifted from serial");
+    let (best, mean, best_t4) = if timed {
         let (reps, total, best) = time_it(10, 300.0, || {
             let r = route(rrg, requests, &RouteOptions::default()).expect("routes");
             assert_eq!(
@@ -127,9 +161,13 @@ fn cad_workload(
                 "nondeterministic iterations"
             );
         });
-        (best, total / f64::from(reps))
+        let (_, _, best_t4) = time_it(10, 300.0, || {
+            let r = route(rrg, requests, &par_opts).expect("routes");
+            assert_eq!(r.iterations, first.iterations, "nondeterministic parallel");
+        });
+        (best, total / f64::from(reps), best_t4)
     } else {
-        (f64::NAN, f64::NAN)
+        (f64::NAN, f64::NAN, f64::NAN)
     };
     let wirelength: usize = first
         .trees
@@ -146,51 +184,95 @@ fn cad_workload(
         wirelength,
         best_ms: best,
         mean_ms: mean,
+        best_ms_t4: best_t4,
     }
 }
 
-fn sim_rows(timed: bool) -> Vec<SimRow> {
-    let fifo2_msa = msaf_bench::workloads::msa_example("fifo2").expect("committed example");
-    vec![
-        sim_workload("wchb_fifo_d4_w4_32tok", &wchb_fifo(4, 4), "in", timed),
-        sim_workload(
-            "bundled_fifo_d4_w4_32tok",
-            &bundled_fifo(4, 4, 16),
-            "in",
-            timed,
-        ),
-        sim_workload(
-            "msa_fifo2_wchb_32tok",
-            &msaf_bench::workloads::from_msa(fifo2_msa, "wchb").expect("known style"),
-            "inp",
-            timed,
-        ),
-    ]
+fn place_workload(w: &msaf_bench::workloads::CadWorkload, timed: bool) -> PlaceRow {
+    let inc_opts = PlaceOptions::seeded(w.seed);
+    let full_opts = PlaceOptions {
+        seed: w.seed,
+        cost_mode: CostMode::FullRecompute,
+    };
+    let pl = place_with(&w.mapped, &w.packed, &w.arch, &inc_opts).expect("places");
+    let (best, best_full) = if timed {
+        let (_, _, best) = time_it(5, 200.0, || {
+            let r = place_with(&w.mapped, &w.packed, &w.arch, &inc_opts).expect("places");
+            assert_eq!(r.cost, pl.cost, "nondeterministic placement");
+        });
+        let (_, _, best_full) = time_it(3, 200.0, || {
+            let r = place_with(&w.mapped, &w.packed, &w.arch, &full_opts).expect("places");
+            assert_eq!(r.cost, pl.cost, "cost modes diverged");
+        });
+        (best, best_full)
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+    PlaceRow {
+        name: format!("place_{}", w.name),
+        plbs: w.packed.plb_count(),
+        grid: (w.arch.width, w.arch.height),
+        moves: pl.stats.moves_attempted,
+        accepted: pl.stats.moves_accepted,
+        cost: pl.cost as u64,
+        best_ms: best,
+        best_ms_full: best_full,
+    }
 }
 
-fn cad_rows(timed: bool) -> Vec<CadRow> {
+fn sim_rows(timed: bool, filter: &str) -> Vec<SimRow> {
+    let fifo2_msa = msaf_bench::workloads::msa_example("fifo2").expect("committed example");
+    let specs: [(&'static str, Netlist, &'static str); 3] = [
+        ("wchb_fifo_d4_w4_32tok", wchb_fifo(4, 4), "in"),
+        ("bundled_fifo_d4_w4_32tok", bundled_fifo(4, 4, 16), "in"),
+        (
+            "msa_fifo2_wchb_32tok",
+            msaf_bench::workloads::from_msa(fifo2_msa, "wchb").expect("known style"),
+            "inp",
+        ),
+    ];
+    specs
+        .into_iter()
+        .filter(|(name, _, _)| name.contains(filter))
+        .map(|(name, nl, ch)| sim_workload(name, &nl, ch, timed))
+        .collect()
+}
+
+fn cad_rows(timed: bool, filter: &str) -> (Vec<CadRow>, Vec<PlaceRow>) {
     let mut rows = Vec::new();
-    // The paper-scale flow route (mirrors benches/cad_flow.rs bench_route).
-    let arch = ArchSpec::paper(8, 8);
+    let mut prows = Vec::new();
+
+    // The paper-scale flow route (mirrors benches/cad_flow.rs
+    // bench_route), now built through the shared workload constructor.
     let nl = msaf_bench::workloads::adder("qdi", 4).expect("workload");
-    let mapped = map(&nl, &arch).expect("maps");
-    let packed = pack(&mapped, &arch).expect("packs");
-    let placement = place(&mapped, &packed, &arch, 7).expect("places");
-    let rrg = Rrg::build(&arch);
-    let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
-    rows.push(cad_workload(
-        "route_qdi_adder_4b",
-        &rrg,
-        &binding.requests,
-        timed,
-    ));
+    let adder4 = msaf_bench::workloads::CadWorkload::build("qdi_adder_4b", &nl, 7);
+    // Keep the historical fixed 8x8 grid for this row (the sizing policy
+    // would pick the same).
+    assert_eq!((adder4.arch.width, adder4.arch.height), (8, 8));
+    let mut workloads = vec![adder4];
+    workloads.extend(msaf_bench::workloads::fabric_cad_suite());
+
+    for w in &workloads {
+        if format!("place_{}", w.name).contains(filter) {
+            prows.push(place_workload(w, timed));
+        }
+        // Check the row name before building the routing workload —
+        // `routing()` anneals a placement and binds every net, exactly
+        // the fabric-scale work `--filter` exists to skip.
+        if format!("route_{}", w.name).contains(filter) {
+            let r = w.routing();
+            rows.push(cad_workload(&r.name, &r.rrg, &r.requests, timed));
+        }
+    }
 
     // The congestion stress workloads: first iteration conflicts, so
     // `iterations > 1` and `ripups > 0` here are part of the contract.
     for w in msaf_bench::workloads::routing_stress_suite() {
-        rows.push(cad_workload(w.name, &w.rrg, &w.requests, timed));
+        if w.name.contains(filter) {
+            rows.push(cad_workload(&w.name, &w.rrg, &w.requests, timed));
+        }
     }
-    rows
+    (rows, prows)
 }
 
 fn render_sim(rows: &[SimRow]) -> String {
@@ -212,13 +294,13 @@ fn render_sim(rows: &[SimRow]) -> String {
     json
 }
 
-fn render_cad(rows: &[CadRow]) -> String {
+fn render_cad(rows: &[CadRow], prows: &[PlaceRow]) -> String {
     let mut json = String::from("{\n  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"nets\": {}, \"iterations\": {}, \"ripups\": {}, \
              \"nodes_popped\": {}, \"nodes_popped_dijkstra\": {}, \"wirelength\": {}, \
-             \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}{}\n",
+             \"best_ms\": {:.3}, \"mean_ms\": {:.3}, \"best_ms_t4\": {:.3}}}{}\n",
             r.name,
             r.nets,
             r.iterations,
@@ -228,7 +310,31 @@ fn render_cad(rows: &[CadRow]) -> String {
             r.wirelength,
             r.best_ms,
             r.mean_ms,
+            r.best_ms_t4,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"placements\": [\n");
+    for (i, r) in prows.iter().enumerate() {
+        let mps = r.moves as f64 / (r.best_ms / 1e3);
+        let mps_full = r.moves as f64 / (r.best_ms_full / 1e3);
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"plbs\": {}, \"grid\": \"{}x{}\", \"moves\": {}, \
+             \"accepted\": {}, \"cost\": {}, \"best_ms\": {:.3}, \"best_ms_full\": {:.3}, \
+             \"moves_per_sec\": {:.0}, \"moves_per_sec_full\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.plbs,
+            r.grid.0,
+            r.grid.1,
+            r.moves,
+            r.accepted,
+            r.cost,
+            r.best_ms,
+            r.best_ms_full,
+            mps,
+            mps_full,
+            r.best_ms_full / r.best_ms,
+            if i + 1 < prows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
@@ -272,14 +378,14 @@ fn diff_field(
     }
 }
 
-fn check(outdir: &str) -> ExitCode {
+fn check(outdir: &str, filter: &str) -> ExitCode {
     let mut mismatches = Vec::new();
     let mut rows_checked = 0usize;
 
     let sim_path = format!("{outdir}/BENCH_sim.json");
     match std::fs::read_to_string(&sim_path) {
         Ok(committed) => {
-            for r in sim_rows(false) {
+            for r in sim_rows(false, filter) {
                 let line = committed_row(&committed, r.name);
                 if line.is_none() {
                     mismatches.push(format!("{sim_path}: row '{}' missing", r.name));
@@ -310,7 +416,8 @@ fn check(outdir: &str) -> ExitCode {
     let cad_path = format!("{outdir}/BENCH_cad.json");
     match std::fs::read_to_string(&cad_path) {
         Ok(committed) => {
-            for r in cad_rows(false) {
+            let (rows, prows) = cad_rows(false, filter);
+            for r in rows {
                 let line = committed_row(&committed, &r.name);
                 if line.is_none() {
                     mismatches.push(format!("{cad_path}: row '{}' missing", r.name));
@@ -323,6 +430,22 @@ fn check(outdir: &str) -> ExitCode {
                     ("nodes_popped", r.nodes_popped),
                     ("nodes_popped_dijkstra", r.nodes_popped_dijkstra),
                     ("wirelength", r.wirelength as u64),
+                ] {
+                    diff_field(&mut mismatches, &cad_path, &r.name, line, field, value);
+                }
+                rows_checked += 1;
+            }
+            for r in prows {
+                let line = committed_row(&committed, &r.name);
+                if line.is_none() {
+                    mismatches.push(format!("{cad_path}: row '{}' missing", r.name));
+                    continue;
+                }
+                for (field, value) in [
+                    ("plbs", r.plbs as u64),
+                    ("moves", r.moves),
+                    ("accepted", r.accepted),
+                    ("cost", r.cost),
                 ] {
                     diff_field(&mut mismatches, &cad_path, &r.name, line, field, value);
                 }
@@ -351,25 +474,47 @@ fn check(outdir: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut outdir = ".".to_string();
     let mut check_mode = false;
-    for arg in std::env::args().skip(1) {
+    let mut filter = String::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--check" {
             check_mode = true;
+        } else if arg == "--filter" {
+            let Some(f) = args.next() else {
+                eprintln!("--filter needs a substring argument");
+                return ExitCode::FAILURE;
+            };
+            filter = f;
         } else if arg.starts_with('-') {
-            eprintln!("unknown flag '{arg}'; usage: bench_summary [outdir] [--check]");
+            eprintln!(
+                "unknown flag '{arg}'; usage: bench_summary [outdir] [--check] [--filter <substr>]"
+            );
             return ExitCode::FAILURE;
         } else {
             outdir = arg;
         }
     }
     if check_mode {
-        return check(&outdir);
+        return check(&outdir, &filter);
     }
 
-    let sim_json = render_sim(&sim_rows(true));
+    if !filter.is_empty() {
+        // A filtered timed run prints but never writes: a partial
+        // snapshot would fail the next --check as "rows missing".
+        let sim_json = render_sim(&sim_rows(true, &filter));
+        print!("BENCH_sim.json (filtered '{filter}', not written):\n{sim_json}");
+        let (rows, prows) = cad_rows(true, &filter);
+        let cad_json = render_cad(&rows, &prows);
+        print!("BENCH_cad.json (filtered '{filter}', not written):\n{cad_json}");
+        return ExitCode::SUCCESS;
+    }
+
+    let sim_json = render_sim(&sim_rows(true, &filter));
     std::fs::write(format!("{outdir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     print!("BENCH_sim.json:\n{sim_json}");
 
-    let cad_json = render_cad(&cad_rows(true));
+    let (rows, prows) = cad_rows(true, &filter);
+    let cad_json = render_cad(&rows, &prows);
     std::fs::write(format!("{outdir}/BENCH_cad.json"), &cad_json).expect("write BENCH_cad.json");
     print!("BENCH_cad.json:\n{cad_json}");
     ExitCode::SUCCESS

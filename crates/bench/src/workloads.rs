@@ -9,7 +9,11 @@
 //! congested-iteration net ordering) is exercised — the paper-scale
 //! benches route conflict-free and never stress it.
 
+use msaf_cad::bitgen::bind;
+use msaf_cad::pack::{pack, PackedDesign};
+use msaf_cad::place::place;
 use msaf_cad::route::RouteRequest;
+use msaf_cad::techmap::{map, MappedDesign};
 use msaf_cells::adders::{bundled_ripple_adder, qdi_ripple_adder, suggested_bundled_adder_delay};
 use msaf_cells::fulladder::{micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY};
 use msaf_fabric::arch::ArchSpec;
@@ -66,6 +70,8 @@ pub fn msa_example(name: &str) -> Option<&'static str> {
         "parity8" => include_str!("../../../examples/msa/parity8.msa"),
         "muxtree4" => include_str!("../../../examples/msa/muxtree4.msa"),
         "fifo2" => include_str!("../../../examples/msa/fifo2.msa"),
+        "adder16" => include_str!("../../../examples/msa/adder16.msa"),
+        "wide32" => include_str!("../../../examples/msa/wide32.msa"),
         _ => return None,
     })
 }
@@ -81,11 +87,90 @@ pub fn fa_tokens() -> Vec<u64> {
 /// first PathFinder iteration overlaps somewhere.
 pub struct RoutingWorkload {
     /// Workload name (used as the `BENCH_cad.json` row name).
-    pub name: &'static str,
+    pub name: String,
     /// The fabric's routing resource graph.
     pub rrg: Rrg,
     /// Nets to route.
     pub requests: Vec<RouteRequest>,
+}
+
+/// A placement-stage CAD workload: a mapped + packed design and the
+/// sized grid it anneals onto. Feeds both the placement benchmark rows
+/// (incremental vs full-recompute moves/sec) and — via
+/// [`CadWorkload::routing`] — the fabric-scale routing rows.
+pub struct CadWorkload {
+    /// Workload name stem (`place_<name>` / `route_<name>` rows).
+    pub name: String,
+    /// Technology-mapped design.
+    pub mapped: MappedDesign,
+    /// Packed PLBs.
+    pub packed: PackedDesign,
+    /// Architecture sized by the flow's grid policy
+    /// ([`ArchSpec::size_for`]).
+    pub arch: ArchSpec,
+    /// Placement seed.
+    pub seed: u64,
+}
+
+impl CadWorkload {
+    /// Maps and packs `nl` onto the paper architecture, sizing the grid
+    /// exactly like the CAD flow does (smallest near-square fitting the
+    /// PLBs and perimeter I/O).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the netlist fails to map or pack — bench workloads
+    /// are fixtures, and a broken fixture should fail loudly.
+    #[must_use]
+    pub fn build(name: &str, nl: &Netlist, seed: u64) -> Self {
+        let template = ArchSpec::paper(1, 1);
+        let mapped = map(nl, &template).expect("workload maps");
+        let packed = pack(&mapped, &template).expect("workload packs");
+        let (w, h) = ArchSpec::size_for(packed.plb_count(), mapped.io_signals().len());
+        let arch = ArchSpec::paper(w, h);
+        Self {
+            name: name.to_string(),
+            mapped,
+            packed,
+            arch,
+            seed,
+        }
+    }
+
+    /// Places the design and binds its nets, producing the routing-stage
+    /// workload (grid, graph and requests — ready for
+    /// [`msaf_cad::route::route`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when placement or binding fails (see [`Self::build`]).
+    #[must_use]
+    pub fn routing(&self) -> RoutingWorkload {
+        let placement =
+            place(&self.mapped, &self.packed, &self.arch, self.seed).expect("workload places");
+        let rrg = Rrg::build(&self.arch);
+        let binding =
+            bind(&self.mapped, &self.packed, &placement, &self.arch, &rrg).expect("workload binds");
+        RoutingWorkload {
+            name: format!("route_{}", self.name),
+            rrg,
+            requests: binding.requests,
+        }
+    }
+}
+
+/// The fabric-scale CAD workloads: `.msa`-generated designs big enough
+/// that placement moves/sec and parallel-routing wall time are actually
+/// measurable (the paper-scale adders route in a couple of
+/// milliseconds; these are an order of magnitude beyond).
+#[must_use]
+pub fn fabric_cad_suite() -> Vec<CadWorkload> {
+    let adder16 = from_msa(msa_example("adder16").expect("committed"), "qdi").expect("style");
+    let wide32 = from_msa(msa_example("wide32").expect("committed"), "wchb").expect("style");
+    vec![
+        CadWorkload::build("msa_adder16_qdi", &adder16, 7),
+        CadWorkload::build("msa_wide32_wchb", &wide32, 7),
+    ]
 }
 
 /// A wide dual-rail bus squeezed through a narrowed channel: `bits` bus
@@ -128,7 +213,7 @@ pub fn dual_rail_bus_stress(bits: usize, span: usize, channel_width: usize) -> R
         })
         .collect();
     RoutingWorkload {
-        name: "stress_dual_rail_bus",
+        name: "stress_dual_rail_bus".to_string(),
         rrg,
         requests,
     }
@@ -166,7 +251,7 @@ pub fn crossbar_stress(k: usize, pins: usize, channel_width: usize) -> RoutingWo
         }
     }
     RoutingWorkload {
-        name: "stress_crossbar",
+        name: "stress_crossbar".to_string(),
         rrg,
         requests,
     }
@@ -194,7 +279,9 @@ mod tests {
 
     #[test]
     fn msa_examples_elaborate_in_every_style() {
-        for name in ["adder4", "parity8", "muxtree4", "fifo2"] {
+        for name in [
+            "adder4", "parity8", "muxtree4", "fifo2", "adder16", "wide32",
+        ] {
             let src = msa_example(name).expect("committed example");
             for style in ["qdi", "wchb", "bundled"] {
                 let nl = from_msa(src, style).expect("known style");
@@ -249,6 +336,34 @@ mod tests {
                 astar.stats.nodes_popped,
                 dijkstra.stats.nodes_popped
             );
+        }
+    }
+
+    #[test]
+    fn fabric_suite_is_fabric_scale() {
+        // The fabric rows must actually be in the regime the incremental
+        // placer and chunked router target: hundreds of nets, grids far
+        // beyond the paper's toy examples, sized by the flow's policy.
+        let suite = fabric_cad_suite();
+        assert_eq!(suite.len(), 2);
+        for w in &suite {
+            assert!(
+                w.arch.plb_count() >= 17 * 17,
+                "{}: grid {}x{} too small for a fabric-scale row",
+                w.name,
+                w.arch.width,
+                w.arch.height
+            );
+            let r = w.routing();
+            assert!(
+                r.requests.len() >= 250,
+                "{}: only {} nets",
+                w.name,
+                r.requests.len()
+            );
+            // Grid sizing matches the flow's shared policy.
+            let (gw, gh) = ArchSpec::size_for(w.packed.plb_count(), w.mapped.io_signals().len());
+            assert_eq!((w.arch.width, w.arch.height), (gw, gh), "{}", w.name);
         }
     }
 }

@@ -92,19 +92,11 @@ pub struct CompiledDesign {
     pub report: FlowReport,
 }
 
-/// Smallest grid fitting `plbs` logic blocks and `io` perimeter pads.
+/// Smallest grid fitting `plbs` logic blocks and `io` perimeter pads
+/// (the shared policy lives on [`ArchSpec::size_for`] so the
+/// fabric-scale benchmark workloads size grids identically).
 fn size_grid(plbs: usize, io: usize) -> (usize, usize) {
-    let mut w = (plbs as f64).sqrt().ceil() as usize;
-    let mut h = w;
-    while w * h < plbs {
-        w += 1;
-    }
-    // Perimeter pads: 2w + 2h.
-    while 2 * (w + h) < io {
-        w += 1;
-        h += 1;
-    }
-    (w.max(1), h.max(1))
+    ArchSpec::size_for(plbs, io)
 }
 
 /// Compiles `netlist` onto the architecture family of
@@ -116,16 +108,12 @@ fn size_grid(plbs: usize, io: usize) -> (usize, usize) {
 /// channel-width doublings before giving up (unless the width is
 /// pinned).
 pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, FlowError> {
+    let stage = std::time::Instant::now();
     let mapped = map(netlist, &opts.arch).map_err(FlowError::Map)?;
     let packed = pack(&mapped, &opts.arch).map_err(FlowError::Pack)?;
+    let pack_ms = stage.elapsed().as_secs_f64() * 1e3;
 
-    // I/O signal count: PIs plus non-PI POs.
-    let mut io = mapped.pis.len();
-    for po in &mapped.pos {
-        if !mapped.pis.contains(po) {
-            io += 1;
-        }
-    }
+    let io = mapped.io_signals().len();
     let (w, h) = opts
         .grid
         .unwrap_or_else(|| size_grid(packed.plb_count(), io));
@@ -138,9 +126,12 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     }
     arch.name = format!("{}-{w}x{h}", opts.arch.name);
 
+    let stage = std::time::Instant::now();
     let placement = place(&mapped, &packed, &arch, opts.seed).map_err(FlowError::Place)?;
+    let place_ms = stage.elapsed().as_secs_f64() * 1e3;
 
     // Route, widening channels on congestion failure.
+    let stage = std::time::Instant::now();
     let mut attempts = if opts.channel_width.is_some() { 1 } else { 4 };
     let (rrg, binding, routed) = loop {
         let rrg = Rrg::build(&arch);
@@ -156,6 +147,8 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
             }
         }
     };
+
+    let route_ms = stage.elapsed().as_secs_f64() * 1e3;
 
     let config = assemble(binding, routed.trees);
     config.check(&rrg).map_err(FlowError::Check)?;
@@ -183,6 +176,9 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
         place_cost: placement.cost,
         route_iterations: routed.iterations,
         wirelength: config.total_wirelength(),
+        pack_ms,
+        place_ms,
+        route_ms,
         utilization,
         timing,
     };

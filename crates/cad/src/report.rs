@@ -33,6 +33,13 @@ pub struct FlowReport {
     pub route_iterations: usize,
     /// Total routed wirelength.
     pub wirelength: usize,
+    /// Wall time of mapping + packing, in milliseconds.
+    pub pack_ms: f64,
+    /// Wall time of placement, in milliseconds.
+    pub place_ms: f64,
+    /// Wall time of routing (including RRG build, binding and any
+    /// channel-widening retries), in milliseconds.
+    pub route_ms: f64,
     /// Fabric utilisation including the paper's filling ratios.
     pub utilization: Utilization,
     /// Static timing.
@@ -72,6 +79,11 @@ impl fmt::Display for FlowReport {
         )?;
         writeln!(
             f,
+            "stage times      : pack {:.2} ms, place {:.2} ms, route {:.2} ms",
+            self.pack_ms, self.place_ms, self.route_ms
+        )?;
+        writeln!(
+            f,
             "timing           : {} levels, critical delay {}",
             self.timing.levels, self.timing.critical_delay
         )?;
@@ -102,6 +114,9 @@ mod tests {
             place_cost: 12.5,
             route_iterations: 3,
             wirelength: 40,
+            pack_ms: 0.5,
+            place_ms: 1.5,
+            route_ms: 2.5,
             utilization: Utilization::of(&cfg),
             timing: crate::timing::TimingReport {
                 levels: 2,
@@ -110,7 +125,13 @@ mod tests {
             },
         };
         let text = report.to_string();
-        for needle in ["design", "logic elements", "filling ratio", "routing"] {
+        for needle in [
+            "design",
+            "logic elements",
+            "filling ratio",
+            "routing",
+            "stage times",
+        ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
         assert_eq!(report.filling_ratio(), 0.0);

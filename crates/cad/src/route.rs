@@ -2,21 +2,22 @@
 //! resource graph.
 //!
 //! Classic iteration: route every net by an A*-guided Dijkstra with a
-//! cost that mixes base cost, *present* congestion (sharing this
-//! iteration) and *history* (sharing in past iterations); rip up and
-//! repeat with rising congestion pressure until no wire is shared.
+//! cost that mixes per-kind base cost, *present* congestion (sharing
+//! this iteration) and *history* (sharing in past iterations); rip up
+//! and repeat with rising congestion pressure until no wire is shared.
 //!
 //! # Search guidance
 //!
 //! * **A\* lookahead** ([`RouteOptions::astar_fac`]): each wavefront
 //!   expansion is ordered by `g + astar_fac × h`, where `h` is the
 //!   Manhattan gap from the node's corner-grid extent
-//!   ([`msaf_fabric::rrg::NodeSpan`]) to the nearest remaining sink.
-//!   Every hop traverses at most one corner unit and costs at least the
-//!   base cost 1, so with `astar_fac ≤ 1.0` the heuristic is admissible:
-//!   the first sink popped carries exactly the cost Dijkstra would have
-//!   found, only with far fewer heap pops (the wavefront is a beam toward
-//!   the sink instead of a disc around the tree). `astar_fac = 0.0`
+//!   ([`msaf_fabric::rrg::NodeSpan`]) to the nearest remaining sink,
+//!   scaled by the **cheapest per-kind base cost**
+//!   ([`BaseCosts::floor`]). Every hop traverses at most one corner
+//!   unit and costs at least that floor, so with `astar_fac ≤ 1.0` the
+//!   heuristic stays admissible even under non-uniform base costs: the
+//!   first sink popped carries exactly the cost Dijkstra would have
+//!   found, only with far fewer heap pops. `astar_fac = 0.0`
 //!   degenerates to the uninformed Dijkstra of the original
 //!   implementation, bit-for-bit — the route goldens pin that mode.
 //! * **Net ordering**: on congested iterations the rip-up set is
@@ -25,6 +26,38 @@
 //!   negotiate for wires first and short nets detour around them — the
 //!   classic PathFinder ordering refinement. The first iteration keeps
 //!   request order, so conflict-free runs are unaffected.
+//!
+//! # Deterministic chunked parallelism
+//!
+//! The **first** iteration — every net, by far the bulk of the search
+//! work, conflict-free end state in the common case — processes its
+//! route list in **chunks** of [`RouteOptions::chunk`] nets. A chunk
+//! routes every member against the **frozen** occupancy left by earlier
+//! chunks (read-only, so the members can be searched concurrently by
+//! [`RouteOptions::threads`] scoped workers with per-thread scratch),
+//! then merges all new trees back into the occupancy in request order.
+//! Because every search is a deterministic function of the frozen view,
+//! the routing result — trees, wirelength, iterations, rip-ups, even
+//! the `nodes_popped` counter — is **byte-identical at every thread
+//! count**; threads only change wall time. Thread scheduling physically
+//! cannot leak into results: workers share nothing mutable but an
+//! atomic work cursor and disjoint result slots (pinned by
+//! `tests/route_goldens.rs` across thread counts).
+//!
+//! Congested iterations (the rip-up subsets, small under incremental
+//! rip-up) reroute **net-by-net** — exact Gauss-Seidel feedback, each
+//! net seeing its predecessors' fresh trees. That split is deliberate:
+//! routing a whole negotiation round against one frozen view
+//! (Jacobi-style) lets symmetric nets oscillate in lockstep and never
+//! resolve — identical nets pick identical detours every round, so
+//! congestion chases itself forever. Net-by-net negotiation is what
+//! makes PathFinder converge, and it costs little once only the
+//! conflicted subset reroutes.
+//!
+//! `chunk = 1` degenerates to the historical fully-serial discipline in
+//! the first iteration too (each net sees every earlier net's fresh
+//! tree); the default chunk of 16 trades a congestion view at most 15
+//! nets stale in iteration one for chunk-wide parallelism.
 //!
 //! # Hot-path design
 //!
@@ -48,6 +81,8 @@
 use msaf_fabric::bitstream::RouteTree;
 use msaf_fabric::rrg::{NodeId, NodeSpan, RrNodeKind, Rrg};
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 /// One net to route.
 #[derive(Debug, Clone)]
@@ -58,6 +93,63 @@ pub struct RouteRequest {
     pub source: NodeId,
     /// Sink nodes (`Ipin`s / output `Pad`s).
     pub sinks: Vec<NodeId>,
+}
+
+/// Per-kind base costs of entering a routing node — the VPR-style knob
+/// that lets architectures price resource classes differently (e.g.
+/// make horizontal wires cheaper than vertical ones, or pins nearly
+/// free). All 1.0 by default, which reproduces the original
+/// uniform-cost router bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseCosts {
+    /// Horizontal channel wires.
+    pub hwire: f64,
+    /// Vertical channel wires.
+    pub vwire: f64,
+    /// PLB input/output pins.
+    pub pin: f64,
+    /// Perimeter I/O pads.
+    pub pad: f64,
+}
+
+impl BaseCosts {
+    /// The uniform reference costs (everything 1.0).
+    #[must_use]
+    pub const fn uniform() -> Self {
+        Self {
+            hwire: 1.0,
+            vwire: 1.0,
+            pin: 1.0,
+            pad: 1.0,
+        }
+    }
+
+    /// Base cost of entering a node of `kind`.
+    #[inline]
+    #[must_use]
+    pub fn of(self, kind: RrNodeKind) -> f64 {
+        match kind {
+            RrNodeKind::HWire { .. } => self.hwire,
+            RrNodeKind::VWire { .. } => self.vwire,
+            RrNodeKind::Opin { .. } | RrNodeKind::Ipin { .. } => self.pin,
+            RrNodeKind::Pad { .. } => self.pad,
+        }
+    }
+
+    /// The cheapest base cost across kinds — the admissible per-hop
+    /// floor the A* lookahead scales its distance estimate by (every
+    /// remaining hop enters some node and therefore costs at least
+    /// this much).
+    #[must_use]
+    pub fn floor(self) -> f64 {
+        self.hwire.min(self.vwire).min(self.pin).min(self.pad)
+    }
+}
+
+impl Default for BaseCosts {
+    fn default() -> Self {
+        Self::uniform()
+    }
 }
 
 /// Router tuning knobs.
@@ -71,7 +163,7 @@ pub struct RouteOptions {
     pub hist_fac: f64,
     /// A* lookahead strength: the heap is ordered by `g + astar_fac × h`
     /// with `h` the Manhattan corner-grid gap to the nearest remaining
-    /// sink ([`NodeSpan::manhattan_to`]).
+    /// sink ([`NodeSpan::manhattan_to`]) scaled by [`BaseCosts::floor`].
     ///
     /// `0.0` disables the lookahead and reproduces the uninformed
     /// Dijkstra bit-for-bit (the reference mode pinned by the route
@@ -79,6 +171,18 @@ pub struct RouteOptions {
     /// route costs, fewer heap pops; values above `1.0` trade optimality
     /// for speed (not used by default).
     pub astar_fac: f64,
+    /// Per-kind base costs (uniform 1.0 by default).
+    pub base: BaseCosts,
+    /// Worker threads routing each chunk's nets concurrently. Any value
+    /// (including 1, the default) produces byte-identical results for a
+    /// fixed [`Self::chunk`]; threads only change wall time.
+    pub threads: usize,
+    /// Nets per first-iteration chunk (the unit of deterministic
+    /// occupancy merging — see the module docs; congested iterations
+    /// always negotiate net-by-net). `1` is the historical serial
+    /// discipline; the default 16 gives chunk-wide parallelism with a
+    /// congestion view at most 15 nets stale.
+    pub chunk: usize,
 }
 
 impl Default for RouteOptions {
@@ -88,6 +192,9 @@ impl Default for RouteOptions {
             pres_fac_mult: 1.8,
             hist_fac: 0.4,
             astar_fac: 1.0,
+            base: BaseCosts::uniform(),
+            threads: 1,
+            chunk: 16,
         }
     }
 }
@@ -127,7 +234,9 @@ impl std::error::Error for RouteError {}
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RouteStats {
     /// Total heap pops across every per-sink search (the router's unit
-    /// of work; the A* lookahead exists to shrink this).
+    /// of work; the A* lookahead exists to shrink this). Identical at
+    /// every thread count: each net's search effort depends only on the
+    /// chunk's frozen occupancy view, never on scheduling.
     pub nodes_popped: u64,
     /// Nets ripped up and rerouted after the first iteration (0 on a
     /// conflict-free run — incremental rip-up never fired).
@@ -148,6 +257,10 @@ pub struct RoutingResult {
 /// A grown route tree: `(node, parent)` pairs in discovery order
 /// (source first, parent `None`).
 type NetTree = Vec<(NodeId, Option<NodeId>)>;
+
+/// One chunk member's result slot: `None` = not yet routed, then the
+/// [`route_net`] outcome (`None` inside = unreachable).
+type ResultSlot = Mutex<Option<Option<(NetTree, u64)>>>;
 
 /// True when a node is congestion-managed (wires only; pins and pads are
 /// dedicated by construction).
@@ -191,11 +304,39 @@ impl PartialOrd for Entry {
     }
 }
 
+/// The chunk-constant part of the PathFinder cost function: history,
+/// pressure and base costs (occupancy is passed alongside — it is the
+/// one input that changes at chunk granularity).
+struct CostModel<'a> {
+    history: &'a [f64],
+    pres_fac: f64,
+    base: BaseCosts,
+    /// `astar_fac × BaseCosts::floor()`, the admissible per-hop scale of
+    /// the lookahead (zero disables it, reproducing plain Dijkstra).
+    h_scale: f64,
+}
+
+impl CostModel<'_> {
+    /// Cost of entering node `id` with wire occupancy `occ` (only
+    /// meaningful for wires).
+    #[inline]
+    fn node_cost(&self, kind: RrNodeKind, index: usize, occ: u32) -> f64 {
+        let base = self.base.of(kind);
+        let present = if is_wire(kind) {
+            1.0 + self.pres_fac * f64::from(occ)
+        } else {
+            1.0
+        };
+        (base + self.history[index]) * present
+    }
+}
+
 /// Dense, generation-stamped scratch shared by every Dijkstra run of a
-/// routing invocation. `dist`/`prev` entries are valid only when the
-/// node's `search_stamp` matches the current search; tree and target
-/// membership likewise against per-net stamps — so starting a new search
-/// or net is a counter increment, not an O(n) clear.
+/// routing invocation (one per worker thread). `dist`/`prev` entries are
+/// valid only when the node's `search_stamp` matches the current search;
+/// tree and target membership likewise against per-net stamps — so
+/// starting a new search or net is a counter increment, not an O(n)
+/// clear.
 struct Scratch {
     dist: Vec<f64>,
     prev: Vec<NodeId>,
@@ -208,8 +349,6 @@ struct Scratch {
     /// Remaining sinks of the current net with their corner-grid spans —
     /// the A* heuristic's target set (pruned as sinks are reached).
     targets: Vec<(NodeId, NodeSpan)>,
-    /// Heap pops accumulated across the whole routing run.
-    popped: u64,
 }
 
 impl Scratch {
@@ -224,7 +363,6 @@ impl Scratch {
             net: 0,
             heap: BinaryHeap::new(),
             targets: Vec::new(),
-            popped: 0,
         }
     }
 
@@ -247,19 +385,19 @@ impl Scratch {
         self.target_stamp[n.index()] == self.net
     }
 
-    /// A* lookahead: `astar_fac ×` the Manhattan corner-grid gap from
+    /// A* lookahead: `h_scale ×` the Manhattan corner-grid gap from
     /// `span` to the nearest remaining sink. Zero when the lookahead is
     /// disabled (keeping the search bit-identical to plain Dijkstra).
     #[inline]
-    fn lookahead(&self, astar_fac: f64, span: NodeSpan) -> f64 {
-        if astar_fac == 0.0 {
+    fn lookahead(&self, h_scale: f64, span: NodeSpan) -> f64 {
+        if h_scale == 0.0 {
             return 0.0;
         }
         let mut best = u32::MAX;
         for &(_, ts) in &self.targets {
             best = best.min(span.manhattan_to(ts));
         }
-        astar_fac * f64::from(best)
+        h_scale * f64::from(best)
     }
 }
 
@@ -290,11 +428,18 @@ pub fn route(
     opts: &RouteOptions,
 ) -> Result<RoutingResult, RouteError> {
     let n = rrg.len();
+    let threads = opts.threads.max(1);
+    let chunk_size = opts.chunk.max(1);
     let mut history = vec![0.0f64; n];
     let mut occupancy = vec![0u32; n];
     let mut trees: Vec<Option<NetTree>> = vec![None; requests.len()];
     let mut pres_fac = 1.0f64;
-    let mut scratch = Scratch::new(n);
+    // One search scratch per worker (workers beyond the chunk size could
+    // never get work).
+    let mut scratches: Vec<Scratch> = (0..threads.min(chunk_size))
+        .map(|_| Scratch::new(n))
+        .collect();
+    let mut popped = 0u64;
     let mut ripups = 0u64;
     // Nets to (re)route this iteration; all of them, in request order, on
     // the first.
@@ -303,35 +448,98 @@ pub fn route(
     let mut bbox: Vec<u32> = Vec::new();
 
     for iteration in 0..opts.max_iterations {
-        for &ri in &reroute {
-            // Rip up the net's previous tree, returning its occupancy.
-            if let Some(tree) = trees[ri].take() {
-                ripups += 1;
-                for (node, _) in tree {
-                    if is_wire(rrg.kind(node)) {
-                        occupancy[node.index()] -= 1;
+        let cm = CostModel {
+            history: &history,
+            pres_fac,
+            base: opts.base,
+            h_scale: opts.astar_fac * opts.base.floor(),
+        };
+        // Congested iterations negotiate net-by-net (Gauss-Seidel):
+        // chunked Jacobi rounds let symmetric conflicts oscillate in
+        // lockstep forever (see the module docs). The first iteration
+        // chunks, but never coarser than 1/MIN_CHUNKS of the route list
+        // — small dense workloads keep (nearly) serial congestion
+        // feedback, while fabric-scale lists reach the full chunk width.
+        // Depends only on the options and the list length, so thread
+        // count still cannot affect results.
+        const MIN_CHUNKS: usize = 16;
+        let eff_chunk = if iteration == 0 {
+            chunk_size.min((reroute.len() / MIN_CHUNKS).max(1))
+        } else {
+            1
+        };
+        // Chunk membership is *strided*: chunk `j` takes every
+        // `nchunks`-th net starting at `j`. Consecutive requests are the
+        // nets most likely to collide (dual-rail mates of one signal,
+        // bits of one bus — identical terminals), so spreading them
+        // across different chunks keeps sequential congestion feedback
+        // exactly where it matters, while each chunk's members are
+        // spatially scattered and nearly independent. Deterministic, and
+        // with `eff_chunk == 1` the stride degenerates to request order.
+        let nchunks = reroute.len().div_ceil(eff_chunk).max(1);
+        if eff_chunk >= 2 && scratches.len() >= 2 {
+            route_iteration_parallel(
+                rrg,
+                requests,
+                &reroute,
+                nchunks,
+                &cm,
+                &mut occupancy,
+                &mut trees,
+                &mut scratches,
+                &mut popped,
+                &mut ripups,
+            )?;
+        } else {
+            // Serial schedule: identical chunk discipline, one thread.
+            let mut chunk_buf: Vec<usize> = Vec::with_capacity(eff_chunk);
+            let mut results: Vec<Option<(NetTree, u64)>> = Vec::with_capacity(eff_chunk);
+            for j in 0..nchunks {
+                chunk_buf.clear();
+                chunk_buf.extend(reroute.iter().copied().skip(j).step_by(nchunks));
+                // 1. Rip up every chunk member's previous tree: the
+                //    chunk routes against the occupancy left by earlier
+                //    chunks alone, a frozen view all its searches share.
+                for &ri in &chunk_buf {
+                    if let Some(tree) = trees[ri].take() {
+                        ripups += 1;
+                        for (node, _) in tree {
+                            if is_wire(rrg.kind(node)) {
+                                occupancy[node.index()] -= 1;
+                            }
+                        }
                     }
                 }
-            }
-            let req = &requests[ri];
-            let tree = route_net(
-                rrg,
-                req,
-                &occupancy,
-                &history,
-                pres_fac,
-                opts.astar_fac,
-                &mut scratch,
-            )
-            .ok_or_else(|| RouteError::Unreachable {
-                net: req.net.clone(),
-            })?;
-            for (node, _) in &tree {
-                if is_wire(rrg.kind(*node)) {
-                    occupancy[node.index()] += 1;
+                // 2. Route the members against the frozen view (nothing
+                //    merges mid-chunk, so sequential execution sees the
+                //    same occupancy a concurrent worker would).
+                results.clear();
+                for &ri in &chunk_buf {
+                    let res = route_net(rrg, &requests[ri], &occupancy, &cm, &mut scratches[0]);
+                    let failed = res.is_none();
+                    results.push(res);
+                    // An unreachable sink aborts the run; skip the rest
+                    // of the chunk (their results could not matter).
+                    if failed {
+                        break;
+                    }
+                }
+                // 3. Merge: commit every new tree in request order. The
+                //    first unreachable net (in chunk order) reports,
+                //    exactly as the parallel schedule would.
+                for (slot, &ri) in results.iter_mut().zip(&chunk_buf) {
+                    let (tree, pops) = slot.take().ok_or_else(|| RouteError::Unreachable {
+                        net: requests[ri].net.clone(),
+                    })?;
+                    popped += pops;
+                    for (node, _) in &tree {
+                        if is_wire(rrg.kind(*node)) {
+                            occupancy[node.index()] += 1;
+                        }
+                    }
+                    trees[ri] = Some(tree);
                 }
             }
-            trees[ri] = Some(tree);
         }
 
         // Congestion check + history update.
@@ -352,7 +560,7 @@ pub fn route(
                 trees,
                 iterations: iteration + 1,
                 stats: RouteStats {
-                    nodes_popped: scratch.popped,
+                    nodes_popped: popped,
                     ripups,
                 },
             });
@@ -389,37 +597,151 @@ pub fn route(
     Err(RouteError::Unroutable { overused })
 }
 
-/// A\*-grown route tree for one net: returns `(node, parent)` pairs
-/// in discovery order (source first, parent `None`). Each per-sink
+/// Routes one whole chunked iteration on scoped worker threads spawned
+/// **once** (not once per chunk — thread creation is far too expensive
+/// to re-pay 16+ times per routing call). The rounds are phased by a
+/// [`Barrier`]: between two barrier waits everyone (the coordinator —
+/// this thread — included) pulls chunk members off an atomic cursor and
+/// routes them against a read-locked occupancy; between rounds the
+/// coordinator alone write-locks to merge the finished trees and rip up
+/// the next chunk's old ones. Workers share only the cursor, the
+/// per-slot result mutexes (disjoint — one writer each) and the frozen
+/// occupancy, so scheduling cannot influence results; the merge order
+/// is the coordinator's deterministic member order.
+///
+/// On an unreachable net the coordinator records the error and stops
+/// opening rounds (the cursor is never reset, so workers fall through
+/// the remaining barriers without work); the error reported is the
+/// first failure in chunk-member order, same as the serial schedule.
+#[allow(clippy::too_many_arguments)]
+fn route_iteration_parallel(
+    rrg: &Rrg,
+    requests: &[RouteRequest],
+    reroute: &[usize],
+    nchunks: usize,
+    cm: &CostModel<'_>,
+    occupancy: &mut Vec<u32>,
+    trees: &mut [Option<NetTree>],
+    scratches: &mut [Scratch],
+    popped: &mut u64,
+    ripups: &mut u64,
+) -> Result<(), RouteError> {
+    // Member `k` of chunk `j` is `reroute[j + k * nchunks]` (the strided
+    // membership); slots sized for the largest chunk.
+    let max_chunk = reroute.len().div_ceil(nchunks);
+    let slots: Vec<ResultSlot> = (0..max_chunk).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(usize::MAX / 2); // no work until a round opens
+    let barrier = Barrier::new(scratches.len());
+    let occ = RwLock::new(std::mem::take(occupancy));
+    let (main_scratch, workers) = scratches.split_first_mut().expect("at least one scratch");
+    let mut err: Option<RouteError> = None;
+
+    // One round's work phase: route chunk `j` members off the cursor
+    // against the frozen occupancy. Shared by workers and coordinator.
+    let run_round = |j: usize, scratch: &mut Scratch| {
+        let occ_g = occ.read().expect("occupancy lock");
+        loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&ri) = k.checked_mul(nchunks).and_then(|o| reroute.get(j + o)) else {
+                break;
+            };
+            let res = route_net(rrg, &requests[ri], &occ_g, cm, scratch);
+            *slots[k].lock().expect("result slot") = Some(res);
+        }
+    };
+    let run_round = &run_round;
+
+    std::thread::scope(|s| {
+        for scratch in workers.iter_mut() {
+            let barrier = &barrier;
+            s.spawn(move || {
+                for j in 0..nchunks {
+                    barrier.wait();
+                    run_round(j, scratch);
+                    barrier.wait();
+                }
+            });
+        }
+
+        // Coordinator: rip up chunk 0 before the first round opens.
+        let members = |j: usize| reroute.iter().copied().skip(j).step_by(nchunks);
+        let rip = |j: usize, occ_g: &mut [u32], trees: &mut [Option<NetTree>], rips: &mut u64| {
+            for ri in members(j) {
+                if let Some(tree) = trees[ri].take() {
+                    *rips += 1;
+                    for (node, _) in tree {
+                        if is_wire(rrg.kind(node)) {
+                            occ_g[node.index()] -= 1;
+                        }
+                    }
+                }
+            }
+        };
+        rip(0, &mut occ.write().expect("occupancy lock"), trees, ripups);
+
+        for j in 0..nchunks {
+            if err.is_none() {
+                cursor.store(0, Ordering::Relaxed);
+            }
+            barrier.wait();
+            if err.is_none() {
+                run_round(j, main_scratch);
+            }
+            barrier.wait();
+            if err.is_some() {
+                continue;
+            }
+            // Exclusive phase: merge chunk j in member order, then rip
+            // up chunk j+1 — workers are parked at the next barrier.
+            let mut occ_g = occ.write().expect("occupancy lock");
+            for (k, ri) in members(j).enumerate() {
+                let res = slots[k].lock().expect("result slot").take();
+                match res.expect("chunk member routed") {
+                    Some((tree, pops)) => {
+                        *popped += pops;
+                        for (node, _) in &tree {
+                            if is_wire(rrg.kind(*node)) {
+                                occ_g[node.index()] += 1;
+                            }
+                        }
+                        trees[ri] = Some(tree);
+                    }
+                    None => {
+                        err = Some(RouteError::Unreachable {
+                            net: requests[ri].net.clone(),
+                        });
+                        break;
+                    }
+                }
+            }
+            if err.is_none() && j + 1 < nchunks {
+                rip(j + 1, &mut occ_g, trees, ripups);
+            }
+        }
+    });
+
+    *occupancy = occ.into_inner().expect("occupancy lock");
+    err.map_or(Ok(()), Err)
+}
+
+/// A\*-grown route tree for one net: returns `(node, parent)` pairs in
+/// discovery order (source first, parent `None`) plus the heap pops its
+/// searches cost, or `None` when a sink is unreachable. Each per-sink
 /// search is Dijkstra guided by [`Scratch::lookahead`]; with an
 /// admissible factor the found path costs are exactly Dijkstra's.
 ///
 /// Allocation-free per call apart from the returned tree: all search
-/// state lives in the stamped `scratch`.
+/// state lives in the stamped `scratch`. Reads only immutable inputs
+/// otherwise, so chunk members can run this concurrently.
 fn route_net(
     rrg: &Rrg,
     req: &RouteRequest,
     occupancy: &[u32],
-    history: &[f64],
-    pres_fac: f64,
-    astar_fac: f64,
+    cm: &CostModel<'_>,
     scratch: &mut Scratch,
-) -> Option<NetTree> {
-    let node_cost = |id: NodeId, in_tree: bool| -> f64 {
-        if in_tree {
-            return 0.0;
-        }
-        let base = 1.0;
-        let i = id.index();
-        let present = if is_wire(rrg.kind(id)) {
-            1.0 + pres_fac * f64::from(occupancy[i])
-        } else {
-            1.0
-        };
-        (base + history[i]) * present
-    };
-
+) -> Option<(NetTree, u64)> {
     let mut tree: NetTree = vec![(req.source, None)];
+    let mut popped = 0u64;
     scratch.net = scratch.net.wrapping_add(1);
     if scratch.net == 0 {
         // u32 stamp wrapped: stale entries from 2^32 nets ago could
@@ -459,14 +781,14 @@ fn route_net(
             scratch.search_stamp[node.index()] = scratch.search;
             scratch.dist[node.index()] = 0.0;
             scratch.heap.push(Entry {
-                f: scratch.lookahead(astar_fac, spans[node.index()]),
+                f: scratch.lookahead(cm.h_scale, spans[node.index()]),
                 g: 0.0,
                 node: *node,
             });
         }
         let mut found: Option<NodeId> = None;
         while let Some(Entry { g, node: u, .. }) = scratch.heap.pop() {
-            scratch.popped += 1;
+            popped += 1;
             if g > scratch.dist_of(u) {
                 continue;
             }
@@ -486,13 +808,19 @@ fn route_net(
                 if !enterable {
                     continue;
                 }
-                let nd = g + node_cost(v, scratch.in_tree(v));
+                let step = if scratch.in_tree(v) {
+                    0.0
+                } else {
+                    let vi = v.index();
+                    cm.node_cost(vk, vi, occupancy[vi])
+                };
+                let nd = g + step;
                 if nd < scratch.dist_of(v) {
                     scratch.search_stamp[v.index()] = scratch.search;
                     scratch.dist[v.index()] = nd;
                     scratch.prev[v.index()] = u;
                     scratch.heap.push(Entry {
-                        f: nd + scratch.lookahead(astar_fac, spans[v.index()]),
+                        f: nd + scratch.lookahead(cm.h_scale, spans[v.index()]),
                         g: nd,
                         node: v,
                     });
@@ -527,7 +855,7 @@ fn route_net(
         }
         remaining -= 1;
     }
-    Some(tree)
+    Some((tree, popped))
 }
 
 fn to_route_tree(rrg: &Rrg, req: &RouteRequest, tree: &[(NodeId, Option<NodeId>)]) -> RouteTree {
@@ -732,6 +1060,197 @@ mod tests {
         let wl = |r: &RoutingResult| -> usize { r.trees.iter().map(RouteTree::wirelength).sum() };
         assert_eq!(wl(&astar), wl(&dijkstra));
         assert!(astar.stats.nodes_popped < dijkstra.stats.nodes_popped);
+    }
+
+    /// Byte-identity oracle between two routing results (trees compare
+    /// node-for-node including discovery order).
+    fn assert_identical(a: &RoutingResult, b: &RoutingResult, what: &str) {
+        assert_eq!(a.iterations, b.iterations, "{what}: iterations differ");
+        assert_eq!(a.stats, b.stats, "{what}: stats differ");
+        assert_eq!(a.trees.len(), b.trees.len());
+        for (ta, tb) in a.trees.iter().zip(&b.trees) {
+            assert_eq!(ta.nodes, tb.nodes, "{what}: {} nodes differ", ta.net);
+            assert_eq!(ta.edges, tb.edges, "{what}: {} edges differ", ta.net);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        // Both a conflict-free fan-in pattern and the genuinely congested
+        // bus, at several thread counts: trees, iterations, rip-ups and
+        // even nodes_popped must match the single-threaded run exactly.
+        let (g, reqs) = contended_bus();
+        let serial = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = route(
+                &g,
+                &reqs,
+                &RouteOptions {
+                    threads,
+                    ..RouteOptions::default()
+                },
+            )
+            .unwrap();
+            assert_identical(&serial, &par, &format!("contended bus, {threads} threads"));
+        }
+
+        let g = small_rrg();
+        let reqs: Vec<RouteRequest> = (0..6)
+            .map(|pin| RouteRequest {
+                net: format!("n{pin}"),
+                source: g.node(RrNodeKind::Opin { x: 0, y: 0, pin }).unwrap(),
+                sinks: vec![g.node(RrNodeKind::Ipin { x: 1, y: 1, pin }).unwrap()],
+            })
+            .collect();
+        let serial = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        for threads in [2, 4] {
+            let par = route(
+                &g,
+                &reqs,
+                &RouteOptions {
+                    threads,
+                    ..RouteOptions::default()
+                },
+            )
+            .unwrap();
+            assert_identical(&serial, &par, &format!("fan pattern, {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn chunk_one_is_gauss_seidel_and_converges() {
+        // chunk = 1 is the historical net-by-net serial discipline; it
+        // must still converge and stay legal on the congested workload
+        // (its exact routes differ from the chunked default — that is
+        // the documented semantic of the knob).
+        let (g, reqs) = contended_bus();
+        let res = route(
+            &g,
+            &reqs,
+            &RouteOptions {
+                chunk: 1,
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(res.iterations > 1);
+        let mut used = std::collections::HashSet::new();
+        for t in &res.trees {
+            for n in &t.nodes {
+                if matches!(n, RrNodeKind::HWire { .. } | RrNodeKind::VWire { .. }) {
+                    assert!(used.insert(*n), "wire shared under chunk=1");
+                }
+            }
+        }
+        // And thread count is still irrelevant under chunk = 1 (every
+        // chunk is a single net, so workers never even spawn).
+        let par = route(
+            &g,
+            &reqs,
+            &RouteOptions {
+                chunk: 1,
+                threads: 4,
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap();
+        assert_identical(&res, &par, "chunk=1 thread invariance");
+    }
+
+    #[test]
+    fn parallel_unroutable_matches_serial() {
+        // Error behaviour must not change with thread count.
+        let mut a = ArchSpec::paper(2, 1);
+        a.channel_width = 1;
+        let g = Rrg::build(&a);
+        let reqs: Vec<RouteRequest> = (0..6)
+            .map(|pin| RouteRequest {
+                net: format!("n{pin}"),
+                source: g.node(RrNodeKind::Opin { x: 0, y: 0, pin }).unwrap(),
+                sinks: vec![g.node(RrNodeKind::Ipin { x: 1, y: 0, pin }).unwrap()],
+            })
+            .collect();
+        let serial = route(&g, &reqs, &RouteOptions::default()).unwrap_err();
+        let par = route(
+            &g,
+            &reqs,
+            &RouteOptions {
+                threads: 4,
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn uniform_base_costs_are_the_reference() {
+        // BaseCosts::uniform() must be a pure no-op relative to the
+        // historical all-wires-cost-1 router.
+        assert_eq!(BaseCosts::default(), BaseCosts::uniform());
+        assert_eq!(BaseCosts::uniform().floor(), 1.0);
+        let (g, reqs) = contended_bus();
+        let a = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        let b = route(
+            &g,
+            &reqs,
+            &RouteOptions {
+                base: BaseCosts::uniform(),
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap();
+        assert_identical(&a, &b, "uniform base costs");
+    }
+
+    #[test]
+    fn base_costs_steer_the_router() {
+        // Price vertical wires 4× horizontal ones: a single-net route
+        // between horizontally separated tiles must then spend no more
+        // V-wires than strictly needed, and the A* lookahead must stay
+        // admissible (identical path cost to the zero-heuristic search).
+        let g = small_rrg();
+        let req = RouteRequest {
+            net: "n".into(),
+            source: g.node(RrNodeKind::Opin { x: 0, y: 0, pin: 0 }).unwrap(),
+            sinks: vec![g.node(RrNodeKind::Ipin { x: 1, y: 0, pin: 0 }).unwrap()],
+        };
+        let skewed = BaseCosts {
+            vwire: 4.0,
+            ..BaseCosts::uniform()
+        };
+        assert_eq!(skewed.floor(), 1.0);
+        let astar = route(
+            &g,
+            std::slice::from_ref(&req),
+            &RouteOptions {
+                base: skewed,
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap();
+        let dijkstra = route(
+            &g,
+            std::slice::from_ref(&req),
+            &RouteOptions {
+                base: skewed,
+                astar_fac: 0.0,
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap();
+        // Admissibility under non-uniform bases: same wirelength, no
+        // bigger frontier.
+        assert_eq!(astar.trees[0].wirelength(), dijkstra.trees[0].wirelength());
+        assert!(astar.stats.nodes_popped <= dijkstra.stats.nodes_popped);
+        // The skewed route uses no vertical wire (the tiles share a
+        // channel row, so an all-horizontal path exists).
+        let vwires = astar.trees[0]
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, RrNodeKind::VWire { .. }))
+            .count();
+        assert_eq!(vwires, 0, "paid for a 4x vertical wire needlessly");
     }
 
     #[test]

@@ -169,6 +169,23 @@ impl MappedDesign {
         self.net_to_signal[net.index()]
     }
 
+    /// Design I/O signals — PIs first, then POs that do not alias a PI,
+    /// deduplicated. This is both the pad-binding order of the placer
+    /// and the I/O count feeding the grid-sizing policy
+    /// (`ArchSpec::size_for`); every consumer must use this one
+    /// definition or grids silently desynchronize between the flow and
+    /// the benchmark workloads.
+    #[must_use]
+    pub fn io_signals(&self) -> Vec<SignalId> {
+        let mut io = self.pis.clone();
+        for &po in &self.pos {
+            if !io.contains(&po) {
+                io.push(po);
+            }
+        }
+        io
+    }
+
     /// Total used LE input pins (the numerator of the paper's filling
     /// ratio under our input-pin definition).
     #[must_use]

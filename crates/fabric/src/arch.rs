@@ -227,6 +227,26 @@ impl ArchSpec {
         self.width * self.height
     }
 
+    /// Smallest near-square grid fitting `plbs` logic blocks **and**
+    /// `io` perimeter pads (a `w × h` grid exposes `2(w + h)` pads) —
+    /// the sizing policy shared by the CAD flow's automatic grid
+    /// selection and the fabric-scale benchmark workloads. Wide
+    /// designs (dual-rail buses) are usually pad-bound, not
+    /// logic-bound, so both constraints matter.
+    #[must_use]
+    pub fn size_for(plbs: usize, io: usize) -> (usize, usize) {
+        let mut w = (plbs as f64).sqrt().ceil() as usize;
+        let mut h = w;
+        while w * h < plbs {
+            w += 1;
+        }
+        while 2 * (w + h) < io {
+            w += 1;
+            h += 1;
+        }
+        (w.max(1), h.max(1))
+    }
+
     /// Number of tracks a PLB output pin connects to per adjacent channel.
     #[must_use]
     pub fn fc_out_tracks(&self) -> usize {

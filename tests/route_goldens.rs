@@ -1,22 +1,27 @@
-//! Route-golden regression for the A* lookahead (PR 2), in the style of
-//! `equivalence.rs`: the zero-heuristic fallback (`astar_fac = 0.0`)
-//! must keep producing the uninformed-Dijkstra routes bit-for-bit, and
-//! the default admissible lookahead must change only the search effort —
-//! never the cost of the solution.
+//! Route-golden regressions, in the style of `equivalence.rs`.
 //!
-//! The digest below was captured from the zero-heuristic router on the
-//! `route_qdi_adder_4b` workload (the committed `BENCH_cad.json`
-//! workload: 66 nets, 1 iteration, wirelength 215) at the moment the A*
-//! machinery landed, when `astar_fac = 0.0` was verified to execute the
-//! exact pop/relax sequence of the pre-A* implementation (with a zero
-//! heuristic the A* priority `f = g + 0` and its tie-break collapse to
-//! the original Dijkstra ordering). Any drift means the fallback no
-//! longer reproduces the reference router — fail loudly.
+//! Two families of pins:
+//!
+//! * **Reference Dijkstra** (`astar_fac = 0.0`, `chunk = 1`): the
+//!   historical net-by-net serial router with an uninformed search. Its
+//!   routes on the `route_qdi_adder_4b` workload are pinned by FNV
+//!   digest — any drift means the fallback no longer reproduces the
+//!   reference implementation. (The digest was re-captured when the
+//!   incremental placer landed in PR 4: the same seed now anneals
+//!   through range-limited windows, so the placement — and with it the
+//!   routes — legitimately changed. The capture procedure is unchanged:
+//!   run the reference configuration, record digest and wirelength.)
+//! * **Thread invariance**: the chunked router must produce
+//!   byte-identical results — trees, iterations, rip-ups, nodes popped
+//!   — at every thread count, on the paper-scale workload and on the
+//!   fabric-scale `.msa` workloads. This is the determinism contract of
+//!   the deterministic-chunk design (workers share only an atomic work
+//!   cursor; occupancy merges in request order at chunk boundaries).
 
 use msaf::cad::bitgen::bind;
 use msaf::cad::pack::pack;
 use msaf::cad::place::place;
-use msaf::cad::route::{route, RouteOptions, RoutingResult};
+use msaf::cad::route::{route, RouteOptions, RouteRequest, RoutingResult};
 use msaf::cad::techmap::map;
 use msaf::fabric::arch::ArchSpec;
 use msaf::fabric::bitstream::RouteTree;
@@ -37,12 +42,11 @@ fn digest(trees: &[RouteTree]) -> u64 {
     h
 }
 
-/// The `route_qdi_adder_4b` workload exactly as `bench_summary` builds
-/// it (paper arch 8×8, placement seed 7).
-fn adder_workload() -> (Rrg, Vec<msaf::cad::route::RouteRequest>) {
-    let arch = ArchSpec::paper(8, 8);
-    let nl = qdi_ripple_adder(4);
-    let mapped = map(&nl, &arch).expect("maps");
+/// A routable workload: netlist → map → pack → place (seed 7) → bind,
+/// on the given grid.
+fn workload(nl: &msaf::netlist::Netlist, w: usize, h: usize) -> (Rrg, Vec<RouteRequest>) {
+    let arch = ArchSpec::paper(w, h);
+    let mapped = map(nl, &arch).expect("maps");
     let packed = pack(&mapped, &arch).expect("packs");
     let placement = place(&mapped, &packed, &arch, 7).expect("places");
     let rrg = Rrg::build(&arch);
@@ -50,27 +54,44 @@ fn adder_workload() -> (Rrg, Vec<msaf::cad::route::RouteRequest>) {
     (rrg, binding.requests)
 }
 
+/// The `route_qdi_adder_4b` workload exactly as `bench_summary` builds
+/// it (paper arch 8×8, placement seed 7).
+fn adder_workload() -> (Rrg, Vec<RouteRequest>) {
+    workload(&qdi_ripple_adder(4), 8, 8)
+}
+
 fn wirelength(r: &RoutingResult) -> usize {
     r.trees.iter().map(RouteTree::wirelength).sum()
 }
 
-/// Captured from the zero-heuristic (reference Dijkstra) router.
-const GOLDEN_DIGEST: u64 = 1_597_757_177_387_201_146;
+/// The historical fully-serial reference: net-by-net Gauss-Seidel
+/// discipline, uninformed Dijkstra search.
+fn reference_opts() -> RouteOptions {
+    RouteOptions {
+        astar_fac: 0.0,
+        chunk: 1,
+        ..RouteOptions::default()
+    }
+}
+
+/// Captured from the reference router (see the module docs).
+const GOLDEN_DIGEST: u64 = 12_459_935_801_767_108_373;
+const GOLDEN_WIRELENGTH: usize = 207;
 
 #[test]
 fn zero_heuristic_fallback_matches_reference_dijkstra() {
     let (rrg, requests) = adder_workload();
-    let opts = RouteOptions {
-        astar_fac: 0.0,
-        ..RouteOptions::default()
-    };
-    let res = route(&rrg, &requests, &opts).expect("routes");
+    let res = route(&rrg, &requests, &reference_opts()).expect("routes");
     assert_eq!(
         res.iterations, 1,
         "reference workload must stay conflict-free"
     );
     assert_eq!(res.stats.ripups, 0, "conflict-free run must not rip up");
-    assert_eq!(wirelength(&res), 215, "reference wirelength drifted");
+    assert_eq!(
+        wirelength(&res),
+        GOLDEN_WIRELENGTH,
+        "reference wirelength drifted"
+    );
     assert_eq!(
         digest(&res.trees),
         GOLDEN_DIGEST,
@@ -81,16 +102,12 @@ fn zero_heuristic_fallback_matches_reference_dijkstra() {
 #[test]
 fn astar_is_cost_neutral_and_pops_fewer_nodes() {
     let (rrg, requests) = adder_workload();
-    let astar = route(&rrg, &requests, &RouteOptions::default()).expect("routes");
-    let dijkstra = route(
-        &rrg,
-        &requests,
-        &RouteOptions {
-            astar_fac: 0.0,
-            ..RouteOptions::default()
-        },
-    )
-    .expect("routes");
+    let serial = RouteOptions {
+        chunk: 1,
+        ..RouteOptions::default()
+    };
+    let astar = route(&rrg, &requests, &serial).expect("routes");
+    let dijkstra = route(&rrg, &requests, &reference_opts()).expect("routes");
     // Admissibility guarantees equal congestion-weighted path costs per
     // search. The iteration and wirelength *equalities* below are
     // empirical pins of this workload (equal-cost trees happen to
@@ -105,4 +122,74 @@ fn astar_is_cost_neutral_and_pops_fewer_nodes() {
         astar.stats.nodes_popped,
         dijkstra.stats.nodes_popped
     );
+}
+
+/// Thread count must never change anything observable: same trees (by
+/// digest), same iteration count, same rip-ups, same nodes popped.
+fn assert_thread_invariant(rrg: &Rrg, requests: &[RouteRequest], what: &str) {
+    let serial = route(rrg, requests, &RouteOptions::default()).expect("routes");
+    let d = digest(&serial.trees);
+    for threads in [2, 4, 8] {
+        let par = route(
+            rrg,
+            requests,
+            &RouteOptions {
+                threads,
+                ..RouteOptions::default()
+            },
+        )
+        .expect("routes");
+        assert_eq!(
+            digest(&par.trees),
+            d,
+            "{what}: {threads}-thread routing digest differs from serial"
+        );
+        assert_eq!(par.iterations, serial.iterations, "{what}: iterations");
+        assert_eq!(par.stats, serial.stats, "{what}: stats");
+        assert_eq!(wirelength(&par), wirelength(&serial), "{what}: wirelength");
+    }
+}
+
+#[test]
+fn parallel_routing_is_byte_identical_on_paper_workload() {
+    let (rrg, requests) = adder_workload();
+    assert_thread_invariant(&rrg, &requests, "route_qdi_adder_4b");
+}
+
+#[test]
+fn parallel_routing_is_byte_identical_on_fabric_workloads() {
+    // The fabric-scale `.msa` workloads of BENCH_cad.json, sized by the
+    // flow's grid policy — hundreds of nets, multiple congestion
+    // iterations, so the chunked first iteration *and* the serial
+    // negotiation iterations are both exercised.
+    let adder16 = compile_msa(
+        include_str!("../examples/msa/adder16.msa"),
+        Style::from_name("qdi").expect("style"),
+    )
+    .expect("compiles");
+    let (plbs, io) = design_size(&adder16);
+    let (w, h) = ArchSpec::size_for(plbs, io);
+    let (rrg, requests) = workload(&adder16, w, h);
+    assert!(requests.len() > 200, "fabric workload too small");
+    assert_thread_invariant(&rrg, &requests, "route_msa_adder16_qdi");
+
+    let wide32 = compile_msa(
+        include_str!("../examples/msa/wide32.msa"),
+        Style::from_name("wchb").expect("style"),
+    )
+    .expect("compiles");
+    let (plbs, io) = design_size(&wide32);
+    let (w, h) = ArchSpec::size_for(plbs, io);
+    let (rrg, requests) = workload(&wide32, w, h);
+    assert_thread_invariant(&rrg, &requests, "route_msa_wide32_wchb");
+}
+
+/// (PLB count, I/O signal count) after map+pack — the grid-sizing
+/// inputs, mirroring the flow (`MappedDesign::io_signals` is the one
+/// shared I/O definition).
+fn design_size(nl: &msaf::netlist::Netlist) -> (usize, usize) {
+    let template = ArchSpec::paper(1, 1);
+    let mapped = map(nl, &template).expect("maps");
+    let packed = pack(&mapped, &template).expect("packs");
+    (packed.plb_count(), mapped.io_signals().len())
 }
