@@ -28,9 +28,22 @@
 //! results, wall time only); the placement rows report incremental vs
 //! full-recompute annealing (`moves_per_sec` / `moves_per_sec_full`)
 //! over the identical move sequence.
+//!
+//! The `timing` section routes each design-backed workload twice —
+//! untimed, and timing-driven at `timing_fac = 0.9` — and records the
+//! pre-route, untimed-routed and timing-routed critical delays, the
+//! worst connection slack and the per-net criticality histogram. These
+//! rows are **never wall-clock timed** (their fields are all
+//! structural), so they behave identically in timed and `--check` runs;
+//! `--filter` selects them by row name (`timed_route_…`) like any other
+//! row. Every timing row also re-asserts the timing-driven contract:
+//! `timing_fac = 0` reproduces the untimed router's counters exactly,
+//! the timed critical delay never exceeds the untimed one, and the
+//! wirelength premium stays within 5%.
 
 use msaf_cad::place::{place_with, CostMode, PlaceOptions};
-use msaf_cad::route::{route, RouteOptions};
+use msaf_cad::route::{route, route_timed, RouteOptions, RoutingResult};
+use msaf_cad::timing::RouteTimingCtx;
 use msaf_cells::bundled::bundled_fifo;
 use msaf_cells::wchb::wchb_fifo;
 use msaf_netlist::Netlist;
@@ -122,6 +135,106 @@ struct PlaceRow {
     cost: u64,
     best_ms: f64,
     best_ms_full: f64,
+}
+
+/// One timing-driven routing row: the same workload routed untimed and
+/// at [`TIMING_FAC`], with the slack analysis' headline numbers.
+struct TimingRow {
+    name: String,
+    nets: usize,
+    iterations: usize,
+    iterations_untimed: usize,
+    crit_delay_pre: u64,
+    crit_delay_post: u64,
+    crit_delay_untimed: u64,
+    worst_slack: u64,
+    wirelength: usize,
+    wirelength_untimed: usize,
+    /// Per-net criticality histogram, ten `|`-separated buckets.
+    crit_hist: String,
+}
+
+/// The blend strength of the committed timing rows (capped per-search at
+/// `route::MAX_CRIT` regardless).
+const TIMING_FAC: f64 = 0.9;
+
+fn timing_workload(
+    w: &msaf_bench::workloads::CadWorkload,
+    r: &msaf_bench::workloads::RoutingWorkload,
+    violations: &mut Vec<String>,
+) -> TimingRow {
+    let wl = |res: &RoutingResult| -> usize {
+        res.trees
+            .iter()
+            .map(msaf_fabric::bitstream::RouteTree::wirelength)
+            .sum()
+    };
+    // Untimed reference, routed through a measuring context — and
+    // re-checked against the plain router: `timing_fac = 0` must leave
+    // every effort counter untouched (the bit-level pin lives in
+    // tests/route_goldens.rs; this cheap check runs on every bench run).
+    let mut ctx0 = RouteTimingCtx::new(&w.mapped, &r.requests, &r.signals);
+    let untimed =
+        route_timed(&r.rrg, &r.requests, &RouteOptions::default(), &mut ctx0).expect("routes");
+    let plain = route(&r.rrg, &r.requests, &RouteOptions::default()).expect("routes");
+    if plain.stats != untimed.stats || plain.iterations != untimed.iterations {
+        violations.push(format!(
+            "{}: timing_fac=0 drifted from the untimed router \
+             ({:?}/{} vs {:?}/{})",
+            r.name, untimed.stats, untimed.iterations, plain.stats, plain.iterations
+        ));
+    }
+
+    let mut ctx = RouteTimingCtx::new(&w.mapped, &r.requests, &r.signals);
+    let timed = route_timed(
+        &r.rrg,
+        &r.requests,
+        &RouteOptions {
+            timing_fac: TIMING_FAC,
+            ..RouteOptions::default()
+        },
+        &mut ctx,
+    )
+    .expect("routes");
+    let s = ctx.summary();
+    let s0 = ctx0.summary();
+    let (wl_timed, wl_untimed) = (wl(&timed), wl(&untimed));
+    // The timing-driven contract on every committed workload: never a
+    // worse critical delay, at most a 5% wirelength premium. Violations
+    // are *reported*, never panicked: `--check` must list them next to
+    // the row mismatches, and the CI drift-artifact step must still be
+    // able to regenerate a snapshot for review when exactly these
+    // contracts are what drifted.
+    if s.post_route_critical_delay > s0.post_route_critical_delay {
+        violations.push(format!(
+            "{}: timing-driven routing worsened the critical delay ({} > {})",
+            r.name, s.post_route_critical_delay, s0.post_route_critical_delay
+        ));
+    }
+    if wl_timed as f64 > wl_untimed as f64 * 1.05 {
+        violations.push(format!(
+            "{}: timing-driven wirelength premium above 5% ({wl_timed} vs {wl_untimed})",
+            r.name
+        ));
+    }
+    TimingRow {
+        name: format!("timed_{}", r.name),
+        nets: r.requests.len(),
+        iterations: timed.iterations,
+        iterations_untimed: untimed.iterations,
+        crit_delay_pre: s.pre_route_critical_delay,
+        crit_delay_post: s.post_route_critical_delay,
+        crit_delay_untimed: s0.post_route_critical_delay,
+        worst_slack: s.worst_slack,
+        wirelength: wl_timed,
+        wirelength_untimed: wl_untimed,
+        crit_hist: s
+            .crit_histogram
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("|"),
+    }
 }
 
 fn cad_workload(
@@ -238,9 +351,15 @@ fn sim_rows(timed: bool, filter: &str) -> Vec<SimRow> {
         .collect()
 }
 
-fn cad_rows(timed: bool, filter: &str) -> (Vec<CadRow>, Vec<PlaceRow>) {
+/// CAD rows plus any timing-contract violations (reported, not
+/// panicked — see `timing_workload`).
+type CadRows = (Vec<CadRow>, Vec<PlaceRow>, Vec<TimingRow>, Vec<String>);
+
+fn cad_rows(timed: bool, filter: &str) -> CadRows {
     let mut rows = Vec::new();
     let mut prows = Vec::new();
+    let mut trows = Vec::new();
+    let mut violations = Vec::new();
 
     // The paper-scale flow route (mirrors benches/cad_flow.rs
     // bench_route), now built through the shared workload constructor.
@@ -256,13 +375,36 @@ fn cad_rows(timed: bool, filter: &str) -> (Vec<CadRow>, Vec<PlaceRow>) {
         if format!("place_{}", w.name).contains(filter) {
             prows.push(place_workload(w, timed));
         }
-        // Check the row name before building the routing workload —
+        // Check the row names before building the routing workload —
         // `routing()` anneals a placement and binds every net, exactly
-        // the fabric-scale work `--filter` exists to skip.
-        if format!("route_{}", w.name).contains(filter) {
+        // the fabric-scale work `--filter` exists to skip. The route
+        // and timing rows share one placement+binding (deterministic,
+        // so sharing changes nothing but wall time).
+        let want_route = format!("route_{}", w.name).contains(filter);
+        let want_timed = format!("timed_route_{}", w.name).contains(filter);
+        if want_route || want_timed {
             let r = w.routing();
-            rows.push(cad_workload(&r.name, &r.rrg, &r.requests, timed));
+            if want_route {
+                rows.push(cad_workload(&r.name, &r.rrg, &r.requests, timed));
+            }
+            if want_timed {
+                trows.push(timing_workload(w, &r, &mut violations));
+            }
         }
+    }
+
+    // The timing-driven headline: on an unfiltered run at least one
+    // committed workload must actually *reduce* the post-route critical
+    // delay (not just match it) — the reason the blended cost exists.
+    if filter.is_empty()
+        && !trows
+            .iter()
+            .any(|t| t.crit_delay_post < t.crit_delay_untimed)
+    {
+        violations.push(
+            "no committed workload improved its critical delay under timing-driven routing"
+                .to_string(),
+        );
     }
 
     // The congestion stress workloads: first iteration conflicts, so
@@ -272,7 +414,7 @@ fn cad_rows(timed: bool, filter: &str) -> (Vec<CadRow>, Vec<PlaceRow>) {
             rows.push(cad_workload(&w.name, &w.rrg, &w.requests, timed));
         }
     }
-    (rows, prows)
+    (rows, prows, trows, violations)
 }
 
 fn render_sim(rows: &[SimRow]) -> String {
@@ -294,7 +436,7 @@ fn render_sim(rows: &[SimRow]) -> String {
     json
 }
 
-fn render_cad(rows: &[CadRow], prows: &[PlaceRow]) -> String {
+fn render_cad(rows: &[CadRow], prows: &[PlaceRow], trows: &[TimingRow]) -> String {
     let mut json = String::from("{\n  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -337,8 +479,58 @@ fn render_cad(rows: &[CadRow], prows: &[PlaceRow]) -> String {
             if i + 1 < prows.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"timing\": [\n");
+    for (i, r) in trows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nets\": {}, \"iterations\": {}, \
+             \"iterations_untimed\": {}, \"crit_delay_pre\": {}, \"crit_delay_post\": {}, \
+             \"crit_delay_untimed\": {}, \"worst_slack\": {}, \"wirelength\": {}, \
+             \"wirelength_untimed\": {}, \"crit_hist\": \"{}\"}}{}\n",
+            r.name,
+            r.nets,
+            r.iterations,
+            r.iterations_untimed,
+            r.crit_delay_pre,
+            r.crit_delay_post,
+            r.crit_delay_untimed,
+            r.worst_slack,
+            r.wirelength,
+            r.wirelength_untimed,
+            r.crit_hist,
+            if i + 1 < trows.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     json
+}
+
+/// Extracts `"field": "<string>"` from a one-row JSON line.
+fn field_str<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let key = format!("\"{field}\": \"");
+    let at = line.find(&key)? + key.len();
+    let rest = &line[at..];
+    rest.split('"').next()
+}
+
+/// Diffs one structural string field, appending a description on
+/// mismatch.
+fn diff_field_str(
+    mismatches: &mut Vec<String>,
+    file: &str,
+    row: &str,
+    line: Option<&str>,
+    field: &str,
+    current: &str,
+) {
+    match line.and_then(|l| field_str(l, field)) {
+        Some(committed) if committed == current => {}
+        Some(committed) => mismatches.push(format!(
+            "{file}: {row}.{field}: committed \"{committed}\", current \"{current}\""
+        )),
+        None => mismatches.push(format!(
+            "{file}: {row}.{field}: missing from the committed snapshot"
+        )),
+    }
 }
 
 /// Extracts `"field": <unsigned integer>` from a one-row JSON line.
@@ -416,7 +608,8 @@ fn check(outdir: &str, filter: &str) -> ExitCode {
     let cad_path = format!("{outdir}/BENCH_cad.json");
     match std::fs::read_to_string(&cad_path) {
         Ok(committed) => {
-            let (rows, prows) = cad_rows(false, filter);
+            let (rows, prows, trows, violations) = cad_rows(false, filter);
+            mismatches.extend(violations);
             for r in rows {
                 let line = committed_row(&committed, &r.name);
                 if line.is_none() {
@@ -449,6 +642,35 @@ fn check(outdir: &str, filter: &str) -> ExitCode {
                 ] {
                     diff_field(&mut mismatches, &cad_path, &r.name, line, field, value);
                 }
+                rows_checked += 1;
+            }
+            for r in trows {
+                let line = committed_row(&committed, &r.name);
+                if line.is_none() {
+                    mismatches.push(format!("{cad_path}: row '{}' missing", r.name));
+                    continue;
+                }
+                for (field, value) in [
+                    ("nets", r.nets as u64),
+                    ("iterations", r.iterations as u64),
+                    ("iterations_untimed", r.iterations_untimed as u64),
+                    ("crit_delay_pre", r.crit_delay_pre),
+                    ("crit_delay_post", r.crit_delay_post),
+                    ("crit_delay_untimed", r.crit_delay_untimed),
+                    ("worst_slack", r.worst_slack),
+                    ("wirelength", r.wirelength as u64),
+                    ("wirelength_untimed", r.wirelength_untimed as u64),
+                ] {
+                    diff_field(&mut mismatches, &cad_path, &r.name, line, field, value);
+                }
+                diff_field_str(
+                    &mut mismatches,
+                    &cad_path,
+                    &r.name,
+                    line,
+                    "crit_hist",
+                    &r.crit_hist,
+                );
                 rows_checked += 1;
             }
         }
@@ -503,19 +725,34 @@ fn main() -> ExitCode {
         // snapshot would fail the next --check as "rows missing".
         let sim_json = render_sim(&sim_rows(true, &filter));
         print!("BENCH_sim.json (filtered '{filter}', not written):\n{sim_json}");
-        let (rows, prows) = cad_rows(true, &filter);
-        let cad_json = render_cad(&rows, &prows);
+        let (rows, prows, trows, violations) = cad_rows(true, &filter);
+        let cad_json = render_cad(&rows, &prows, &trows);
         print!("BENCH_cad.json (filtered '{filter}', not written):\n{cad_json}");
-        return ExitCode::SUCCESS;
+        return report_violations(&violations);
     }
 
     let sim_json = render_sim(&sim_rows(true, &filter));
     std::fs::write(format!("{outdir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     print!("BENCH_sim.json:\n{sim_json}");
 
-    let (rows, prows) = cad_rows(true, &filter);
-    let cad_json = render_cad(&rows, &prows);
+    let (rows, prows, trows, violations) = cad_rows(true, &filter);
+    let cad_json = render_cad(&rows, &prows, &trows);
+    // Written even when the timing contract is violated (a reviewer
+    // needs the drifted snapshot to diff), but the run still fails.
     std::fs::write(format!("{outdir}/BENCH_cad.json"), &cad_json).expect("write BENCH_cad.json");
     print!("BENCH_cad.json:\n{cad_json}");
-    ExitCode::SUCCESS
+    report_violations(&violations)
+}
+
+/// Prints any timing-contract violations and turns them into a failing
+/// exit code (after all output/snapshots have been produced).
+fn report_violations(violations: &[String]) -> ExitCode {
+    if violations.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("bench_summary: timing-driven routing contract violated:");
+    for v in violations {
+        eprintln!("  {v}");
+    }
+    ExitCode::FAILURE
 }

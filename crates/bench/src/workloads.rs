@@ -13,7 +13,7 @@ use msaf_cad::bitgen::bind;
 use msaf_cad::pack::{pack, PackedDesign};
 use msaf_cad::place::place;
 use msaf_cad::route::RouteRequest;
-use msaf_cad::techmap::{map, MappedDesign};
+use msaf_cad::techmap::{map, MappedDesign, SignalId};
 use msaf_cells::adders::{bundled_ripple_adder, qdi_ripple_adder, suggested_bundled_adder_delay};
 use msaf_cells::fulladder::{micropipeline_full_adder, qdi_full_adder, SAFE_FA_MATCHED_DELAY};
 use msaf_fabric::arch::ArchSpec;
@@ -92,6 +92,12 @@ pub struct RoutingWorkload {
     pub rrg: Rrg,
     /// Nets to route.
     pub requests: Vec<RouteRequest>,
+    /// The mapped signal each request carries (parallel to `requests`)
+    /// when the workload came from a real design via [`CadWorkload`] —
+    /// what `msaf_cad::timing::RouteTimingCtx` needs for timing-driven
+    /// rows. Empty for the synthetic stress workloads, which have no
+    /// design behind them.
+    pub signals: Vec<SignalId>,
 }
 
 /// A placement-stage CAD workload: a mapped + packed design and the
@@ -155,6 +161,7 @@ impl CadWorkload {
             name: format!("route_{}", self.name),
             rrg,
             requests: binding.requests,
+            signals: binding.request_signals,
         }
     }
 }
@@ -216,6 +223,7 @@ pub fn dual_rail_bus_stress(bits: usize, span: usize, channel_width: usize) -> R
         name: "stress_dual_rail_bus".to_string(),
         rrg,
         requests,
+        signals: Vec::new(),
     }
 }
 
@@ -254,6 +262,7 @@ pub fn crossbar_stress(k: usize, pins: usize, channel_width: usize) -> RoutingWo
         name: "stress_crossbar".to_string(),
         rrg,
         requests,
+        signals: Vec::new(),
     }
 }
 

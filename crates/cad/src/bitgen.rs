@@ -67,6 +67,10 @@ pub struct Binding {
     pub config: FabricConfig,
     /// Nets for the router.
     pub requests: Vec<RouteRequest>,
+    /// The mapped signal each request carries, parallel to `requests` —
+    /// the link timing-driven routing needs to look route sinks up in
+    /// the slack analysis (`timing::RouteTimingCtx::new`).
+    pub request_signals: Vec<SignalId>,
 }
 
 /// Builds a physical LUT table for `func` given the signal→pin map.
@@ -292,6 +296,7 @@ pub fn bind(
 
     // Pass C: route requests.
     let mut requests = Vec::new();
+    let mut request_signals = Vec::new();
     let mut routed_signals: Vec<SignalId> = Vec::new();
     for (bi, _) in packed.plbs.iter().enumerate() {
         for &s in ipin_maps[bi].keys() {
@@ -341,9 +346,14 @@ pub fn bind(
             source,
             sinks,
         });
+        request_signals.push(s);
     }
 
-    Ok(Binding { config, requests })
+    Ok(Binding {
+        config,
+        requests,
+        request_signals,
+    })
 }
 
 /// Installs routed trees into a binding, yielding the final bitstream.

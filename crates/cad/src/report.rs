@@ -2,7 +2,7 @@
 //! binaries print — mapping statistics, the paper's filling ratios,
 //! placement/routing quality and timing.
 
-use crate::timing::TimingReport;
+use crate::timing::{TimingReport, TimingSummary};
 use msaf_fabric::utilization::Utilization;
 use std::fmt;
 
@@ -44,6 +44,10 @@ pub struct FlowReport {
     pub utilization: Utilization,
     /// Static timing.
     pub timing: TimingReport,
+    /// Routed timing: pre/post-route critical delay, worst connection
+    /// slack and the per-net criticality histogram from the routing
+    /// run's timing context.
+    pub timing_summary: TimingSummary,
 }
 
 impl FlowReport {
@@ -87,6 +91,7 @@ impl fmt::Display for FlowReport {
             "timing           : {} levels, critical delay {}",
             self.timing.levels, self.timing.critical_delay
         )?;
+        writeln!(f, "routed timing    : {}", self.timing_summary)?;
         writeln!(f, "{}", self.utilization)?;
         Ok(())
     }
@@ -123,6 +128,12 @@ mod tests {
                 critical_delay: 9,
                 critical_signal: None,
             },
+            timing_summary: TimingSummary {
+                pre_route_critical_delay: 9,
+                post_route_critical_delay: 12,
+                worst_slack: 3,
+                crit_histogram: [0; 10],
+            },
         };
         let text = report.to_string();
         for needle in [
@@ -131,6 +142,7 @@ mod tests {
             "filling ratio",
             "routing",
             "stage times",
+            "routed timing",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }

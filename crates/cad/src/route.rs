@@ -59,6 +59,42 @@
 //! tree); the default chunk of 16 trades a congestion view at most 15
 //! nets stale in iteration one for chunk-wide parallelism.
 //!
+//! # Timing-driven cost
+//!
+//! [`route_timed`] accepts a [`TimingSource`] — per-connection
+//! criticalities in `[0, 1]` (see `timing::RouteTimingCtx`) — and
+//! blends the PathFinder congestion cost with a delay cost, VPR-style:
+//!
+//! ```text
+//! cost(node) = crit · delay(node) + (1 − crit) · congestion(node)
+//! ```
+//!
+//! where `delay(node)` is [`WIRE_DELAY`] for wires and zero for
+//! pins/pads, and `crit` is the search's effective criticality —
+//! `timing_fac × max(criticality of the remaining sinks)`, capped at
+//! [`MAX_CRIT`] so congestion never fully vanishes from the cost (a
+//! fully delay-driven net would never concede a wire and negotiation
+//! could livelock). Critical connections therefore buy short paths and
+//! ignore congestion pressure; slack-rich connections detour around
+//! them.
+//!
+//! After **every** iteration — not within one — the router extracts
+//! each connection's actual routed wire delay from the grown trees and
+//! hands them to [`TimingSource::update`], so the next iteration's
+//! criticalities reflect real detours, not estimates. Within an
+//! iteration the criticalities are frozen: chunk members route against
+//! one consistent timing view (updating mid-iteration would make the
+//! result depend on chunk scheduling, breaking the determinism
+//! contract above).
+//!
+//! With `timing_fac = 0.0` the blend is skipped entirely and every
+//! cost, pop count and tree is **bit-identical** to the untimed router
+//! — the escape hatch the route goldens pin, exactly like
+//! `astar_fac = 0` pins the reference Dijkstra. The A* lookahead stays
+//! admissible under the blend: every hop's blended cost is at least
+//! `(1 − crit) × BaseCosts::floor()`, so the heuristic is scaled by
+//! the same factor.
+//!
 //! # Hot-path design
 //!
 //! * The per-sink search keeps **no hash maps**: `dist`/`prev` are
@@ -83,6 +119,38 @@ use msaf_fabric::rrg::{NodeId, NodeSpan, RrNodeKind, Rrg};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
+
+/// Routed-interconnect delay of one wire segment, in the timing model's
+/// LE-delay units (pins and pads are free). One unit keeps routed delay
+/// equal to per-connection wirelength, so timing and wirelength reports
+/// stay directly comparable.
+pub const WIRE_DELAY: u64 = 1;
+
+/// Cap on the effective criticality entering the blended cost: even the
+/// most critical connection keeps a sliver of congestion cost, so rising
+/// `pres_fac` can always arbitrate two critical nets fighting over one
+/// wire (at `crit = 1` they would both ignore congestion forever).
+pub const MAX_CRIT: f64 = 0.99;
+
+/// Per-connection criticality provider for [`route_timed`].
+///
+/// Implementations must be [`Sync`]: during a chunked iteration the
+/// worker threads all read criticalities concurrently. The router calls
+/// [`TimingSource::update`] strictly between iterations, from the
+/// coordinating thread.
+pub trait TimingSource: Sync {
+    /// Recompute slacks from actual routed delays. `delays[ri][si]` is
+    /// the wire count (multiply by [`WIRE_DELAY`] for delay units) on
+    /// the routed path from request `ri`'s source to its sink `si`,
+    /// aligned with [`RouteRequest::sinks`]. Called once after every
+    /// PathFinder iteration.
+    fn update(&mut self, delays: &[Vec<u64>]);
+
+    /// Criticalities of request `request`'s sinks, aligned with
+    /// [`RouteRequest::sinks`]; every value in `[0, 1]`. An empty slice
+    /// means "no timing information" (criticality 0 everywhere).
+    fn crit(&self, request: usize) -> &[f64];
+}
 
 /// One net to route.
 #[derive(Debug, Clone)]
@@ -183,6 +251,16 @@ pub struct RouteOptions {
     /// discipline; the default 16 gives chunk-wide parallelism with a
     /// congestion view at most 15 nets stale.
     pub chunk: usize,
+    /// Timing-driven blend strength in `[0, 1]`: each search's cost is
+    /// `c·delay + (1−c)·congestion` with
+    /// `c = timing_fac × criticality` (capped at [`MAX_CRIT`]).
+    ///
+    /// `0.0` (the default) skips the blend entirely and reproduces the
+    /// untimed router **bit-for-bit** even when a [`TimingSource`] is
+    /// attached — the reference mode pinned by the route goldens. Only
+    /// meaningful through [`route_timed`]; plain [`route`] has no
+    /// criticality source and always behaves as `0.0`.
+    pub timing_fac: f64,
 }
 
 impl Default for RouteOptions {
@@ -195,6 +273,7 @@ impl Default for RouteOptions {
             base: BaseCosts::uniform(),
             threads: 1,
             chunk: 16,
+            timing_fac: 0.0,
         }
     }
 }
@@ -314,6 +393,8 @@ struct CostModel<'a> {
     /// `astar_fac × BaseCosts::floor()`, the admissible per-hop scale of
     /// the lookahead (zero disables it, reproducing plain Dijkstra).
     h_scale: f64,
+    /// [`RouteOptions::timing_fac`]; zero bypasses the blend entirely.
+    timing_fac: f64,
 }
 
 impl CostModel<'_> {
@@ -328,6 +409,24 @@ impl CostModel<'_> {
             1.0
         };
         (base + self.history[index]) * present
+    }
+
+    /// The timing-blended cost: `c·delay + (1−c)·congestion`, where `c`
+    /// is the search's effective criticality (already scaled by
+    /// `timing_fac` and capped). `c = 0.0` takes the congestion cost
+    /// unchanged — bit-identical to the untimed router.
+    #[inline]
+    fn blended_cost(&self, kind: RrNodeKind, index: usize, occ: u32, crit: f64) -> f64 {
+        let cong = self.node_cost(kind, index, occ);
+        if crit == 0.0 {
+            return cong;
+        }
+        let delay = if is_wire(kind) {
+            WIRE_DELAY as f64
+        } else {
+            0.0
+        };
+        crit * delay + (1.0 - crit) * cong
     }
 }
 
@@ -346,9 +445,10 @@ struct Scratch {
     target_stamp: Vec<u32>,
     net: u32,
     heap: BinaryHeap<Entry>,
-    /// Remaining sinks of the current net with their corner-grid spans —
-    /// the A* heuristic's target set (pruned as sinks are reached).
-    targets: Vec<(NodeId, NodeSpan)>,
+    /// Remaining sinks of the current net with their corner-grid spans
+    /// and criticalities — the A* heuristic's target set (pruned as
+    /// sinks are reached).
+    targets: Vec<(NodeId, NodeSpan, f64)>,
 }
 
 impl Scratch {
@@ -394,7 +494,7 @@ impl Scratch {
             return 0.0;
         }
         let mut best = u32::MAX;
-        for &(_, ts) in &self.targets {
+        for &(_, ts, _) in &self.targets {
             best = best.min(span.manhattan_to(ts));
         }
         h_scale * f64::from(best)
@@ -427,6 +527,38 @@ pub fn route(
     requests: &[RouteRequest],
     opts: &RouteOptions,
 ) -> Result<RoutingResult, RouteError> {
+    route_impl(rrg, requests, opts, None)
+}
+
+/// Timing-driven routing: like [`route`], but each search's cost blends
+/// wire delay with congestion according to the per-connection
+/// criticalities of `timing` (see the module docs). After every
+/// iteration the actual routed per-sink wire delays are fed back
+/// through [`TimingSource::update`], so slacks track real detours; the
+/// final update reflects the returned trees exactly.
+///
+/// With [`RouteOptions::timing_fac`] `= 0.0` the routing result is
+/// bit-identical to [`route`] — `timing` then only *measures* (its
+/// updates still run, so post-route slack reports stay available).
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route_timed(
+    rrg: &Rrg,
+    requests: &[RouteRequest],
+    opts: &RouteOptions,
+    timing: &mut dyn TimingSource,
+) -> Result<RoutingResult, RouteError> {
+    route_impl(rrg, requests, opts, Some(timing))
+}
+
+fn route_impl(
+    rrg: &Rrg,
+    requests: &[RouteRequest],
+    opts: &RouteOptions,
+    mut timing: Option<&mut dyn TimingSource>,
+) -> Result<RoutingResult, RouteError> {
     let n = rrg.len();
     let threads = opts.threads.max(1);
     let chunk_size = opts.chunk.max(1);
@@ -446,6 +578,14 @@ pub fn route(
     let mut reroute: Vec<usize> = (0..requests.len()).collect();
     // Congested-iteration ordering key, computed lazily on first rip-up.
     let mut bbox: Vec<u32> = Vec::new();
+    // Timing measurement state, allocated only when a source is attached
+    // (plain `route` pays nothing).
+    let mut delays: Vec<Vec<u64>> = if timing.is_some() {
+        requests.iter().map(|r| vec![0u64; r.sinks.len()]).collect()
+    } else {
+        Vec::new()
+    };
+    let mut walk = DelayWalk::new(if timing.is_some() { n } else { 0 });
 
     for iteration in 0..opts.max_iterations {
         let cm = CostModel {
@@ -453,7 +593,12 @@ pub fn route(
             pres_fac,
             base: opts.base,
             h_scale: opts.astar_fac * opts.base.floor(),
+            timing_fac: opts.timing_fac.clamp(0.0, 1.0),
         };
+        // Criticalities are frozen for the whole iteration (workers read
+        // them concurrently; updating mid-iteration would make results
+        // depend on chunk scheduling).
+        let tview: Option<&dyn TimingSource> = timing.as_deref();
         // Congested iterations negotiate net-by-net (Gauss-Seidel):
         // chunked Jacobi rounds let symmetric conflicts oscillate in
         // lockstep forever (see the module docs). The first iteration
@@ -484,6 +629,7 @@ pub fn route(
                 &reroute,
                 nchunks,
                 &cm,
+                tview,
                 &mut occupancy,
                 &mut trees,
                 &mut scratches,
@@ -515,7 +661,14 @@ pub fn route(
                 //    same occupancy a concurrent worker would).
                 results.clear();
                 for &ri in &chunk_buf {
-                    let res = route_net(rrg, &requests[ri], &occupancy, &cm, &mut scratches[0]);
+                    let res = route_net(
+                        rrg,
+                        &requests[ri],
+                        &occupancy,
+                        &cm,
+                        crit_for(tview, ri),
+                        &mut scratches[0],
+                    );
                     let failed = res.is_none();
                     results.push(res);
                     // An unreachable sink aborts the run; skip the rest
@@ -540,6 +693,15 @@ pub fn route(
                     trees[ri] = Some(tree);
                 }
             }
+        }
+
+        // Slack recomputation happens between — never within —
+        // iterations: hand the actual routed per-sink wire delays to the
+        // timing source so the next iteration's criticalities (and the
+        // final summary) reflect real detours.
+        if let Some(t) = timing.as_deref_mut() {
+            collect_routed_delays(rrg, requests, &reroute, &trees, &mut walk, &mut delays);
+            t.update(&delays);
         }
 
         // Congestion check + history update.
@@ -620,6 +782,7 @@ fn route_iteration_parallel(
     reroute: &[usize],
     nchunks: usize,
     cm: &CostModel<'_>,
+    timing: Option<&dyn TimingSource>,
     occupancy: &mut Vec<u32>,
     trees: &mut [Option<NetTree>],
     scratches: &mut [Scratch],
@@ -645,7 +808,14 @@ fn route_iteration_parallel(
             let Some(&ri) = k.checked_mul(nchunks).and_then(|o| reroute.get(j + o)) else {
                 break;
             };
-            let res = route_net(rrg, &requests[ri], &occ_g, cm, scratch);
+            let res = route_net(
+                rrg,
+                &requests[ri],
+                &occ_g,
+                cm,
+                crit_for(timing, ri),
+                scratch,
+            );
             *slots[k].lock().expect("result slot") = Some(res);
         }
     };
@@ -724,11 +894,89 @@ fn route_iteration_parallel(
     err.map_or(Ok(()), Err)
 }
 
+/// The per-sink criticalities of request `ri`, or the empty slice (all
+/// zero) without a timing source.
+fn crit_for(timing: Option<&dyn TimingSource>, ri: usize) -> &[f64] {
+    timing.map_or(&[], |t| t.crit(ri))
+}
+
+/// Dense generation-stamped scratch for walking routed trees sink→source
+/// when extracting per-connection delays (sized 0 when no timing source
+/// is attached — the untimed path never touches it).
+struct DelayWalk {
+    stamp: Vec<u32>,
+    parent: Vec<NodeId>,
+    gen: u32,
+}
+
+impl DelayWalk {
+    fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            parent: vec![NodeId::default(); n],
+            gen: 0,
+        }
+    }
+}
+
+/// Extracts each connection's routed wire count (source→sink, wires
+/// only — pins and pads are delay-free) from the grown trees into
+/// `out[ri][si]`, aligned with every request's sink list.
+///
+/// Only the nets in `routed` — the ones (re)routed this iteration — are
+/// walked: `out` persists across iterations, and a net that kept its
+/// tree kept its delays. Iteration 0 routes every net, so every row is
+/// filled before the first [`TimingSource::update`].
+fn collect_routed_delays(
+    rrg: &Rrg,
+    requests: &[RouteRequest],
+    routed: &[usize],
+    trees: &[Option<NetTree>],
+    walk: &mut DelayWalk,
+    out: &mut [Vec<u64>],
+) {
+    for &ri in routed {
+        let req = &requests[ri];
+        let tree = trees[ri].as_ref().expect("all nets routed");
+        walk.gen = walk.gen.wrapping_add(1);
+        if walk.gen == 0 {
+            walk.stamp.fill(0);
+            walk.gen = 1;
+        }
+        for &(node, parent) in tree {
+            walk.stamp[node.index()] = walk.gen;
+            // The source (parent `None`) points at itself, terminating
+            // the walk-back.
+            walk.parent[node.index()] = parent.unwrap_or(node);
+        }
+        for (si, &sink) in req.sinks.iter().enumerate() {
+            debug_assert_eq!(walk.stamp[sink.index()], walk.gen, "sink not in tree");
+            let mut cur = sink;
+            let mut wires = 0u64;
+            loop {
+                if is_wire(rrg.kind(cur)) {
+                    wires += 1;
+                }
+                let p = walk.parent[cur.index()];
+                if p == cur {
+                    break;
+                }
+                cur = p;
+            }
+            out[ri][si] = wires;
+        }
+    }
+}
+
 /// A\*-grown route tree for one net: returns `(node, parent)` pairs in
 /// discovery order (source first, parent `None`) plus the heap pops its
 /// searches cost, or `None` when a sink is unreachable. Each per-sink
 /// search is Dijkstra guided by [`Scratch::lookahead`]; with an
 /// admissible factor the found path costs are exactly Dijkstra's.
+///
+/// `crit` carries the per-sink criticalities (aligned with
+/// `req.sinks`; missing entries read as 0). Each search blends its cost
+/// by the most critical *remaining* sink — see the module docs.
 ///
 /// Allocation-free per call apart from the returned tree: all search
 /// state lives in the stamped `scratch`. Reads only immutable inputs
@@ -738,6 +986,7 @@ fn route_net(
     req: &RouteRequest,
     occupancy: &[u32],
     cm: &CostModel<'_>,
+    crit: &[f64],
     scratch: &mut Scratch,
 ) -> Option<(NetTree, u64)> {
     let mut tree: NetTree = vec![(req.source, None)];
@@ -754,12 +1003,14 @@ fn route_net(
     scratch.in_tree_stamp[req.source.index()] = scratch.net;
     scratch.targets.clear();
     let mut remaining = 0usize;
-    for &s in &req.sinks {
+    for (si, &s) in req.sinks.iter().enumerate() {
         // A sink already in the tree (the source itself) needs no search;
         // duplicated sinks count once.
         if !scratch.in_tree(s) && !scratch.is_target(s) {
             scratch.target_stamp[s.index()] = scratch.net;
-            scratch.targets.push((s, spans[s.index()]));
+            scratch
+                .targets
+                .push((s, spans[s.index()], crit.get(si).copied().unwrap_or(0.0)));
             remaining += 1;
         }
     }
@@ -768,6 +1019,23 @@ fn route_net(
     let mut path: Vec<NodeId> = Vec::new();
 
     while remaining > 0 {
+        // Effective criticality of this search: the most critical
+        // remaining sink, scaled by `timing_fac` and capped. Zero (the
+        // untimed case) leaves every cost — and the heuristic scale —
+        // bit-identical to the congestion-only router.
+        let c_eff = if cm.timing_fac == 0.0 {
+            0.0
+        } else {
+            let worst = scratch
+                .targets
+                .iter()
+                .fold(0.0f64, |a, &(_, _, c)| a.max(c));
+            (cm.timing_fac * worst).min(MAX_CRIT)
+        };
+        // Admissibility under the blend: every hop still costs at least
+        // `(1 − c_eff) × floor` (the delay term is non-negative), so the
+        // lookahead shrinks by the same factor.
+        let h_scale = cm.h_scale * (1.0 - c_eff);
         // A* from the whole current tree to the nearest remaining sink.
         // Seed from every tree node at path cost 0 (heap priority = pure
         // lookahead).
@@ -781,7 +1049,7 @@ fn route_net(
             scratch.search_stamp[node.index()] = scratch.search;
             scratch.dist[node.index()] = 0.0;
             scratch.heap.push(Entry {
-                f: scratch.lookahead(cm.h_scale, spans[node.index()]),
+                f: scratch.lookahead(h_scale, spans[node.index()]),
                 g: 0.0,
                 node: *node,
             });
@@ -812,7 +1080,7 @@ fn route_net(
                     0.0
                 } else {
                     let vi = v.index();
-                    cm.node_cost(vk, vi, occupancy[vi])
+                    cm.blended_cost(vk, vi, occupancy[vi], c_eff)
                 };
                 let nd = g + step;
                 if nd < scratch.dist_of(v) {
@@ -820,7 +1088,7 @@ fn route_net(
                     scratch.dist[v.index()] = nd;
                     scratch.prev[v.index()] = u;
                     scratch.heap.push(Entry {
-                        f: nd + scratch.lookahead(cm.h_scale, spans[v.index()]),
+                        f: nd + scratch.lookahead(h_scale, spans[v.index()]),
                         g: nd,
                         node: v,
                     });
@@ -850,7 +1118,7 @@ fn route_net(
         }
         // The sink is no longer a target (nor a lookahead attractor).
         scratch.target_stamp[sink.index()] = 0;
-        if let Some(pos) = scratch.targets.iter().position(|&(t, _)| t == sink) {
+        if let Some(pos) = scratch.targets.iter().position(|&(t, _, _)| t == sink) {
             scratch.targets.swap_remove(pos);
         }
         remaining -= 1;
@@ -1251,6 +1519,129 @@ mod tests {
             .filter(|n| matches!(n, RrNodeKind::VWire { .. }))
             .count();
         assert_eq!(vwires, 0, "paid for a 4x vertical wire needlessly");
+    }
+
+    /// A canned criticality source: fixed per-connection values, and a
+    /// log of every `update` call's delays.
+    struct FixedCrit {
+        crit: Vec<Vec<f64>>,
+        updates: Vec<Vec<Vec<u64>>>,
+    }
+
+    impl FixedCrit {
+        fn uniform(reqs: &[RouteRequest], value: f64) -> Self {
+            Self {
+                crit: reqs.iter().map(|r| vec![value; r.sinks.len()]).collect(),
+                updates: Vec::new(),
+            }
+        }
+    }
+
+    impl TimingSource for FixedCrit {
+        fn update(&mut self, delays: &[Vec<u64>]) {
+            self.updates.push(delays.to_vec());
+        }
+        fn crit(&self, request: usize) -> &[f64] {
+            &self.crit[request]
+        }
+    }
+
+    #[test]
+    fn timed_zero_factor_is_bit_identical_even_with_max_criticalities() {
+        // timing_fac = 0 must gate the blend off completely, no matter
+        // what the source reports — the escape hatch the goldens pin.
+        let (g, reqs) = contended_bus();
+        let plain = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        let mut src = FixedCrit::uniform(&reqs, 1.0);
+        let timed = route_timed(&g, &reqs, &RouteOptions::default(), &mut src).unwrap();
+        assert_identical(&plain, &timed, "timing_fac=0");
+        // One slack recomputation per iteration, no more, no fewer.
+        assert_eq!(src.updates.len(), plain.iterations);
+    }
+
+    #[test]
+    fn update_receives_actual_per_sink_wire_delays() {
+        // Single-sink nets: the reported delay must equal the tree's
+        // wirelength exactly (wires only — pins and pads are free).
+        let (g, reqs) = contended_bus();
+        let mut src = FixedCrit::uniform(&reqs, 0.0);
+        let res = route_timed(&g, &reqs, &RouteOptions::default(), &mut src).unwrap();
+        let last = src.updates.last().expect("at least one update");
+        for (ri, tree) in res.trees.iter().enumerate() {
+            assert_eq!(last[ri].len(), 1);
+            assert_eq!(
+                last[ri][0] as usize,
+                tree.wirelength(),
+                "net {}: delay must equal routed wire count",
+                tree.net
+            );
+        }
+    }
+
+    #[test]
+    fn critical_connections_prefer_short_paths() {
+        // One net, criticality 1 vs 0, on an otherwise empty fabric:
+        // both must find a minimal path (no congestion to dodge), so
+        // the timed route's delay can never exceed the untimed one.
+        let g = small_rrg();
+        let reqs = vec![RouteRequest {
+            net: "n".into(),
+            source: g.node(RrNodeKind::Opin { x: 0, y: 0, pin: 0 }).unwrap(),
+            sinks: vec![g.node(RrNodeKind::Ipin { x: 1, y: 1, pin: 0 }).unwrap()],
+        }];
+        let timed_opts = RouteOptions {
+            timing_fac: 1.0,
+            ..RouteOptions::default()
+        };
+        let mut hot = FixedCrit::uniform(&reqs, 1.0);
+        let hot_res = route_timed(&g, &reqs, &timed_opts, &mut hot).unwrap();
+        let cold_res = route(&g, &reqs, &RouteOptions::default()).unwrap();
+        assert!(hot_res.trees[0].wirelength() <= cold_res.trees[0].wirelength());
+    }
+
+    #[test]
+    fn timed_routing_is_thread_invariant() {
+        // Criticalities are frozen per iteration and read-only to the
+        // workers, so the determinism contract must survive the blend.
+        let (g, reqs) = contended_bus();
+        let opts = RouteOptions {
+            timing_fac: 0.9,
+            ..RouteOptions::default()
+        };
+        let mut serial_src = FixedCrit::uniform(&reqs, 0.8);
+        let serial = route_timed(&g, &reqs, &opts, &mut serial_src).unwrap();
+        for threads in [2, 4] {
+            let mut src = FixedCrit::uniform(&reqs, 0.8);
+            let par = route_timed(&g, &reqs, &RouteOptions { threads, ..opts }, &mut src).unwrap();
+            assert_identical(&serial, &par, &format!("timed, {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn timed_congestion_still_resolves() {
+        // Even at full blend strength the MAX_CRIT cap keeps a sliver
+        // of congestion cost, so negotiation must still converge and
+        // stay legal on the contended bus.
+        let (g, reqs) = contended_bus();
+        let mut src = FixedCrit::uniform(&reqs, 1.0);
+        let res = route_timed(
+            &g,
+            &reqs,
+            &RouteOptions {
+                timing_fac: 1.0,
+                ..RouteOptions::default()
+            },
+            &mut src,
+        )
+        .unwrap();
+        let mut used = std::collections::HashSet::new();
+        for t in &res.trees {
+            for n in &t.nodes {
+                if matches!(n, RrNodeKind::HWire { .. } | RrNodeKind::VWire { .. }) {
+                    assert!(used.insert(*n), "wire shared under timed routing");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,16 +9,12 @@ use msaf_cells::generators::{parity_reference, qdi_parity_tree};
 use std::collections::BTreeMap;
 
 /// Compile + verify helper shared by the tests.
-fn compile_and_verify(
+fn compile_and_verify_with(
     nl: &Netlist,
     inputs: &BTreeMap<String, Vec<u64>>,
-    seed: u64,
+    opts: &FlowOptions,
 ) -> (CompiledDesign, bool) {
-    let opts = FlowOptions {
-        seed,
-        ..FlowOptions::default()
-    };
-    let compiled = compile(nl, &opts).expect("flow compiles");
+    let compiled = compile(nl, opts).expect("flow compiles");
     let verdict = verify_tokens(
         nl,
         &compiled.mapped,
@@ -30,6 +26,40 @@ fn compile_and_verify(
     .expect("verification runs");
     let matches = verdict.matches;
     (compiled, matches)
+}
+
+fn compile_and_verify(
+    nl: &Netlist,
+    inputs: &BTreeMap<String, Vec<u64>>,
+    seed: u64,
+) -> (CompiledDesign, bool) {
+    let opts = FlowOptions {
+        seed,
+        ..FlowOptions::default()
+    };
+    compile_and_verify_with(nl, inputs, &opts)
+}
+
+/// Timing-driven routing through the whole flow: the blended cost must
+/// change nothing about *correctness* — the programmed fabric still
+/// matches the source token-for-token — while the routed critical delay
+/// respects the combinational lower bound.
+#[test]
+fn timed_flow_verifies_token_for_token() {
+    let width = 4;
+    let nl = qdi_ripple_adder(width);
+    let toks: Vec<u64> = vec![0, 0b0001_1111, (1 << 8) | 0b1111_1111, 0b1010_0101];
+    let mut inputs = BTreeMap::new();
+    inputs.insert("op".to_string(), toks);
+    let mut opts = FlowOptions {
+        seed: 9,
+        ..FlowOptions::default()
+    };
+    opts.route.timing_fac = 0.9;
+    let (compiled, matches) = compile_and_verify_with(&nl, &inputs, &opts);
+    assert!(matches, "timed routing broke token equivalence");
+    let s = &compiled.report.timing_summary;
+    assert!(s.post_route_critical_delay >= s.pre_route_critical_delay);
 }
 
 #[test]

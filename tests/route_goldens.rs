@@ -21,8 +21,9 @@
 use msaf::cad::bitgen::bind;
 use msaf::cad::pack::pack;
 use msaf::cad::place::place;
-use msaf::cad::route::{route, RouteOptions, RouteRequest, RoutingResult};
-use msaf::cad::techmap::map;
+use msaf::cad::route::{route, route_timed, RouteOptions, RouteRequest, RoutingResult};
+use msaf::cad::techmap::{map, MappedDesign, SignalId};
+use msaf::cad::timing::RouteTimingCtx;
 use msaf::fabric::arch::ArchSpec;
 use msaf::fabric::bitstream::RouteTree;
 use msaf::fabric::rrg::Rrg;
@@ -43,15 +44,25 @@ fn digest(trees: &[RouteTree]) -> u64 {
 }
 
 /// A routable workload: netlist → map → pack → place (seed 7) → bind,
-/// on the given grid.
-fn workload(nl: &msaf::netlist::Netlist, w: usize, h: usize) -> (Rrg, Vec<RouteRequest>) {
+/// on the given grid. Also returns the mapped design and per-request
+/// signals, which the timing-driven pins need.
+fn timed_workload(
+    nl: &msaf::netlist::Netlist,
+    w: usize,
+    h: usize,
+) -> (MappedDesign, Rrg, Vec<RouteRequest>, Vec<SignalId>) {
     let arch = ArchSpec::paper(w, h);
     let mapped = map(nl, &arch).expect("maps");
     let packed = pack(&mapped, &arch).expect("packs");
     let placement = place(&mapped, &packed, &arch, 7).expect("places");
     let rrg = Rrg::build(&arch);
     let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
-    (rrg, binding.requests)
+    (mapped, rrg, binding.requests, binding.request_signals)
+}
+
+fn workload(nl: &msaf::netlist::Netlist, w: usize, h: usize) -> (Rrg, Vec<RouteRequest>) {
+    let (_, rrg, requests, _) = timed_workload(nl, w, h);
+    (rrg, requests)
 }
 
 /// The `route_qdi_adder_4b` workload exactly as `bench_summary` builds
@@ -97,6 +108,63 @@ fn zero_heuristic_fallback_matches_reference_dijkstra() {
         GOLDEN_DIGEST,
         "zero-heuristic routes are no longer byte-identical to the reference Dijkstra"
     );
+}
+
+/// `timing_fac = 0.0` with a *live* timing context must reproduce the
+/// untimed router bit-for-bit — digest, wirelength, iterations, rip-ups
+/// and pop counts — on both the default A* and the reference-Dijkstra
+/// configurations. This is the timing-driven analogue of the
+/// `astar_fac = 0` / `chunk = 1` escape hatches: the blend is gated
+/// entirely by the knob, never by the mere presence of a source.
+#[test]
+fn timing_fac_zero_reproduces_untimed_router_bit_for_bit() {
+    let nl = qdi_ripple_adder(4);
+    let (mapped, rrg, requests, signals) = timed_workload(&nl, 8, 8);
+    for (what, opts) in [
+        ("default options", RouteOptions::default()),
+        ("reference Dijkstra", reference_opts()),
+    ] {
+        let untimed = route(&rrg, &requests, &opts).expect("routes");
+        let mut ctx = RouteTimingCtx::new(&mapped, &requests, &signals);
+        let timed = route_timed(&rrg, &requests, &opts, &mut ctx).expect("routes");
+        assert_eq!(
+            digest(&timed.trees),
+            digest(&untimed.trees),
+            "{what}: timing_fac=0 routing digest drifted from the untimed router"
+        );
+        assert_eq!(timed.iterations, untimed.iterations, "{what}: iterations");
+        assert_eq!(timed.stats, untimed.stats, "{what}: stats");
+        assert_eq!(wirelength(&timed), wirelength(&untimed), "{what}");
+    }
+    // And the reference configuration still lands on the pinned golden.
+    let mut ctx = RouteTimingCtx::new(&mapped, &requests, &signals);
+    let res = route_timed(&rrg, &requests, &reference_opts(), &mut ctx).expect("routes");
+    assert_eq!(digest(&res.trees), GOLDEN_DIGEST);
+    assert_eq!(wirelength(&res), GOLDEN_WIRELENGTH);
+}
+
+/// Timing-driven routing (`timing_fac > 0`) keeps the determinism
+/// contract: byte-identical results at every thread count, with the
+/// criticalities recomputed between — never within — iterations.
+#[test]
+fn timed_routing_is_thread_invariant_on_paper_workload() {
+    let nl = qdi_ripple_adder(4);
+    let (mapped, rrg, requests, signals) = timed_workload(&nl, 8, 8);
+    let opts = RouteOptions {
+        timing_fac: 0.9,
+        ..RouteOptions::default()
+    };
+    let mut ctx = RouteTimingCtx::new(&mapped, &requests, &signals);
+    let serial = route_timed(&rrg, &requests, &opts, &mut ctx).expect("routes");
+    let d = digest(&serial.trees);
+    for threads in [2, 4] {
+        let mut ctx = RouteTimingCtx::new(&mapped, &requests, &signals);
+        let par = route_timed(&rrg, &requests, &RouteOptions { threads, ..opts }, &mut ctx)
+            .expect("routes");
+        assert_eq!(digest(&par.trees), d, "{threads}-thread timed digest");
+        assert_eq!(par.iterations, serial.iterations);
+        assert_eq!(par.stats, serial.stats);
+    }
 }
 
 #[test]
