@@ -70,6 +70,12 @@ fn bench_route(c: &mut Criterion) {
     c.bench_function("route/qdi_adder_4b_t4", |b| {
         b.iter(|| route(&rrg, black_box(&binding.requests), &par).unwrap())
     });
+    // Whatever this host offers (clamped) — the configuration `msafc`
+    // ships with; still byte-identical, so only wall time varies.
+    let auto = RouteOptions::auto_threads();
+    c.bench_function("route/qdi_adder_4b_auto", |b| {
+        b.iter(|| route(&rrg, black_box(&binding.requests), &auto).unwrap())
+    });
 }
 
 fn bench_full_flow(c: &mut Criterion) {

@@ -191,6 +191,9 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
         grid: (arch.width, arch.height),
         place_cost: placement.cost,
         route_iterations: routed.iterations,
+        route_ripups: routed.stats.ripups,
+        route_colors: routed.stats.conflict_colors,
+        route_max_class: routed.stats.max_class,
         wirelength: config.total_wirelength(),
         pack_ms,
         place_ms,

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bitgen;
+pub mod conflict;
 pub mod flow;
 pub mod pack;
 pub mod place;

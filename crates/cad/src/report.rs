@@ -31,6 +31,15 @@ pub struct FlowReport {
     pub place_cost: f64,
     /// Router iterations to congestion-free.
     pub route_iterations: usize,
+    /// Nets ripped up and rerouted after the first iteration.
+    pub route_ripups: u64,
+    /// Conflict-graph color classes the colored negotiation ran across
+    /// all congested iterations (0 when the run never congested or ran
+    /// with `chunk = 1`).
+    pub route_colors: u64,
+    /// Largest single conflict-graph color class — the peak exposed
+    /// negotiation parallelism.
+    pub route_max_class: u64,
     /// Total routed wirelength.
     pub wirelength: usize,
     /// Wall time of mapping + packing, in milliseconds.
@@ -57,6 +66,23 @@ impl FlowReport {
     pub fn filling_ratio(&self) -> f64 {
         self.utilization.filling.input_pin
     }
+
+    /// Serialized-conflict fraction of the congested iterations:
+    /// `route_colors / route_ripups`. 1.0 means every reroute was its
+    /// own negotiation group (fully serial, the historical discipline);
+    /// values near 0 mean the congested work was almost entirely
+    /// parallelizable. 0.0 when nothing was rerouted.
+    #[must_use]
+    pub fn conflict_serial_frac(&self) -> f64 {
+        if self.route_ripups == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.route_colors as f64 / self.route_ripups as f64
+            }
+        }
+    }
 }
 
 impl fmt::Display for FlowReport {
@@ -80,6 +106,14 @@ impl fmt::Display for FlowReport {
             f,
             "routing          : {} iterations, wirelength {}",
             self.route_iterations, self.wirelength
+        )?;
+        writeln!(
+            f,
+            "negotiation      : {} ripups in {} conflict classes (largest {}, serial fraction {:.2})",
+            self.route_ripups,
+            self.route_colors,
+            self.route_max_class,
+            self.conflict_serial_frac()
         )?;
         writeln!(
             f,
@@ -118,6 +152,9 @@ mod tests {
             grid: (2, 2),
             place_cost: 12.5,
             route_iterations: 3,
+            route_ripups: 6,
+            route_colors: 3,
+            route_max_class: 4,
             wirelength: 40,
             pack_ms: 0.5,
             place_ms: 1.5,
@@ -141,11 +178,17 @@ mod tests {
             "logic elements",
             "filling ratio",
             "routing",
+            "negotiation",
             "stage times",
             "routed timing",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
         assert_eq!(report.filling_ratio(), 0.0);
+        assert!(
+            text.contains("6 ripups in 3 conflict classes (largest 4, serial fraction 0.50)"),
+            "negotiation line malformed:\n{text}"
+        );
+        assert_eq!(report.conflict_serial_frac(), 0.5);
     }
 }

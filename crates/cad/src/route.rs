@@ -44,20 +44,40 @@
 //! atomic work cursor and disjoint result slots (pinned by
 //! `tests/route_goldens.rs` across thread counts).
 //!
-//! Congested iterations (the rip-up subsets, small under incremental
-//! rip-up) reroute **net-by-net** — exact Gauss-Seidel feedback, each
-//! net seeing its predecessors' fresh trees. That split is deliberate:
-//! routing a whole negotiation round against one frozen view
-//! (Jacobi-style) lets symmetric nets oscillate in lockstep and never
-//! resolve — identical nets pick identical detours every round, so
-//! congestion chases itself forever. Net-by-net negotiation is what
-//! makes PathFinder converge, and it costs little once only the
-//! conflicted subset reroutes.
+//! # Colored negotiation in congested iterations
 //!
-//! `chunk = 1` degenerates to the historical fully-serial discipline in
-//! the first iteration too (each net sees every earlier net's fresh
-//! tree); the default chunk of 16 trades a congestion view at most 15
-//! nets stale in iteration one for chunk-wide parallelism.
+//! Congested iterations (the rip-up subsets, small under incremental
+//! rip-up) cannot use fixed-size chunks: routing a whole negotiation
+//! round against one frozen view (Jacobi-style) lets symmetric nets
+//! oscillate in lockstep and never resolve — identical nets pick
+//! identical detours every round, so congestion chases itself forever
+//! (PR 4 tried and abandoned exactly that). But full net-by-net
+//! Gauss-Seidel serializes nets that are *not even negotiating over the
+//! same wires*. The router therefore builds a per-iteration
+//! **conflict graph** ([`crate::conflict`]): two rerouting nets
+//! conflict iff they *cover* a common currently-overused node, where a
+//! net covers a hotspot when the hotspot node sits **in its current
+//! tree** (node identity — so nets sharing an overused wire always
+//! conflict) or the hotspot's span overlaps one of its terminal spans
+//! (its searches are anchored there). A deterministic
+//! greedy coloring in the negotiation order (decreasing bounding box)
+//! partitions the reroute set into classes of mutually independent
+//! nets; each class is then routed as one frozen-occupancy chunk and
+//! merged before the next class starts — exact Gauss-Seidel *between*
+//! classes, safe Jacobi *within*. The symmetric-oscillation livelock
+//! cannot recur (symmetric conflicts share an overused wire, so they
+//! land in different classes), and because the schedule is a pure
+//! function of occupancy and geometry the results stay byte-identical
+//! at every thread count. When every class degenerates to a singleton
+//! (a fully-conflicted hotspot) the schedule *is* the historical
+//! net-by-net discipline, bit for bit.
+//!
+//! `chunk = 1` degenerates to the historical fully-serial discipline
+//! everywhere: net-by-net Gauss-Seidel in every iteration, no conflict
+//! graphs built (the escape hatch the route goldens pin); the default
+//! chunk of 16 trades a congestion view at most 15 nets stale in
+//! iteration one for chunk-wide parallelism, plus colored negotiation
+//! in the congested iterations.
 //!
 //! # Timing-driven cost
 //!
@@ -114,6 +134,7 @@
 //!   .unwrap_or(Equal)` a single NaN cost would silently corrupt the
 //!   priority queue's invariants and misroute everything after it.
 
+use crate::conflict::{overlaps, ConflictGraph};
 use msaf_fabric::bitstream::RouteTree;
 use msaf_fabric::rrg::{NodeId, NodeSpan, RrNodeKind, Rrg};
 use std::collections::BinaryHeap;
@@ -263,6 +284,30 @@ pub struct RouteOptions {
     pub timing_fac: f64,
 }
 
+impl RouteOptions {
+    /// Ceiling for [`Self::auto_threads`]: workers beyond the default
+    /// chunk width can never all have work, and the deterministic
+    /// merge discipline gains nothing past this.
+    pub const MAX_AUTO_THREADS: usize = 8;
+
+    /// Default options with [`Self::threads`] set from the host's
+    /// [`std::thread::available_parallelism`], clamped to
+    /// `1..=MAX_AUTO_THREADS`. Results are byte-identical to the
+    /// single-threaded default at any clamp outcome (the determinism
+    /// contract), so this is always safe to use where wall time
+    /// matters — `msafc` and the bench timing loops do. The plain
+    /// [`Default`] keeps `threads = 1` so every pinned golden and
+    /// committed snapshot is reproduced on any host.
+    #[must_use]
+    pub fn auto_threads() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        Self {
+            threads: threads.clamp(1, Self::MAX_AUTO_THREADS),
+            ..Self::default()
+        }
+    }
+}
+
 impl Default for RouteOptions {
     fn default() -> Self {
         Self {
@@ -320,6 +365,19 @@ pub struct RouteStats {
     /// Nets ripped up and rerouted after the first iteration (0 on a
     /// conflict-free run — incremental rip-up never fired).
     pub ripups: u64,
+    /// Total conflict-graph color classes across all congested
+    /// iterations — the number of sequential negotiation groups the
+    /// colored schedule ran after iteration one. 0 when the run never
+    /// congested, or under `chunk = 1` (which never builds conflict
+    /// graphs). `conflict_colors / ripups` is the serialized-conflict
+    /// fraction: 1.0 means every reroute was its own group (fully
+    /// serial, the historical discipline), values near 0 mean the
+    /// congested work was almost entirely parallelizable.
+    pub conflict_colors: u64,
+    /// Largest single color class across all congested iterations — the
+    /// peak exposed parallelism of the colored schedule (0 when no
+    /// conflict graph was built).
+    pub max_class: u64,
 }
 
 /// Result of a successful routing run.
@@ -573,6 +631,8 @@ fn route_impl(
         .collect();
     let mut popped = 0u64;
     let mut ripups = 0u64;
+    let mut conflict_colors = 0u64;
+    let mut max_class = 0u64;
     // Nets to (re)route this iteration; all of them, in request order, on
     // the first.
     let mut reroute: Vec<usize> = (0..requests.len()).collect();
@@ -597,37 +657,124 @@ fn route_impl(
         };
         // Criticalities are frozen for the whole iteration (workers read
         // them concurrently; updating mid-iteration would make results
-        // depend on chunk scheduling).
+        // depend on group scheduling).
         let tview: Option<&dyn TimingSource> = timing.as_deref();
-        // Congested iterations negotiate net-by-net (Gauss-Seidel):
-        // chunked Jacobi rounds let symmetric conflicts oscillate in
-        // lockstep forever (see the module docs). The first iteration
-        // chunks, but never coarser than 1/MIN_CHUNKS of the route list
-        // — small dense workloads keep (nearly) serial congestion
-        // feedback, while fabric-scale lists reach the full chunk width.
-        // Depends only on the options and the list length, so thread
-        // count still cannot affect results.
-        const MIN_CHUNKS: usize = 16;
-        let eff_chunk = if iteration == 0 {
-            chunk_size.min((reroute.len() / MIN_CHUNKS).max(1))
+        // This iteration's schedule: an ordered sequence of *groups*.
+        // Every group's members route against the frozen occupancy left
+        // by the groups before it, then merge in member order — exact
+        // Gauss-Seidel between groups, safe Jacobi within. The schedule
+        // depends only on the options, the reroute list, and the
+        // current occupancy/trees — never on thread count — so results
+        // are byte-identical at any parallelism.
+        let groups: Vec<Vec<usize>> = if iteration == 0 {
+            // First iteration: strided chunks, never coarser than
+            // 1/MIN_CHUNKS of the route list — small dense workloads
+            // keep (nearly) serial congestion feedback, while
+            // fabric-scale lists reach the full chunk width. Chunk `j`
+            // takes every `nchunks`-th net starting at `j`: consecutive
+            // requests are the nets most likely to collide (dual-rail
+            // mates of one signal, bits of one bus — identical
+            // terminals), so spreading them across different chunks
+            // keeps sequential congestion feedback exactly where it
+            // matters, while each chunk's members are spatially
+            // scattered and nearly independent.
+            const MIN_CHUNKS: usize = 16;
+            let eff_chunk = chunk_size.min((reroute.len() / MIN_CHUNKS).max(1));
+            let nchunks = reroute.len().div_ceil(eff_chunk).max(1);
+            (0..nchunks)
+                .map(|j| reroute.iter().copied().skip(j).step_by(nchunks).collect())
+                .collect()
+        } else if chunk_size >= 2 {
+            // Colored negotiation (see the module docs): nets that
+            // don't cover a common currently-overused node can
+            // renegotiate concurrently with no feedback loss. The graph
+            // is built in reroute order (decreasing bounding box), so
+            // class 0 leads with the hardest nets; a fully conflicted
+            // hotspot degenerates to singleton classes — the historical
+            // net-by-net discipline, bit for bit.
+            let spans = rrg.spans();
+            // Hotspots: the currently-overused nodes, densely indexed;
+            // `hot_of` maps node index → hotspot index.
+            let mut hot_of = vec![u32::MAX; n];
+            let mut hotspots: Vec<NodeSpan> = Vec::new();
+            for i in 0..n {
+                if occupancy[i] > 1 {
+                    hot_of[i] = u32::try_from(hotspots.len()).expect("hotspots fit u32");
+                    hotspots.push(spans[i]);
+                }
+            }
+            // Coverage — which hotspots each net negotiates over:
+            // (a) overused nodes **in the net's current tree**, by node
+            //     identity — the livelock guarantee (nets sharing an
+            //     overused wire always conflict, so symmetric
+            //     oscillation cannot hide inside a class), and
+            // (b) hotspots whose span overlaps a terminal span — the
+            //     net's searches are anchored there and will contest
+            //     those wires wherever its old tree ran.
+            // Geometric ribbons around whole trees (or expanded
+            // terminals) proved far too coarse: every wire in a
+            // congested channel overlaps every tree crossing that
+            // channel, serializing nets that never touch the same
+            // track. Tree-identity alone proved too loose: adjacent
+            // bit-slice nets renegotiating around the same pins pile
+            // onto the same detours and thrash for extra iterations.
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); hotspots.len()];
+            let mut terminals: Vec<NodeSpan> = Vec::new();
+            for (vi, &ri) in reroute.iter().enumerate() {
+                for &(node, _) in trees[ri].as_deref().unwrap_or(&[]) {
+                    let h = hot_of[node.index()];
+                    if h != u32::MAX {
+                        let m = &mut members[h as usize];
+                        if m.last() != Some(&vi) {
+                            m.push(vi);
+                        }
+                    }
+                }
+                terminals.clear();
+                terminals.push(rrg.span(requests[ri].source));
+                for &sink in &requests[ri].sinks {
+                    terminals.push(rrg.span(sink));
+                }
+                for (h, &hs) in hotspots.iter().enumerate() {
+                    if terminals.iter().any(|&t| overlaps(t, hs)) {
+                        let m = &mut members[h];
+                        if m.last() != Some(&vi) {
+                            m.push(vi);
+                        }
+                    }
+                }
+            }
+            let graph = ConflictGraph::from_members(reroute.len(), &members);
+            let coloring = graph.greedy_color();
+            if std::env::var_os("MSAF_CONFLICT_DEBUG").is_some() {
+                let mut sizes: Vec<usize> = coloring.classes().iter().map(Vec::len).collect();
+                sizes.sort_unstable_by(|a, b| b.cmp(a));
+                eprintln!(
+                    "iter {iteration}: reroute {} hotspots {} edges {} colors {} sizes {:?}",
+                    reroute.len(),
+                    hotspots.len(),
+                    graph.edges(),
+                    coloring.num_colors,
+                    sizes
+                );
+            }
+            conflict_colors += u64::from(coloring.num_colors);
+            max_class = max_class.max(coloring.max_class() as u64);
+            coloring
+                .classes()
+                .into_iter()
+                .map(|class| class.into_iter().map(|i| reroute[i]).collect())
+                .collect()
         } else {
-            1
+            // `chunk = 1`: the historical fully-serial Gauss-Seidel
+            // discipline — the goldens' escape hatch, no conflict graph.
+            reroute.iter().map(|&ri| vec![ri]).collect()
         };
-        // Chunk membership is *strided*: chunk `j` takes every
-        // `nchunks`-th net starting at `j`. Consecutive requests are the
-        // nets most likely to collide (dual-rail mates of one signal,
-        // bits of one bus — identical terminals), so spreading them
-        // across different chunks keeps sequential congestion feedback
-        // exactly where it matters, while each chunk's members are
-        // spatially scattered and nearly independent. Deterministic, and
-        // with `eff_chunk == 1` the stride degenerates to request order.
-        let nchunks = reroute.len().div_ceil(eff_chunk).max(1);
-        if eff_chunk >= 2 && scratches.len() >= 2 {
-            route_iteration_parallel(
+        if scratches.len() >= 2 && groups.iter().any(|g| g.len() >= 2) {
+            route_groups_parallel(
                 rrg,
                 requests,
-                &reroute,
-                nchunks,
+                &groups,
                 &cm,
                 tview,
                 &mut occupancy,
@@ -637,16 +784,13 @@ fn route_impl(
                 &mut ripups,
             )?;
         } else {
-            // Serial schedule: identical chunk discipline, one thread.
-            let mut chunk_buf: Vec<usize> = Vec::with_capacity(eff_chunk);
-            let mut results: Vec<Option<(NetTree, u64)>> = Vec::with_capacity(eff_chunk);
-            for j in 0..nchunks {
-                chunk_buf.clear();
-                chunk_buf.extend(reroute.iter().copied().skip(j).step_by(nchunks));
-                // 1. Rip up every chunk member's previous tree: the
-                //    chunk routes against the occupancy left by earlier
-                //    chunks alone, a frozen view all its searches share.
-                for &ri in &chunk_buf {
+            // Serial schedule: identical group discipline, one thread.
+            let mut results: Vec<Option<(NetTree, u64)>> = Vec::new();
+            for group in &groups {
+                // 1. Rip up every group member's previous tree: the
+                //    group routes against the occupancy left by earlier
+                //    groups alone, a frozen view all its searches share.
+                for &ri in group {
                     if let Some(tree) = trees[ri].take() {
                         ripups += 1;
                         for (node, _) in tree {
@@ -657,10 +801,10 @@ fn route_impl(
                     }
                 }
                 // 2. Route the members against the frozen view (nothing
-                //    merges mid-chunk, so sequential execution sees the
+                //    merges mid-group, so sequential execution sees the
                 //    same occupancy a concurrent worker would).
                 results.clear();
-                for &ri in &chunk_buf {
+                for &ri in group {
                     let res = route_net(
                         rrg,
                         &requests[ri],
@@ -672,15 +816,15 @@ fn route_impl(
                     let failed = res.is_none();
                     results.push(res);
                     // An unreachable sink aborts the run; skip the rest
-                    // of the chunk (their results could not matter).
+                    // of the group (their results could not matter).
                     if failed {
                         break;
                     }
                 }
-                // 3. Merge: commit every new tree in request order. The
-                //    first unreachable net (in chunk order) reports,
+                // 3. Merge: commit every new tree in member order. The
+                //    first unreachable net (in group order) reports,
                 //    exactly as the parallel schedule would.
-                for (slot, &ri) in results.iter_mut().zip(&chunk_buf) {
+                for (slot, &ri) in results.iter_mut().zip(group) {
                     let (tree, pops) = slot.take().ok_or_else(|| RouteError::Unreachable {
                         net: requests[ri].net.clone(),
                     })?;
@@ -724,6 +868,8 @@ fn route_impl(
                 stats: RouteStats {
                     nodes_popped: popped,
                     ripups,
+                    conflict_colors,
+                    max_class,
                 },
             });
         }
@@ -759,14 +905,14 @@ fn route_impl(
     Err(RouteError::Unroutable { overused })
 }
 
-/// Routes one whole chunked iteration on scoped worker threads spawned
-/// **once** (not once per chunk — thread creation is far too expensive
+/// Routes one whole grouped iteration on scoped worker threads spawned
+/// **once** (not once per group — thread creation is far too expensive
 /// to re-pay 16+ times per routing call). The rounds are phased by a
 /// [`Barrier`]: between two barrier waits everyone (the coordinator —
-/// this thread — included) pulls chunk members off an atomic cursor and
+/// this thread — included) pulls group members off an atomic cursor and
 /// routes them against a read-locked occupancy; between rounds the
 /// coordinator alone write-locks to merge the finished trees and rip up
-/// the next chunk's old ones. Workers share only the cursor, the
+/// the next group's old ones. Workers share only the cursor, the
 /// per-slot result mutexes (disjoint — one writer each) and the frozen
 /// occupancy, so scheduling cannot influence results; the merge order
 /// is the coordinator's deterministic member order.
@@ -774,13 +920,12 @@ fn route_impl(
 /// On an unreachable net the coordinator records the error and stops
 /// opening rounds (the cursor is never reset, so workers fall through
 /// the remaining barriers without work); the error reported is the
-/// first failure in chunk-member order, same as the serial schedule.
+/// first failure in group-member order, same as the serial schedule.
 #[allow(clippy::too_many_arguments)]
-fn route_iteration_parallel(
+fn route_groups_parallel(
     rrg: &Rrg,
     requests: &[RouteRequest],
-    reroute: &[usize],
-    nchunks: usize,
+    groups: &[Vec<usize>],
     cm: &CostModel<'_>,
     timing: Option<&dyn TimingSource>,
     occupancy: &mut Vec<u32>,
@@ -789,23 +934,22 @@ fn route_iteration_parallel(
     popped: &mut u64,
     ripups: &mut u64,
 ) -> Result<(), RouteError> {
-    // Member `k` of chunk `j` is `reroute[j + k * nchunks]` (the strided
-    // membership); slots sized for the largest chunk.
-    let max_chunk = reroute.len().div_ceil(nchunks);
-    let slots: Vec<ResultSlot> = (0..max_chunk).map(|_| Mutex::new(None)).collect();
+    // Slots sized for the largest group.
+    let max_group = groups.iter().map(Vec::len).max().unwrap_or(0);
+    let slots: Vec<ResultSlot> = (0..max_group).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(usize::MAX / 2); // no work until a round opens
     let barrier = Barrier::new(scratches.len());
     let occ = RwLock::new(std::mem::take(occupancy));
     let (main_scratch, workers) = scratches.split_first_mut().expect("at least one scratch");
     let mut err: Option<RouteError> = None;
 
-    // One round's work phase: route chunk `j` members off the cursor
+    // One round's work phase: route group `j` members off the cursor
     // against the frozen occupancy. Shared by workers and coordinator.
     let run_round = |j: usize, scratch: &mut Scratch| {
         let occ_g = occ.read().expect("occupancy lock");
         loop {
             let k = cursor.fetch_add(1, Ordering::Relaxed);
-            let Some(&ri) = k.checked_mul(nchunks).and_then(|o| reroute.get(j + o)) else {
+            let Some(&ri) = groups[j].get(k) else {
                 break;
             };
             let res = route_net(
@@ -825,7 +969,7 @@ fn route_iteration_parallel(
         for scratch in workers.iter_mut() {
             let barrier = &barrier;
             s.spawn(move || {
-                for j in 0..nchunks {
+                for j in 0..groups.len() {
                     barrier.wait();
                     run_round(j, scratch);
                     barrier.wait();
@@ -833,10 +977,9 @@ fn route_iteration_parallel(
             });
         }
 
-        // Coordinator: rip up chunk 0 before the first round opens.
-        let members = |j: usize| reroute.iter().copied().skip(j).step_by(nchunks);
+        // Coordinator: rip up group 0 before the first round opens.
         let rip = |j: usize, occ_g: &mut [u32], trees: &mut [Option<NetTree>], rips: &mut u64| {
-            for ri in members(j) {
+            for &ri in &groups[j] {
                 if let Some(tree) = trees[ri].take() {
                     *rips += 1;
                     for (node, _) in tree {
@@ -849,7 +992,7 @@ fn route_iteration_parallel(
         };
         rip(0, &mut occ.write().expect("occupancy lock"), trees, ripups);
 
-        for j in 0..nchunks {
+        for j in 0..groups.len() {
             if err.is_none() {
                 cursor.store(0, Ordering::Relaxed);
             }
@@ -861,12 +1004,12 @@ fn route_iteration_parallel(
             if err.is_some() {
                 continue;
             }
-            // Exclusive phase: merge chunk j in member order, then rip
-            // up chunk j+1 — workers are parked at the next barrier.
+            // Exclusive phase: merge group j in member order, then rip
+            // up group j+1 — workers are parked at the next barrier.
             let mut occ_g = occ.write().expect("occupancy lock");
-            for (k, ri) in members(j).enumerate() {
+            for (k, &ri) in groups[j].iter().enumerate() {
                 let res = slots[k].lock().expect("result slot").take();
-                match res.expect("chunk member routed") {
+                match res.expect("group member routed") {
                     Some((tree, pops)) => {
                         *popped += pops;
                         for (node, _) in &tree {
@@ -884,7 +1027,7 @@ fn route_iteration_parallel(
                     }
                 }
             }
-            if err.is_none() && j + 1 < nchunks {
+            if err.is_none() && j + 1 < groups.len() {
                 rip(j + 1, &mut occ_g, trees, ripups);
             }
         }

@@ -1,0 +1,69 @@
+//! Property-based checks for the conflict-graph coloring that schedules
+//! congested routing iterations (see `msaf_cad::conflict`).
+//!
+//! The router's determinism and livelock arguments both lean on the
+//! coloring being a *proper* partition: no edge inside a class (so the
+//! frozen-view Jacobi step never pairs nets negotiating over the same
+//! wire) and every vertex in exactly one class (so every ripped-up net
+//! is rerouted exactly once per iteration). The greedy algorithm is
+//! simple enough to eyeball, but the bitset adjacency rows and the
+//! clique construction in `from_members` are exactly the kind of
+//! index arithmetic a property test keeps honest.
+
+use msaf_cad::conflict::ConflictGraph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn greedy_coloring_is_a_proper_partition(
+        n in 1usize..90,
+        cliques in proptest::collection::vec(
+            proptest::collection::vec(any::<u16>(), 0..6),
+            0..12,
+        ),
+    ) {
+        // Random per-hotspot covering sets (reduced mod n), duplicates
+        // and out-of-order members included — the same shape the router
+        // hands to `from_members`.
+        let members: Vec<Vec<usize>> = cliques
+            .iter()
+            .map(|c| c.iter().map(|&v| v as usize % n).collect())
+            .collect();
+        let g = ConflictGraph::from_members(n, &members);
+        let coloring = g.greedy_color();
+
+        // Every clique member pair really became an edge (symmetric),
+        // and no edge is monochrome.
+        for clique in &members {
+            for (k, &a) in clique.iter().enumerate() {
+                for &b in &clique[k + 1..] {
+                    if a != b {
+                        prop_assert!(g.conflicts(a, b), "clique edge {a}-{b} missing");
+                        prop_assert!(g.conflicts(b, a), "edge {a}-{b} asymmetric");
+                        prop_assert!(
+                            coloring.color[a] != coloring.color[b],
+                            "edge {a}-{b} monochrome"
+                        );
+                    }
+                }
+            }
+        }
+
+        // The classes partition the vertex set, class indices are dense,
+        // and max_class reports the true largest.
+        let classes = coloring.classes();
+        prop_assert_eq!(classes.len(), coloring.num_colors as usize);
+        let mut seen = vec![false; n];
+        for class in &classes {
+            prop_assert!(!class.is_empty(), "empty color class");
+            for &v in class {
+                prop_assert!(!seen[v], "vertex {} in two classes", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "vertex missing from all classes");
+        let largest = classes.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert_eq!(coloring.max_class(), largest);
+    }
+}

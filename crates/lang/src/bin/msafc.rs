@@ -14,6 +14,7 @@
 //! too and checked token-for-token against the source circuit.
 
 use msaf_cad::flow::{compile, FlowOptions};
+use msaf_cad::route::RouteOptions;
 use msaf_cad::verify::verify_tokens;
 use msaf_lang::Style;
 use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
@@ -132,9 +133,16 @@ fn main() -> ExitCode {
         "{:<8} {:>6} {:>5} {:>5} {:>9} {:>5} {:>6} {:>11}",
         "style", "gates", "LEs", "PLBs", "filling", "PDEs", "wires", "route_iters"
     );
+    // The CLI is interactive, not a golden: spend every host core
+    // (results are byte-identical at any thread count, so this is pure
+    // wall-time).
+    let flow_opts = FlowOptions {
+        route: RouteOptions::auto_threads(),
+        ..FlowOptions::default()
+    };
     for style in &args.styles {
         let nl = msaf_lang::elaborate(&ast, &analysis, *style);
-        let compiled = match compile(&nl, &FlowOptions::default()) {
+        let compiled = match compile(&nl, &flow_opts) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("error: CAD flow failed for style {style}: {e}");

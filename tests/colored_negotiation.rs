@@ -1,0 +1,155 @@
+//! Colored negotiated congestion (PR 6): the congested PathFinder
+//! iterations are scheduled by a per-iteration conflict-graph coloring
+//! (see `msaf_cad::route` and `msaf_cad::conflict`), and that schedule
+//! must be invisible in every observable except wall time.
+//!
+//! Pins, on the fabric-scale `.msa` workloads of `BENCH_cad.json`:
+//!
+//! * **Thread invariance under coloring**: byte-identical trees, stats
+//!   and iteration counts at 1/2/4/8 threads, untimed *and*
+//!   timing-driven (`timing_fac = 0.9` with a live criticality
+//!   context) — the colored schedule is a pure function of occupancy
+//!   and geometry, never of thread count.
+//! * **Exposed parallelism**: the wide32 workload's congested
+//!   iterations must actually contain a wide color class
+//!   (`max_class >= 8` — the claim BENCH_cad.json's contract makes of
+//!   a fabric-scale row).
+//! * **Escape hatch**: `chunk = 1` (the historical fully-serial
+//!   Gauss-Seidel discipline, pinned by the route goldens) builds no
+//!   conflict graphs at all, so its colored-negotiation stats stay
+//!   zero.
+
+use msaf::cad::bitgen::bind;
+use msaf::cad::pack::pack;
+use msaf::cad::place::place;
+use msaf::cad::route::{route, route_timed, RouteOptions, RouteRequest, RouteStats};
+use msaf::cad::techmap::{map, MappedDesign, SignalId};
+use msaf::cad::timing::RouteTimingCtx;
+use msaf::fabric::arch::ArchSpec;
+use msaf::fabric::bitstream::RouteTree;
+use msaf::fabric::rrg::Rrg;
+use msaf::prelude::*;
+
+/// FNV-1a over the debug rendering of every route tree, in request
+/// order (same identity the route goldens pin).
+fn digest(trees: &[RouteTree]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in trees {
+        for byte in format!("{t:?}").bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One fabric-scale routing workload, built exactly as `bench_summary`
+/// builds it: `.msa` source → elaborate → map → pack → place (seed 7)
+/// → bind, on the flow's grid-policy size.
+fn fabric_workload(
+    src: &str,
+    style: &str,
+) -> (MappedDesign, Rrg, Vec<RouteRequest>, Vec<SignalId>) {
+    let nl = compile_msa(src, Style::from_name(style).expect("style")).expect("compiles");
+    let template = ArchSpec::paper(1, 1);
+    let mapped = map(&nl, &template).expect("maps");
+    let packed = pack(&mapped, &template).expect("packs");
+    let (w, h) = ArchSpec::size_for(packed.plb_count(), mapped.io_signals().len());
+    let arch = ArchSpec::paper(w, h);
+    let mapped = map(&nl, &arch).expect("maps");
+    let packed = pack(&mapped, &arch).expect("packs");
+    let placement = place(&mapped, &packed, &arch, 7).expect("places");
+    let rrg = Rrg::build(&arch);
+    let binding = bind(&mapped, &packed, &placement, &arch, &rrg).expect("binds");
+    (mapped, rrg, binding.requests, binding.request_signals)
+}
+
+const ADDER16: &str = include_str!("../examples/msa/adder16.msa");
+const WIDE32: &str = include_str!("../examples/msa/wide32.msa");
+
+/// Routes `requests` untimed at every thread count and checks digests,
+/// iterations and stats all match the 1-thread run; returns that run's
+/// stats for workload-specific assertions.
+fn untimed_invariance(rrg: &Rrg, requests: &[RouteRequest], what: &str) -> RouteStats {
+    let base = route(rrg, requests, &RouteOptions::default()).expect("routes");
+    let d = digest(&base.trees);
+    for threads in [2, 4, 8] {
+        let opts = RouteOptions {
+            threads,
+            ..RouteOptions::default()
+        };
+        let par = route(rrg, requests, &opts).expect("routes");
+        assert_eq!(digest(&par.trees), d, "{what}: {threads}-thread digest");
+        assert_eq!(par.iterations, base.iterations, "{what}: iterations");
+        assert_eq!(par.stats, base.stats, "{what}: stats");
+    }
+    base.stats
+}
+
+#[test]
+fn colored_negotiation_is_thread_invariant_on_fabric_workloads() {
+    let (_, rrg, requests, _) = fabric_workload(ADDER16, "qdi");
+    let stats = untimed_invariance(&rrg, &requests, "adder16/qdi");
+    assert!(
+        stats.conflict_colors > 0,
+        "adder16 negotiation never built a conflict coloring"
+    );
+
+    let (_, rrg, requests, _) = fabric_workload(WIDE32, "wchb");
+    let stats = untimed_invariance(&rrg, &requests, "wide32/wchb");
+    assert!(stats.conflict_colors > 0, "wide32 never built a coloring");
+    assert!(
+        stats.max_class >= 8,
+        "wide32 must expose a wide independent class (got {})",
+        stats.max_class
+    );
+}
+
+#[test]
+fn colored_negotiation_is_thread_invariant_under_timing() {
+    for (src, style, what) in [
+        (ADDER16, "qdi", "adder16/qdi"),
+        (WIDE32, "wchb", "wide32/wchb"),
+    ] {
+        let (mapped, rrg, requests, signals) = fabric_workload(src, style);
+        let opts = RouteOptions {
+            timing_fac: 0.9,
+            ..RouteOptions::default()
+        };
+        // A fresh criticality context per run: the context is mutated
+        // across iterations, and the pin is that *identical inputs*
+        // give identical results at any thread count.
+        let mut ctx = RouteTimingCtx::new(&mapped, &requests, &signals);
+        let base = route_timed(&rrg, &requests, &opts, &mut ctx).expect("routes");
+        let d = digest(&base.trees);
+        assert!(
+            base.stats.conflict_colors > 0,
+            "{what}: timed negotiation never built a conflict coloring"
+        );
+        for threads in [2, 4, 8] {
+            let mut ctx = RouteTimingCtx::new(&mapped, &requests, &signals);
+            let par = route_timed(&rrg, &requests, &RouteOptions { threads, ..opts }, &mut ctx)
+                .expect("routes");
+            assert_eq!(
+                digest(&par.trees),
+                d,
+                "{what}: {threads}-thread timed digest"
+            );
+            assert_eq!(par.iterations, base.iterations, "{what}: timed iterations");
+            assert_eq!(par.stats, base.stats, "{what}: timed stats");
+        }
+    }
+}
+
+#[test]
+fn serial_escape_hatch_builds_no_conflict_graphs() {
+    let (_, rrg, requests, _) = fabric_workload(ADDER16, "qdi");
+    let serial = RouteOptions {
+        chunk: 1,
+        ..RouteOptions::default()
+    };
+    let res = route(&rrg, &requests, &serial).expect("routes");
+    assert!(res.stats.ripups > 0, "workload must actually negotiate");
+    assert_eq!(res.stats.conflict_colors, 0, "chunk=1 must not color");
+    assert_eq!(res.stats.max_class, 0, "chunk=1 must not color");
+}

@@ -228,8 +228,9 @@ fn parallel_routing_is_byte_identical_on_paper_workload() {
 fn parallel_routing_is_byte_identical_on_fabric_workloads() {
     // The fabric-scale `.msa` workloads of BENCH_cad.json, sized by the
     // flow's grid policy — hundreds of nets, multiple congestion
-    // iterations, so the chunked first iteration *and* the serial
-    // negotiation iterations are both exercised.
+    // iterations, so the chunked first iteration *and* the colored
+    // negotiation iterations (see tests/colored_negotiation.rs) are
+    // both exercised.
     let adder16 = compile_msa(
         include_str!("../examples/msa/adder16.msa"),
         Style::from_name("qdi").expect("style"),
