@@ -744,6 +744,21 @@ fn check(outdir: &str, filter: &str) -> ExitCode {
                 }
                 rows_checked += 1;
             }
+            // Fabric-scale contract: the committed snapshot must carry at
+            // least one route row past 1000 nets (the hierarchy
+            // workloads' regime — a snapshot without one means the
+            // fabric-scale rows silently vanished). Unfiltered runs
+            // only: a filtered check legitimately sees a subset.
+            if filter.is_empty()
+                && !committed.lines().any(|l| {
+                    l.contains("\"name\": \"route_")
+                        && field_u64(l, "nets").is_some_and(|n| n >= 1000)
+                })
+            {
+                mismatches.push(format!(
+                    "{cad_path}: no committed route row reaches 1000 nets"
+                ));
+            }
             for r in prows {
                 let line = committed_row(&committed, &r.name);
                 if line.is_none() {

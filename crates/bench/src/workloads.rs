@@ -72,6 +72,11 @@ pub fn msa_example(name: &str) -> Option<&'static str> {
         "fifo2" => include_str!("../../../examples/msa/fifo2.msa"),
         "adder16" => include_str!("../../../examples/msa/adder16.msa"),
         "wide32" => include_str!("../../../examples/msa/wide32.msa"),
+        "adder4_mod" => include_str!("../../../examples/msa/adder4_mod.msa"),
+        "fifo2_mod" => include_str!("../../../examples/msa/fifo2_mod.msa"),
+        "adder64" => include_str!("../../../examples/msa/adder64.msa"),
+        "fir4" => include_str!("../../../examples/msa/fir4.msa"),
+        "fifomesh" => include_str!("../../../examples/msa/fifomesh.msa"),
         _ => return None,
     })
 }
@@ -172,11 +177,20 @@ impl CadWorkload {
 /// milliseconds; these are an order of magnitude beyond).
 #[must_use]
 pub fn fabric_cad_suite() -> Vec<CadWorkload> {
-    let adder16 = from_msa(msa_example("adder16").expect("committed"), "qdi").expect("style");
-    let wide32 = from_msa(msa_example("wide32").expect("committed"), "wchb").expect("style");
+    let build = |name: &str, example: &str, style: &str, seed: u64| {
+        let nl = from_msa(msa_example(example).expect("committed"), style).expect("style");
+        CadWorkload::build(name, &nl, seed)
+    };
     vec![
-        CadWorkload::build("msa_adder16_qdi", &adder16, 7),
-        CadWorkload::build("msa_wide32_wchb", &wide32, 7),
+        build("msa_adder16_qdi", "adder16", "qdi", 7),
+        build("msa_wide32_wchb", "wide32", "wchb", 7),
+        // The hierarchy-front-end workloads: generate-loop sources that
+        // elaborate past 1000 nets (the dual-rail adder64 and the deep
+        // WCHB mesh — the colored-negotiation regime), plus the nested-
+        // instantiation FIR that CI smokes on every push.
+        build("msa_adder64_qdi", "adder64", "qdi", 7),
+        build("msa_fir4_wchb", "fir4", "wchb", 7),
+        build("msa_fifomesh_wchb", "fifomesh", "wchb", 7),
     ]
 }
 
@@ -289,7 +303,17 @@ mod tests {
     #[test]
     fn msa_examples_elaborate_in_every_style() {
         for name in [
-            "adder4", "parity8", "muxtree4", "fifo2", "adder16", "wide32",
+            "adder4",
+            "parity8",
+            "muxtree4",
+            "fifo2",
+            "adder16",
+            "wide32",
+            "adder4_mod",
+            "fifo2_mod",
+            "adder64",
+            "fir4",
+            "fifomesh",
         ] {
             let src = msa_example(name).expect("committed example");
             for style in ["qdi", "wchb", "bundled"] {
@@ -354,7 +378,8 @@ mod tests {
         // placer and chunked router target: hundreds of nets, grids far
         // beyond the paper's toy examples, sized by the flow's policy.
         let suite = fabric_cad_suite();
-        assert_eq!(suite.len(), 2);
+        assert_eq!(suite.len(), 5);
+        let mut past_1000 = 0usize;
         for w in &suite {
             assert!(
                 w.arch.plb_count() >= 17 * 17,
@@ -370,9 +395,18 @@ mod tests {
                 w.name,
                 r.requests.len()
             );
+            if r.requests.len() >= 1000 {
+                past_1000 += 1;
+            }
             // Grid sizing matches the flow's shared policy.
             let (gw, gh) = ArchSpec::size_for(w.packed.plb_count(), w.mapped.io_signals().len());
             assert_eq!((w.arch.width, w.arch.height), (gw, gh), "{}", w.name);
         }
+        // The hierarchy workloads push the suite into the ≥1000-net
+        // regime the colored-negotiation router exists for.
+        assert!(
+            past_1000 >= 2,
+            "only {past_1000} suite workloads reach 1000 nets"
+        );
     }
 }

@@ -110,12 +110,22 @@ fn main() -> ExitCode {
         }
     };
 
-    // Parse and check once — only elaboration depends on the style —
-    // so diagnostics are the only thing a failing run prints.
-    let ast = match msaf_lang::parse(&src) {
-        Ok(ast) => ast,
+    // Parse, expand and check once — only elaboration depends on the
+    // style — so diagnostics are the only thing a failing run prints.
+    // Every phase exits non-zero with rendered spans, never a panic.
+    let prog = match msaf_lang::parse(&src) {
+        Ok(prog) => prog,
         Err(d) => {
             eprintln!("{}: {}", args.file, d.render(&src));
+            return ExitCode::FAILURE;
+        }
+    };
+    let ast = match msaf_lang::expand(&prog) {
+        Ok(flat) => flat,
+        Err(diags) => {
+            for d in diags {
+                eprintln!("{}: {}", args.file, d.render(&src));
+            }
             return ExitCode::FAILURE;
         }
     };

@@ -24,9 +24,77 @@ use crate::ast::{Expr, OpKind, Pipeline, Stmt};
 use crate::diag::Diag;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Maximum channel/value width. Token payloads are `u64` and the widest
-/// committed workloads stay far below this.
-pub const MAX_WIDTH: usize = 32;
+/// Maximum channel/value width. Token payloads are `u64`, so 64 is the
+/// hard ceiling the simulator can represent losslessly.
+pub const MAX_WIDTH: usize = 64;
+
+/// The result width of `op` applied to arguments of widths `w`, or the
+/// checker's diagnostic message when the widths are incompatible.
+///
+/// Shared between [`analyze`] (which wraps the message in a spanned
+/// [`Diag`]) and the hierarchy expander in [`mod@crate::expand`] (which uses
+/// it for best-effort width tracking at module instance ports).
+///
+/// `w` must already match the operation's arity (the parser enforces
+/// that syntactically).
+///
+/// # Errors
+///
+/// Returns the human-readable incompatibility message.
+pub fn op_result_width(op: OpKind, w: &[usize]) -> Result<usize, String> {
+    match op {
+        OpKind::And | OpKind::Or | OpKind::Xor => {
+            if w[0] != w[1] {
+                return Err(format!(
+                    "'{}' needs equal widths, got {} and {}",
+                    op.name(),
+                    w[0],
+                    w[1]
+                ));
+            }
+            Ok(w[0])
+        }
+        OpKind::Not => Ok(w[0]),
+        OpKind::Parity => Ok(1),
+        OpKind::Mux => {
+            if w[0] != 1 {
+                return Err(format!("'mux' select must be 1 bit, got {}", w[0]));
+            }
+            if w[1] != w[2] {
+                return Err(format!(
+                    "'mux' branches need equal widths, got {} and {}",
+                    w[1], w[2]
+                ));
+            }
+            Ok(w[1])
+        }
+        OpKind::Add => {
+            if w[0] != w[1] {
+                return Err(format!(
+                    "'add' operands need equal widths, got {} and {}",
+                    w[0], w[1]
+                ));
+            }
+            if w[2] != 1 {
+                return Err(format!("'add' carry-in must be 1 bit, got {}", w[2]));
+            }
+            if w[0] + 1 > MAX_WIDTH {
+                return Err(format!(
+                    "'add' result width {} exceeds {MAX_WIDTH}",
+                    w[0] + 1
+                ));
+            }
+            Ok(w[0] + 1)
+        }
+        OpKind::Cat => {
+            let total: usize = w.iter().sum();
+            if total > MAX_WIDTH {
+                return Err(format!("'cat' result width {total} exceeds {MAX_WIDTH}"));
+            }
+            Ok(total)
+        }
+    }
+}
 
 /// Resolved facts the elaborator needs.
 #[derive(Debug, Clone, Default)]
@@ -337,72 +405,11 @@ fn expr_width(
                 return None;
             }
             let w: Vec<usize> = widths.into_iter().flatten().collect();
-            let fail = |diags: &mut Vec<Diag>, msg: String| {
-                diags.push(Diag::new(*span, msg));
-                None
-            };
-            match op {
-                OpKind::And | OpKind::Or | OpKind::Xor => {
-                    if w[0] != w[1] {
-                        return fail(
-                            diags,
-                            format!(
-                                "'{}' needs equal widths, got {} and {}",
-                                op.name(),
-                                w[0],
-                                w[1]
-                            ),
-                        );
-                    }
-                    Some(w[0])
-                }
-                OpKind::Not => Some(w[0]),
-                OpKind::Parity => Some(1),
-                OpKind::Mux => {
-                    if w[0] != 1 {
-                        return fail(diags, format!("'mux' select must be 1 bit, got {}", w[0]));
-                    }
-                    if w[1] != w[2] {
-                        return fail(
-                            diags,
-                            format!(
-                                "'mux' branches need equal widths, got {} and {}",
-                                w[1], w[2]
-                            ),
-                        );
-                    }
-                    Some(w[1])
-                }
-                OpKind::Add => {
-                    if w[0] != w[1] {
-                        return fail(
-                            diags,
-                            format!(
-                                "'add' operands need equal widths, got {} and {}",
-                                w[0], w[1]
-                            ),
-                        );
-                    }
-                    if w[2] != 1 {
-                        return fail(diags, format!("'add' carry-in must be 1 bit, got {}", w[2]));
-                    }
-                    if w[0] + 1 > MAX_WIDTH {
-                        return fail(
-                            diags,
-                            format!("'add' result width {} exceeds {MAX_WIDTH}", w[0] + 1),
-                        );
-                    }
-                    Some(w[0] + 1)
-                }
-                OpKind::Cat => {
-                    let total: usize = w.iter().sum();
-                    if total > MAX_WIDTH {
-                        return fail(
-                            diags,
-                            format!("'cat' result width {total} exceeds {MAX_WIDTH}"),
-                        );
-                    }
-                    Some(total)
+            match op_result_width(*op, &w) {
+                Ok(width) => Some(width),
+                Err(msg) => {
+                    diags.push(Diag::new(*span, msg));
+                    None
                 }
             }
         }
@@ -415,7 +422,8 @@ mod tests {
     use crate::parser::parse;
 
     fn check(src: &str) -> Result<Analysis, Vec<Diag>> {
-        analyze(&parse(src).expect("parses"))
+        let prog = parse(src).expect("parses");
+        analyze(&crate::expand::expand(&prog).expect("expands"))
     }
 
     fn messages(src: &str) -> String {

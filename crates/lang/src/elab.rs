@@ -694,7 +694,8 @@ mod tests {
         stage s1 { outp = x; } }";
 
     fn build(src: &str, style: Style) -> Netlist {
-        let ast = parse(src).expect("parses");
+        let prog = parse(src).expect("parses");
+        let ast = crate::expand::expand(&prog).expect("expands");
         let analysis = analyze(&ast).expect("checks");
         let nl = elaborate(&ast, &analysis, style);
         let v = nl.validate();

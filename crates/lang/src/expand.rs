@@ -1,0 +1,989 @@
+//! Hierarchy expansion: flattens a [`crate::hast::Program`] into the
+//! plain [`crate::ast::Pipeline`] the checker and elaborator consume.
+//!
+//! Expansion runs *before* [`crate::check::analyze`] ("flatten before
+//! check"): params and loop bounds are evaluated, generate-loops are
+//! unrolled, `#`-interpolated names are resolved, and module
+//! instantiations are spliced inline with deterministic
+//! instance-qualified names (`<module><uid>_<signal>`, `uid` counting
+//! instantiations in elaboration order). A flat source — no modules, no
+//! params, no loops, no holes — passes through *byte-identically* (same
+//! names, same spans), so every flat-language diagnostic and golden is
+//! untouched.
+//!
+//! The expander is total on arbitrary input: constant expressions are
+//! evaluated in checked `i64` arithmetic, loop ranges must be non-empty,
+//! recursion through module instantiation is detected via an explicit
+//! instantiation stack, and a global step budget bounds the amount of
+//! flat code any source may elaborate into.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast;
+use crate::check::op_result_width;
+use crate::diag::{Diag, Span};
+use crate::hast::{CBinOp, CExpr, HExpr, HPort, HStmt, IName, Module, Program, StageItem};
+
+/// Upper bound on elaboration work: every emitted statement, emitted
+/// stage and loop iteration costs one step. Keeps `expand` total even on
+/// adversarial `for i = 0..9999999999` sources.
+const BUDGET: usize = 65_536;
+
+/// Flattens `prog` into a plain pipeline.
+///
+/// # Errors
+///
+/// Returns every elaboration diagnostic collected (unknown modules,
+/// instantiation cycles, bad constant expressions, port/param arity and
+/// width mismatches, exhausted step budget, ...), each with a span into
+/// the original source.
+pub fn expand(prog: &Program) -> Result<ast::Pipeline, Vec<Diag>> {
+    let mut ex = Expander {
+        modules: BTreeMap::new(),
+        diags: Vec::new(),
+        steps: 0,
+        exhausted: false,
+        uid: 0,
+        stack: Vec::new(),
+    };
+
+    for m in &prog.modules {
+        if ex.modules.insert(m.name.clone(), m).is_some() {
+            ex.diags.push(Diag::new(
+                m.name_span,
+                format!("module '{}' is defined twice", m.name),
+            ));
+        }
+    }
+
+    let mut consts: BTreeMap<String, i64> = BTreeMap::new();
+    for p in &prog.pipeline.params {
+        if consts.contains_key(&p.name) {
+            ex.diags.push(Diag::new(
+                p.name_span,
+                format!("param '{}' is declared twice", p.name),
+            ));
+            continue;
+        }
+        if let Ok(v) = ex.ceval(&p.value, &consts) {
+            consts.insert(p.name.clone(), v);
+        }
+    }
+
+    let mut ports = Vec::new();
+    for p in &prog.pipeline.ports {
+        let Ok(v) = ex.ceval(&p.width, &consts) else {
+            continue;
+        };
+        if v < 0 {
+            ex.diags.push(Diag::new(
+                p.span,
+                format!("port '{}' elaborates to negative width {v}", p.name),
+            ));
+            continue;
+        }
+        // Width 0 passes through: the checker owns the 1..=MAX_WIDTH
+        // range diagnostic, exactly as for flat sources.
+        ports.push(ast::Port {
+            name: p.name.clone(),
+            dir: p.dir,
+            width: usize::try_from(v).expect("non-negative"),
+            span: p.span,
+        });
+    }
+
+    let mut env = Env {
+        consts,
+        strict: None,
+        prefix: String::new(),
+        prev: BTreeMap::new(),
+        cur: BTreeMap::new(),
+        reads: BTreeSet::new(),
+        outputs: BTreeMap::new(),
+    };
+    for p in ports.iter().filter(|p| p.dir == ast::PortDir::Input) {
+        env.prev.insert(p.name.clone(), Some(p.width));
+    }
+
+    let mut stages = Vec::new();
+    ex.stage_items(&prog.pipeline.items, &mut env, "", &mut stages);
+
+    if ex.diags.is_empty() {
+        Ok(ast::Pipeline {
+            name: prog.pipeline.name.clone(),
+            name_span: prog.pipeline.name_span,
+            ports,
+            stages,
+        })
+    } else {
+        Err(ex.diags)
+    }
+}
+
+/// One name environment: the pipeline's (lenient — unknown names flow on
+/// to the checker) or a module body's (strict — every read must resolve
+/// to a module-local definition).
+struct Env {
+    /// Params and in-scope loop variables.
+    consts: BTreeMap<String, i64>,
+    /// `Some(module_name)` inside a module body.
+    strict: Option<String>,
+    /// Prepended to every local name on emission (`""` for the
+    /// pipeline, `<module><uid>_` inside an instance).
+    prefix: String,
+    /// Bindings visible from the previous stage (mangled name → width);
+    /// input ports before the first stage. Pipeline scope only.
+    prev: BTreeMap<String, Option<usize>>,
+    /// Bindings defined so far in the current stage / module body
+    /// (mangled name → best-effort width).
+    cur: BTreeMap<String, Option<usize>>,
+    /// Mangled names read so far (drives unused-input diagnostics).
+    reads: BTreeSet<String>,
+    /// Module output ports: declared width, declaration span, and
+    /// whether the body assigned them. Empty in pipeline scope.
+    outputs: BTreeMap<String, OutPort>,
+}
+
+struct OutPort {
+    width: Option<usize>,
+    span: Span,
+    assigned: bool,
+}
+
+impl Env {
+    fn mangle(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
+    fn width(&self, mangled: &str) -> Option<usize> {
+        self.cur
+            .get(mangled)
+            .or_else(|| self.prev.get(mangled))
+            .copied()
+            .flatten()
+    }
+}
+
+struct Expander<'p> {
+    modules: BTreeMap<String, &'p Module>,
+    diags: Vec<Diag>,
+    steps: usize,
+    exhausted: bool,
+    uid: usize,
+    stack: Vec<String>,
+}
+
+impl<'p> Expander<'p> {
+    /// Charges one unit of elaboration work; `false` once the budget is
+    /// gone (with a single diagnostic at the first overrun).
+    fn step(&mut self, span: Span) -> bool {
+        self.steps += 1;
+        if self.steps > BUDGET {
+            if !self.exhausted {
+                self.exhausted = true;
+                self.diags.push(Diag::new(
+                    span,
+                    format!("elaboration exceeded {BUDGET} steps (is a generate loop too large?)"),
+                ));
+            }
+            return false;
+        }
+        true
+    }
+
+    fn ceval(&mut self, e: &CExpr, consts: &BTreeMap<String, i64>) -> Result<i64, ()> {
+        match e {
+            CExpr::Int { value, .. } => Ok(*value),
+            CExpr::Var { name, span } => match consts.get(name) {
+                Some(v) => Ok(*v),
+                None => {
+                    self.diags.push(Diag::new(
+                        *span,
+                        format!("'{name}' is not a defined param or loop variable"),
+                    ));
+                    Err(())
+                }
+            },
+            CExpr::Bin { op, lhs, rhs, span } => {
+                let l = self.ceval(lhs, consts)?;
+                let r = self.ceval(rhs, consts)?;
+                let v = match op {
+                    CBinOp::Add => l.checked_add(r),
+                    CBinOp::Sub => l.checked_sub(r),
+                    CBinOp::Mul => l.checked_mul(r),
+                };
+                match v {
+                    Some(v) => Ok(v),
+                    None => {
+                        self.diags
+                            .push(Diag::new(*span, "constant expression overflows"));
+                        Err(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves an interpolated name to its flat spelling: every hole
+    /// value's decimal digits are appended directly, so `c#3` and a
+    /// literal `c3` are the same name.
+    fn interp(&mut self, name: &IName, consts: &BTreeMap<String, i64>) -> Result<String, ()> {
+        let mut s = name.base.clone();
+        for hole in &name.holes {
+            let v = self.ceval(hole, consts)?;
+            if v < 0 {
+                self.diags.push(Diag::new(
+                    hole.span(),
+                    format!("interpolated name index elaborates to {v}, expected >= 0"),
+                ));
+                return Err(());
+            }
+            s.push_str(&v.to_string());
+        }
+        Ok(s)
+    }
+
+    fn loop_range(
+        &mut self,
+        lo: &CExpr,
+        hi: &CExpr,
+        var: &str,
+        var_span: Span,
+        consts: &BTreeMap<String, i64>,
+    ) -> Result<(i64, i64), ()> {
+        let lov = self.ceval(lo, consts)?;
+        let hiv = self.ceval(hi, consts)?;
+        if hiv <= lov {
+            self.diags.push(Diag::new(
+                lo.span().to(hi.span()),
+                format!("loop range {lov}..{hiv} is empty"),
+            ));
+            return Err(());
+        }
+        if consts.contains_key(var) {
+            self.diags.push(Diag::new(
+                var_span,
+                format!("loop variable '{var}' shadows an existing param or loop variable"),
+            ));
+            return Err(());
+        }
+        Ok((lov, hiv))
+    }
+
+    fn stage_items(
+        &mut self,
+        items: &'p [StageItem],
+        env: &mut Env,
+        suffix: &str,
+        out: &mut Vec<ast::Stage>,
+    ) {
+        for item in items {
+            match item {
+                StageItem::Stage(s) => {
+                    if !self.step(s.name_span) {
+                        return;
+                    }
+                    env.cur.clear();
+                    let mut stmts = Vec::new();
+                    for stmt in &s.stmts {
+                        self.stmt(stmt, env, &mut stmts);
+                    }
+                    out.push(ast::Stage {
+                        name: format!("{}{suffix}", s.name),
+                        name_span: s.name_span,
+                        stmts,
+                    });
+                    env.prev = std::mem::take(&mut env.cur);
+                }
+                StageItem::For {
+                    var,
+                    var_span,
+                    lo,
+                    hi,
+                    body,
+                } => {
+                    let Ok((lov, hiv)) = self.loop_range(lo, hi, var, *var_span, &env.consts)
+                    else {
+                        continue;
+                    };
+                    for i in lov..hiv {
+                        if !self.step(*var_span) {
+                            break;
+                        }
+                        env.consts.insert(var.clone(), i);
+                        self.stage_items(body, env, &format!("{suffix}_{i}"), out);
+                    }
+                    env.consts.remove(var);
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &'p HStmt, env: &mut Env, out: &mut Vec<ast::Stmt>) {
+        match s {
+            HStmt::Let { name, expr } => {
+                let Ok(n) = self.interp(name, &env.consts) else {
+                    return;
+                };
+                let Ok(e) = self.lower_expr(expr, env) else {
+                    return;
+                };
+                let mangled = env.mangle(&n);
+                if let Some(m) = &env.strict {
+                    if env.cur.contains_key(&mangled) {
+                        self.diags.push(Diag::new(
+                            name.span,
+                            format!("'{n}' is defined twice in module '{m}'"),
+                        ));
+                        return;
+                    }
+                }
+                if !self.step(name.span) {
+                    return;
+                }
+                let w = self.width_of(&e, env);
+                env.cur.insert(mangled.clone(), w);
+                out.push(ast::Stmt::Let {
+                    name: mangled,
+                    name_span: name.span,
+                    expr: e,
+                });
+            }
+            HStmt::Assign {
+                target,
+                target_span,
+                expr,
+            } => {
+                if env.strict.is_some() {
+                    self.module_assign(target, *target_span, expr, env, out);
+                    return;
+                }
+                let Ok(e) = self.lower_expr(expr, env) else {
+                    return;
+                };
+                if !self.step(*target_span) {
+                    return;
+                }
+                out.push(ast::Stmt::Assign {
+                    target: target.clone(),
+                    target_span: *target_span,
+                    expr: e,
+                });
+            }
+            HStmt::For {
+                var,
+                var_span,
+                lo,
+                hi,
+                body,
+            } => {
+                let Ok((lov, hiv)) = self.loop_range(lo, hi, var, *var_span, &env.consts) else {
+                    return;
+                };
+                for i in lov..hiv {
+                    if !self.step(*var_span) {
+                        break;
+                    }
+                    env.consts.insert(var.clone(), i);
+                    for stmt in body {
+                        self.stmt(stmt, env, out);
+                    }
+                }
+                env.consts.remove(var);
+            }
+            HStmt::Inst {
+                targets,
+                module,
+                module_span,
+                params,
+                args,
+                span,
+            } => self.inst(targets, module, *module_span, params, args, *span, env, out),
+        }
+    }
+
+    /// `port = expr;` inside a module body: the output port becomes a
+    /// plain flat binding (`<prefix><port>`), checked against its
+    /// declared width and assign-once discipline.
+    fn module_assign(
+        &mut self,
+        target: &str,
+        target_span: Span,
+        expr: &'p HExpr,
+        env: &mut Env,
+        out: &mut Vec<ast::Stmt>,
+    ) {
+        let modname = env.strict.clone().expect("module scope");
+        match env.outputs.get(target) {
+            None => {
+                self.diags.push(Diag::new(
+                    target_span,
+                    format!("'{target}' is not an output port of module '{modname}'"),
+                ));
+                return;
+            }
+            Some(o) if o.assigned => {
+                self.diags.push(Diag::new(
+                    target_span,
+                    format!("output '{target}' of module '{modname}' is assigned twice"),
+                ));
+                return;
+            }
+            Some(_) => {}
+        }
+        let Ok(e) = self.lower_expr(expr, env) else {
+            return;
+        };
+        let wa = self.width_of(&e, env);
+        let o = env.outputs.get_mut(target).expect("checked above");
+        o.assigned = true;
+        if let (Some(wm), Some(wa)) = (o.width, wa) {
+            if wm != wa {
+                self.diags.push(Diag::new(
+                    e.span(),
+                    format!(
+                        "output '{target}' of module '{modname}' has width {wa}, \
+                         declared width {wm}"
+                    ),
+                ));
+            }
+        }
+        let width = o.width.or(wa);
+        if !self.step(target_span) {
+            return;
+        }
+        let mangled = env.mangle(target);
+        env.cur.insert(mangled.clone(), width);
+        out.push(ast::Stmt::Let {
+            name: mangled,
+            name_span: target_span,
+            expr: e,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn inst(
+        &mut self,
+        targets: &[IName],
+        module: &str,
+        module_span: Span,
+        params: &[CExpr],
+        args: &'p [HExpr],
+        span: Span,
+        env: &mut Env,
+        out: &mut Vec<ast::Stmt>,
+    ) {
+        let Some(mdef) = self.modules.get(module).copied() else {
+            self.diags
+                .push(Diag::new(module_span, format!("unknown module '{module}'")));
+            return;
+        };
+        if self.stack.iter().any(|m| m == module) {
+            let chain = self
+                .stack
+                .iter()
+                .map(String::as_str)
+                .chain(std::iter::once(module))
+                .collect::<Vec<_>>()
+                .join(" → ");
+            self.diags.push(Diag::new(
+                module_span,
+                format!("recursive instantiation of module '{module}' ({chain})"),
+            ));
+            return;
+        }
+        if params.len() != mdef.params.len() {
+            self.diags.push(Diag::new(
+                span,
+                format!(
+                    "module '{module}' takes {} params, got {}",
+                    mdef.params.len(),
+                    params.len()
+                ),
+            ));
+            return;
+        }
+        let mut mconsts = BTreeMap::new();
+        for ((pname, _), pval) in mdef.params.iter().zip(params) {
+            let Ok(v) = self.ceval(pval, &env.consts) else {
+                return;
+            };
+            mconsts.insert(pname.clone(), v);
+        }
+
+        let inputs: Vec<&HPort> = mdef
+            .ports
+            .iter()
+            .filter(|p| p.dir == ast::PortDir::Input)
+            .collect();
+        let outputs: Vec<&HPort> = mdef
+            .ports
+            .iter()
+            .filter(|p| p.dir == ast::PortDir::Output)
+            .collect();
+        if args.len() != inputs.len() {
+            self.diags.push(Diag::new(
+                span,
+                format!(
+                    "module '{module}' has {} input ports, got {} arguments",
+                    inputs.len(),
+                    args.len()
+                ),
+            ));
+            return;
+        }
+        if targets.len() != outputs.len() {
+            self.diags.push(Diag::new(
+                span,
+                format!(
+                    "module '{module}' has {} output ports, got {} binding targets",
+                    outputs.len(),
+                    targets.len()
+                ),
+            ));
+            return;
+        }
+
+        let uid = self.uid;
+        self.uid += 1;
+        let prefix = format!("{module}{uid}_");
+
+        let mut menv = Env {
+            consts: mconsts,
+            strict: Some(module.to_string()),
+            prefix: prefix.clone(),
+            prev: BTreeMap::new(),
+            cur: BTreeMap::new(),
+            reads: BTreeSet::new(),
+            outputs: BTreeMap::new(),
+        };
+
+        // Feed each input port from its argument (in the caller's
+        // scope), checking declared vs actual widths where both are
+        // known.
+        for (i, (port, arg)) in inputs.iter().zip(args).enumerate() {
+            let wm = self.module_port_width(port, module, &menv.consts);
+            let Ok(ae) = self.lower_expr(arg, env) else {
+                continue;
+            };
+            let wa = self.width_of(&ae, env);
+            if let (Some(wm), Some(wa)) = (wm, wa) {
+                if wm != wa {
+                    self.diags.push(Diag::new(
+                        arg.span(),
+                        format!(
+                            "argument {} of '{module}' has width {wa}, \
+                             but port '{}' expects width {wm}",
+                            i + 1,
+                            port.name
+                        ),
+                    ));
+                }
+            }
+            if !self.step(arg.span()) {
+                return;
+            }
+            let mangled = format!("{prefix}{}", port.name);
+            menv.cur.insert(mangled.clone(), wm.or(wa));
+            env.cur.insert(mangled.clone(), wa.or(wm));
+            out.push(ast::Stmt::Let {
+                name: mangled,
+                name_span: arg.span(),
+                expr: ae,
+            });
+        }
+        for port in &outputs {
+            let wm = self.module_port_width(port, module, &menv.consts);
+            menv.outputs.insert(
+                port.name.clone(),
+                OutPort {
+                    width: wm,
+                    span: port.span,
+                    assigned: false,
+                },
+            );
+        }
+
+        self.stack.push(module.to_string());
+        for stmt in &mdef.body {
+            self.stmt(stmt, &mut menv, out);
+        }
+        self.stack.pop();
+
+        for port in &inputs {
+            if !menv.reads.contains(&format!("{prefix}{}", port.name)) {
+                self.diags.push(Diag::new(
+                    port.span,
+                    format!("module '{module}' never reads its input '{}'", port.name),
+                ));
+            }
+        }
+        for (oname, o) in &menv.outputs {
+            if !o.assigned {
+                self.diags.push(Diag::new(
+                    o.span,
+                    format!("module '{module}' never assigns its output '{oname}'"),
+                ));
+            }
+        }
+
+        // Bind each target (a caller-scope name) to its output port.
+        for (target, port) in targets.iter().zip(&outputs) {
+            let Ok(tn) = self.interp(target, &env.consts) else {
+                continue;
+            };
+            let mangled = env.mangle(&tn);
+            if let Some(m) = &env.strict {
+                if env.cur.contains_key(&mangled) {
+                    self.diags.push(Diag::new(
+                        target.span,
+                        format!("'{tn}' is defined twice in module '{m}'"),
+                    ));
+                    continue;
+                }
+            }
+            if !self.step(target.span) {
+                return;
+            }
+            let width = menv.outputs.get(&port.name).and_then(|o| o.width);
+            env.cur.insert(mangled.clone(), width);
+            out.push(ast::Stmt::Let {
+                name: mangled,
+                name_span: target.span,
+                expr: ast::Expr::Ref {
+                    name: format!("{prefix}{}", port.name),
+                    span: target.span,
+                },
+            });
+        }
+    }
+
+    fn module_port_width(
+        &mut self,
+        port: &HPort,
+        module: &str,
+        consts: &BTreeMap<String, i64>,
+    ) -> Option<usize> {
+        let v = self.ceval(&port.width, consts).ok()?;
+        if v < 1 {
+            self.diags.push(Diag::new(
+                port.span,
+                format!(
+                    "port '{}' of module '{module}' elaborates to width {v}, \
+                     expected at least 1",
+                    port.name
+                ),
+            ));
+            return None;
+        }
+        usize::try_from(v).ok()
+    }
+
+    fn lower_expr(&mut self, e: &'p HExpr, env: &mut Env) -> Result<ast::Expr, ()> {
+        match e {
+            HExpr::Ref { name } => {
+                let n = self.interp(name, &env.consts)?;
+                let mangled = env.mangle(&n);
+                env.reads.insert(mangled.clone());
+                self.check_strict_read(&n, name.span, &mangled, env)?;
+                Ok(ast::Expr::Ref {
+                    name: mangled,
+                    span: name.span,
+                })
+            }
+            HExpr::Slice { name, lo, hi, span } => {
+                let n = self.interp(name, &env.consts)?;
+                let mangled = env.mangle(&n);
+                env.reads.insert(mangled.clone());
+                self.check_strict_read(&n, name.span, &mangled, env)?;
+                let lov = self.slice_bound(lo, &env.consts)?;
+                let hiv = self.slice_bound(hi, &env.consts)?;
+                Ok(ast::Expr::Slice {
+                    name: mangled,
+                    lo: lov,
+                    hi: hiv,
+                    span: *span,
+                })
+            }
+            HExpr::Op { op, args, span } => {
+                let mut lowered = Vec::with_capacity(args.len());
+                let mut ok = true;
+                for a in args {
+                    match self.lower_expr(a, env) {
+                        Ok(x) => lowered.push(x),
+                        Err(()) => ok = false,
+                    }
+                }
+                if !ok {
+                    return Err(());
+                }
+                Ok(ast::Expr::Op {
+                    op: *op,
+                    args: lowered,
+                    span: *span,
+                })
+            }
+        }
+    }
+
+    /// In a module body every read must resolve to a local definition
+    /// (inputs, earlier bindings); the pipeline stays lenient and lets
+    /// the checker report unknown names on the flat output.
+    fn check_strict_read(
+        &mut self,
+        plain: &str,
+        span: Span,
+        mangled: &str,
+        env: &Env,
+    ) -> Result<(), ()> {
+        if let Some(m) = &env.strict {
+            if !env.cur.contains_key(mangled) {
+                self.diags.push(Diag::new(
+                    span,
+                    format!("'{plain}' is not defined in module '{m}'"),
+                ));
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    fn slice_bound(&mut self, e: &CExpr, consts: &BTreeMap<String, i64>) -> Result<usize, ()> {
+        let v = self.ceval(e, consts)?;
+        usize::try_from(v).map_err(|_| {
+            self.diags.push(Diag::new(
+                e.span(),
+                format!("slice bound elaborates to {v}, expected >= 0"),
+            ));
+        })
+    }
+
+    fn width_of(&self, e: &ast::Expr, env: &Env) -> Option<usize> {
+        match e {
+            ast::Expr::Ref { name, .. } => env.width(name),
+            ast::Expr::Slice { lo, hi, .. } => (hi > lo).then(|| hi - lo),
+            ast::Expr::Op { op, args, .. } => {
+                let widths: Option<Vec<usize>> =
+                    args.iter().map(|a| self.width_of(a, env)).collect();
+                op_result_width(*op, &widths?).ok()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn flat(src: &str) -> ast::Pipeline {
+        expand(&parse(src).expect("parses")).expect("expands")
+    }
+
+    fn errs(src: &str) -> Vec<Diag> {
+        expand(&parse(src).expect("parses")).expect_err("should fail to expand")
+    }
+
+    #[test]
+    fn flat_sources_pass_through() {
+        let src = "pipeline p { input a[4]; output y[5];
+            stage s { y = add(a[0..2], a[2..4], a[1]); } }";
+        let p = flat(src);
+        assert_eq!(p.name, "p");
+        assert_eq!(p.ports.len(), 2);
+        assert_eq!(p.stages.len(), 1);
+        assert!(matches!(&p.stages[0].stmts[0], ast::Stmt::Assign { target, .. } if target == "y"));
+    }
+
+    #[test]
+    fn params_size_ports_and_slices() {
+        let src = "pipeline p { param W = 2 * 3; input a[W]; output y[W - 2];
+            stage s { y = a[2..W]; } }";
+        let p = flat(src);
+        assert_eq!(p.ports[0].width, 6);
+        assert_eq!(p.ports[1].width, 4);
+        let ast::Stmt::Assign { expr, .. } = &p.stages[0].stmts[0] else {
+            panic!("expected assign");
+        };
+        assert!(matches!(expr, ast::Expr::Slice { lo: 2, hi: 6, .. }));
+    }
+
+    #[test]
+    fn statement_loops_unroll_with_interpolation() {
+        let src = "pipeline p { input a[4]; output y[1];
+            stage s {
+              let c#0 = a[0];
+              for k = 0..3 { let c#(k + 1) = xor(c#k, a[k + 1]); }
+              y = c3;
+            } }";
+        let p = flat(src);
+        let names: Vec<&str> = p.stages[0]
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                ast::Stmt::Let { name, .. } => Some(name.as_str()),
+                ast::Stmt::Assign { .. } => None,
+            })
+            .collect();
+        assert_eq!(names, ["c0", "c1", "c2", "c3"]);
+    }
+
+    #[test]
+    fn stage_loops_suffix_stage_names() {
+        let src = "pipeline p { input a[1]; output y[1];
+            for k = 0..2 { stage hop { let a = a; } }
+            stage last { y = a; } }";
+        let p = flat(src);
+        let names: Vec<&str> = p.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["hop_0", "hop_1", "last"]);
+    }
+
+    #[test]
+    fn instantiation_splices_with_qualified_names() {
+        let src = "\
+module buf(W)(input d[W]; output q[W]) { q = d; }
+pipeline p { input a[4]; output y[4];
+  stage s { let x = buf<4>(a); y = x; } }";
+        let p = flat(src);
+        let names: Vec<&str> = p.stages[0]
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                ast::Stmt::Let { name, .. } => Some(name.as_str()),
+                ast::Stmt::Assign { .. } => None,
+            })
+            .collect();
+        assert_eq!(names, ["buf0_d", "buf0_q", "x"]);
+    }
+
+    #[test]
+    fn nested_instantiation_gets_fresh_uids() {
+        let src = "\
+module inner()(input d[1]; output q[1]) { q = d; }
+module outer()(input d[1]; output q[1]) { let t = inner(d); q = t; }
+pipeline p { input a[1]; output y[1];
+  stage s { let u = outer(a); let v = outer(u); y = xor(u, v); } }";
+        let p = flat(src);
+        let names: Vec<String> = p.stages[0]
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                ast::Stmt::Let { name, .. } => Some(name.clone()),
+                ast::Stmt::Assign { .. } => None,
+            })
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "outer0_d", "inner1_d", "inner1_q", "outer0_t", "outer0_q", "u", "outer2_d",
+                "inner3_d", "inner3_q", "outer2_t", "outer2_q", "v"
+            ]
+        );
+    }
+
+    #[test]
+    fn recursion_is_a_cycle_diag() {
+        let src = "\
+module a()(input d[1]; output q[1]) { let t = b(d); q = t; }
+module b()(input d[1]; output q[1]) { let t = a(d); q = t; }
+pipeline p { input x[1]; output y[1]; stage s { let u = a(x); y = u; } }";
+        let ds = errs(src);
+        assert!(
+            ds.iter().any(|d| d
+                .message
+                .contains("recursive instantiation of module 'a' (a → b → a)")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_module_and_undefined_param_diags() {
+        let ds =
+            errs("pipeline p { input a[1]; output y[1]; stage s { let u = ghost(a); y = u; } }");
+        assert!(
+            ds.iter().any(|d| d.message == "unknown module 'ghost'"),
+            "{ds:?}"
+        );
+        let ds = errs("pipeline p { input a[N]; output y[1]; stage s { y = a; } }");
+        assert!(
+            ds.iter()
+                .any(|d| d.message.contains("'N' is not a defined param")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_reversed_loop_ranges_diag() {
+        let ds = errs(
+            "pipeline p { input a[1]; output y[1];
+            stage s { for k = 3..3 { let b#k = a; } y = a; } }",
+        );
+        assert!(
+            ds.iter()
+                .any(|d| d.message.contains("loop range 3..3 is empty")),
+            "{ds:?}"
+        );
+        let ds = errs(
+            "pipeline p { input a[1]; output y[1];
+            stage s { for k = 0..(0 - 2) { let b#k = a; } y = a; } }",
+        );
+        assert!(
+            ds.iter()
+                .any(|d| d.message.contains("loop range 0..-2 is empty")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn instance_port_width_mismatch_diags() {
+        let src = "\
+module buf(W)(input d[W]; output q[W]) { q = d; }
+pipeline p { input a[3]; output y[4];
+  stage s { let x = buf<4>(a); y = x; } }";
+        let ds = errs(src);
+        assert!(
+            ds.iter()
+                .any(|d| d.message.contains("argument 1 of 'buf' has width 3")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn module_body_discipline_diags() {
+        // Unknown local, unused input, never-assigned output.
+        let src = "\
+module bad(W)(input d[W]; input e[W]; output q[W]; output r[W]) { q = ghost; }
+pipeline p { input a[2]; output y[2];
+  stage s { let x, z = bad<2>(a, a); y = xor(x, z); } }";
+        let ds = errs(src);
+        let all = ds
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            all.contains("'ghost' is not defined in module 'bad'"),
+            "{all}"
+        );
+        assert!(all.contains("never reads its input 'e'"), "{all}");
+        assert!(all.contains("never assigns its output 'r'"), "{all}");
+    }
+
+    #[test]
+    fn runaway_generate_loop_hits_the_budget() {
+        let ds = errs(
+            "pipeline p { input a[1]; output y[1];
+            stage s { for k = 0..999999999 { let b#k = a; } y = a; } }",
+        );
+        assert!(ds.iter().any(|d| d.message.contains("exceeded")), "{ds:?}");
+    }
+
+    #[test]
+    fn constant_overflow_is_a_diag() {
+        let ds = errs(
+            "pipeline p { param W = 9223372036854775807 + 1;
+            input a[1]; output y[1]; stage s { y = a; } }",
+        );
+        assert!(ds.iter().any(|d| d.message.contains("overflows")), "{ds:?}");
+    }
+}

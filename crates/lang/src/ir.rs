@@ -197,7 +197,8 @@ mod tests {
             }],
         };
         let printed = ir.to_string();
-        let reparsed = Pipeline::from(&parse(&printed).unwrap());
+        let flat = crate::expand::expand(&parse(&printed).unwrap()).unwrap();
+        let reparsed = Pipeline::from(&flat);
         assert_eq!(reparsed, ir, "printed form:\n{printed}");
     }
 }

@@ -37,6 +37,12 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, Diag> {
             b',' => push1(&mut toks, TokKind::Comma, &mut i),
             b';' => push1(&mut toks, TokKind::Semi, &mut i),
             b'=' => push1(&mut toks, TokKind::Eq, &mut i),
+            b'<' => push1(&mut toks, TokKind::Lt, &mut i),
+            b'>' => push1(&mut toks, TokKind::Gt, &mut i),
+            b'#' => push1(&mut toks, TokKind::Hash, &mut i),
+            b'+' => push1(&mut toks, TokKind::Plus, &mut i),
+            b'-' => push1(&mut toks, TokKind::Minus, &mut i),
+            b'*' => push1(&mut toks, TokKind::Star, &mut i),
             b'.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
                     toks.push(Tok {
@@ -80,6 +86,9 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, Diag> {
                     "output" => TokKind::Output,
                     "stage" => TokKind::Stage,
                     "let" => TokKind::Let,
+                    "module" => TokKind::Module,
+                    "param" => TokKind::Param,
+                    "for" => TokKind::For,
                     _ => TokKind::Ident(text.to_string()),
                 };
                 toks.push(Tok {
@@ -157,6 +166,48 @@ mod tests {
     fn keywords_are_not_identifiers() {
         assert_eq!(kinds("let")[0], TokKind::Let);
         assert_eq!(kinds("lets")[0], TokKind::Ident("lets".into()));
+    }
+
+    #[test]
+    fn hierarchy_tokens_lex() {
+        assert_eq!(
+            kinds("for k = 0..N { let c#k = m<W*2+1, W-1>(a); }"),
+            vec![
+                TokKind::For,
+                TokKind::Ident("k".into()),
+                TokKind::Eq,
+                TokKind::Int(0),
+                TokKind::DotDot,
+                TokKind::Ident("N".into()),
+                TokKind::LBrace,
+                TokKind::Let,
+                TokKind::Ident("c".into()),
+                TokKind::Hash,
+                TokKind::Ident("k".into()),
+                TokKind::Eq,
+                TokKind::Ident("m".into()),
+                TokKind::Lt,
+                TokKind::Ident("W".into()),
+                TokKind::Star,
+                TokKind::Int(2),
+                TokKind::Plus,
+                TokKind::Int(1),
+                TokKind::Comma,
+                TokKind::Ident("W".into()),
+                TokKind::Minus,
+                TokKind::Int(1),
+                TokKind::Gt,
+                TokKind::LParen,
+                TokKind::Ident("a".into()),
+                TokKind::RParen,
+                TokKind::Semi,
+                TokKind::RBrace,
+                TokKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("module")[0], TokKind::Module);
+        assert_eq!(kinds("param")[0], TokKind::Param);
+        assert_eq!(kinds("formal")[0], TokKind::Ident("formal".into()));
     }
 
     #[test]

@@ -10,17 +10,28 @@
 //! Style becomes a one-token compile knob; workloads become data instead
 //! of Rust generator code.
 //!
+//! The language is hierarchical: `module` definitions with integer
+//! params, `param` constants, `for`-generate loops, and `#`-interpolated
+//! names all elaborate into a flat pipeline *before* semantic checking
+//! ("flatten before check"), so a ten-line source can describe a
+//! 64-bit adder or a thousand-net FIFO mesh.
+//!
 //! The pipeline:
 //!
 //! 1. [`parser::parse`] — lexer + recursive-descent parser with byte-span
-//!    diagnostics ([`diag::Diag::render`] reports line/column positions);
-//! 2. [`check::analyze`] — width checking, use-before-def/acyclicity, and
+//!    diagnostics ([`diag::Diag::render`] reports line/column positions)
+//!    producing the hierarchical AST in [`hast`];
+//! 2. [`expand::expand`] — hierarchy expansion: unrolls generate loops,
+//!    evaluates constant expressions, and splices module instances into
+//!    a flat [`ast::Pipeline`] with deterministic instance-qualified
+//!    names (flat sources pass through unchanged);
+//! 3. [`check::analyze`] — width checking, use-before-def/acyclicity, and
 //!    dangling-channel detection;
-//! 3. [`elab::elaborate`] — lowering into a [`msaf_netlist::Netlist`] in
+//! 4. [`elab::elaborate`] — lowering into a [`msaf_netlist::Netlist`] in
 //!    a chosen [`Style`], ready for `msaf_sim::token_run` and the
 //!    `msaf_cad` flow.
 //!
-//! [`compile_msa`] runs all three steps. The `msafc` binary wraps the
+//! [`compile_msa`] runs all four steps. The `msafc` binary wraps the
 //! whole chain up to the compiled fabric report.
 //!
 //! ## Example
@@ -48,6 +59,9 @@ pub mod ast;
 pub mod check;
 pub mod diag;
 pub mod elab;
+pub mod expand;
+pub mod hast;
+pub mod hir;
 pub mod ir;
 pub mod lexer;
 pub mod parser;
@@ -57,6 +71,7 @@ pub use ast::OpKind;
 pub use check::{analyze, Analysis};
 pub use diag::{Diag, Span};
 pub use elab::{elaborate, Style};
+pub use expand::expand;
 pub use parser::parse;
 
 use msaf_netlist::Netlist;
@@ -66,7 +81,10 @@ use msaf_netlist::Netlist;
 pub enum LangError {
     /// Lexing or parsing failed.
     Parse(Diag),
-    /// The pipeline parsed but violates a semantic rule.
+    /// Hierarchy expansion failed (unknown module, instantiation cycle,
+    /// bad constant expression, exhausted elaboration budget, ...).
+    Expand(Vec<Diag>),
+    /// The flattened pipeline violates a semantic rule.
     Check(Vec<Diag>),
 }
 
@@ -77,7 +95,7 @@ impl LangError {
     pub fn render(&self, src: &str) -> String {
         match self {
             LangError::Parse(d) => d.render(src),
-            LangError::Check(ds) => ds
+            LangError::Expand(ds) | LangError::Check(ds) => ds
                 .iter()
                 .map(|d| d.render(src))
                 .collect::<Vec<_>>()
@@ -90,7 +108,7 @@ impl LangError {
     pub fn diags(&self) -> Vec<Diag> {
         match self {
             LangError::Parse(d) => vec![d.clone()],
-            LangError::Check(ds) => ds.clone(),
+            LangError::Expand(ds) | LangError::Check(ds) => ds.clone(),
         }
     }
 }
@@ -99,7 +117,7 @@ impl std::fmt::Display for LangError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LangError::Parse(d) => write!(f, "{d}"),
-            LangError::Check(ds) => {
+            LangError::Expand(ds) | LangError::Check(ds) => {
                 for (i, d) in ds.iter().enumerate() {
                     if i > 0 {
                         writeln!(f)?;
@@ -122,9 +140,10 @@ impl std::error::Error for LangError {}
 /// Returns a [`LangError`] carrying span diagnostics; render them with
 /// [`LangError::render`].
 pub fn compile_msa(src: &str, style: Style) -> Result<Netlist, LangError> {
-    let ast = parser::parse(src).map_err(LangError::Parse)?;
-    let analysis = check::analyze(&ast).map_err(LangError::Check)?;
-    Ok(elab::elaborate(&ast, &analysis, style))
+    let prog = parser::parse(src).map_err(LangError::Parse)?;
+    let flat = expand::expand(&prog).map_err(LangError::Expand)?;
+    let analysis = check::analyze(&flat).map_err(LangError::Check)?;
+    Ok(elab::elaborate(&flat, &analysis, style))
 }
 
 #[cfg(test)]

@@ -1,49 +1,88 @@
-//! Recursive-descent parser for `.msa` pipeline descriptions.
+//! Recursive-descent parser for `.msa` sources.
 //!
 //! Grammar (see `docs/LANG.md` for the prose version):
 //!
 //! ```text
-//! pipeline := "pipeline" IDENT "{" port* stage+ "}"
-//! port     := ("input" | "output") IDENT "[" INT "]" ";"
+//! program  := module* pipeline
+//! module   := "module" IDENT "(" [IDENT ("," IDENT)*] ")"
+//!             "(" (portdecl ";"?)* ")" "{" stmt* "}"
+//! pipeline := "pipeline" IDENT "{" paramdecl* (portdecl ";")* sitem+ "}"
+//! paramdecl:= "param" IDENT "=" cexpr ";"
+//! portdecl := ("input" | "output") IDENT "[" cexpr "]"
+//! sitem    := stage
+//!           | "for" IDENT "=" cexpr ".." cexpr "{" sitem* "}"
 //! stage    := "stage" IDENT "{" stmt* "}"
-//! stmt     := "let" IDENT "=" expr ";"
+//! stmt     := "let" iname ("," iname)* "=" (inst | expr) ";"
 //!           | IDENT "=" expr ";"
-//! expr     := IDENT "(" expr ("," expr)* ")"     — operation call
-//!           | IDENT "[" INT (".." INT)? "]"      — bit slice
-//!           | IDENT                              — whole value
+//!           | "for" IDENT "=" cexpr ".." cexpr "{" stmt* "}"
+//! inst     := IDENT ("<" cexpr ("," cexpr)* ">")? "(" [expr ("," expr)*] ")"
+//! expr     := IDENT "(" expr ("," expr)* ")"       — operation call
+//!           | iname "[" cexpr (".." cexpr)? "]"    — bit slice
+//!           | iname                                — whole value
+//! iname    := IDENT ("#" (INT | IDENT | "(" cexpr ")"))*
+//! cexpr    := cterm (("+" | "-") cterm)*
+//! cterm    := cfactor ("*" cfactor)*
+//! cfactor  := INT | IDENT | "(" cexpr ")"
 //! ```
 //!
 //! Operation names (`and`, `or`, `xor`, `not`, `mux`, `add`, `parity`,
 //! `cat`) are contextual: they are only special immediately before `(`,
-//! so they remain usable as port or binding names.
+//! so they remain usable as port or binding names. An `IDENT(`/`IDENT<`
+//! on a `let` right-hand side that is *not* an operation is a module
+//! instantiation; in any other expression position it is an unknown
+//! operation. Instantiations with multiple binding targets are the only
+//! multi-target statements.
 
-use crate::ast::{Expr, OpKind, Pipeline, Port, PortDir, Stage, Stmt};
+use crate::ast::OpKind;
+use crate::ast::PortDir;
 use crate::diag::{Diag, Span};
+use crate::hast::{
+    CBinOp, CExpr, HExpr, HPipeline, HPort, HStage, HStmt, IName, Module, ParamDecl, Program,
+    StageItem,
+};
 use crate::lexer::lex;
 use crate::token::{Tok, TokKind};
 
-/// Parses a complete `.msa` source text.
+/// Hard cap on expression/constant-expression nesting: arbitrary input
+/// (fuzzed or adversarial) must fail with a diagnostic, never blow the
+/// stack.
+const MAX_DEPTH: usize = 256;
+
+/// Parses a complete `.msa` source text into its hierarchical AST.
 ///
 /// # Errors
 ///
 /// Returns the first lex or parse [`Diag`], whose span points at the
 /// offending source text (render it with [`Diag::render`]).
-pub fn parse(src: &str) -> Result<Pipeline, Diag> {
+pub fn parse(src: &str) -> Result<Program, Diag> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    let mut modules = Vec::new();
+    while p.peek().kind == TokKind::Module {
+        modules.push(p.module()?);
+    }
     let pipeline = p.pipeline()?;
     p.expect_eof()?;
-    Ok(pipeline)
+    Ok(Program { modules, pipeline })
 }
 
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
     }
 
     fn bump(&mut self) -> Tok {
@@ -91,50 +130,250 @@ impl Parser {
         }
     }
 
-    fn int(&mut self, what: &str) -> Result<(usize, Span), Diag> {
-        let t = self.peek().clone();
-        if let TokKind::Int(v) = t.kind {
+    // -- constant expressions -----------------------------------------
+
+    fn cexpr(&mut self) -> Result<CExpr, Diag> {
+        self.depth += 1;
+        let r = self.cexpr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn cexpr_inner(&mut self) -> Result<CExpr, Diag> {
+        if self.depth > MAX_DEPTH {
+            return Err(Diag::new(
+                self.peek().span,
+                "constant expression nesting is too deep",
+            ));
+        }
+        let mut lhs = self.cterm()?;
+        loop {
+            let op = match self.peek().kind {
+                TokKind::Plus => CBinOp::Add,
+                TokKind::Minus => CBinOp::Sub,
+                _ => break,
+            };
             self.bump();
-            Ok((v, t.span))
-        } else {
-            Err(Diag::new(
+            let rhs = self.cterm()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = CExpr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cterm(&mut self) -> Result<CExpr, Diag> {
+        let mut lhs = self.cfactor()?;
+        while self.peek().kind == TokKind::Star {
+            self.bump();
+            let rhs = self.cfactor()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = CExpr::Bin {
+                op: CBinOp::Mul,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cfactor(&mut self) -> Result<CExpr, Diag> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokKind::Int(v) => {
+                self.bump();
+                let value = i64::try_from(v).map_err(|_| {
+                    Diag::new(
+                        t.span,
+                        format!("integer {v} is too large for a constant expression"),
+                    )
+                })?;
+                Ok(CExpr::Int {
+                    value,
+                    span: t.span,
+                })
+            }
+            TokKind::Ident(name) => {
+                self.bump();
+                Ok(CExpr::Var { name, span: t.span })
+            }
+            TokKind::LParen => {
+                self.bump();
+                let e = self.cexpr()?;
+                self.expect(&TokKind::RParen)?;
+                Ok(e)
+            }
+            _ => Err(Diag::new(
                 t.span,
-                format!("expected {what}, found {}", t.kind),
-            ))
+                format!("expected a constant expression, found {}", t.kind),
+            )),
         }
     }
 
-    fn pipeline(&mut self) -> Result<Pipeline, Diag> {
+    /// `IDENT ("#" hole)*` — a possibly interpolated name.
+    fn iname(&mut self, what: &str) -> Result<IName, Diag> {
+        let (base, mut span) = self.ident(what)?;
+        let mut holes = Vec::new();
+        while self.peek().kind == TokKind::Hash {
+            self.bump();
+            let t = self.peek().clone();
+            let hole = match t.kind {
+                TokKind::Int(v) => {
+                    self.bump();
+                    let value = i64::try_from(v).map_err(|_| {
+                        Diag::new(
+                            t.span,
+                            format!("integer {v} is too large for a constant expression"),
+                        )
+                    })?;
+                    span = span.to(t.span);
+                    CExpr::Int {
+                        value,
+                        span: t.span,
+                    }
+                }
+                TokKind::Ident(name) => {
+                    self.bump();
+                    span = span.to(t.span);
+                    CExpr::Var { name, span: t.span }
+                }
+                TokKind::LParen => {
+                    self.bump();
+                    let e = self.cexpr()?;
+                    let close = self.expect(&TokKind::RParen)?;
+                    span = span.to(close.span);
+                    e
+                }
+                _ => {
+                    return Err(Diag::new(
+                        t.span,
+                        format!(
+                            "expected an integer, a constant name or '(' after '#', found {}",
+                            t.kind
+                        ),
+                    ));
+                }
+            };
+            holes.push(hole);
+        }
+        Ok(IName { base, holes, span })
+    }
+
+    // -- declarations -------------------------------------------------
+
+    /// `("input" | "output") IDENT "[" cexpr "]"` without the trailing
+    /// separator. Returns `None` when the next token opens no port.
+    fn port_decl(&mut self) -> Result<Option<HPort>, Diag> {
+        let dir = match self.peek().kind {
+            TokKind::Input => PortDir::Input,
+            TokKind::Output => PortDir::Output,
+            _ => return Ok(None),
+        };
+        let start = self.bump().span;
+        let (name, _) = self.ident("a port name")?;
+        self.expect(&TokKind::LBracket)?;
+        let width = self.cexpr()?;
+        let close = self.expect(&TokKind::RBracket)?;
+        Ok(Some(HPort {
+            name,
+            dir,
+            width,
+            span: start.to(close.span),
+        }))
+    }
+
+    fn module(&mut self) -> Result<Module, Diag> {
+        self.expect(&TokKind::Module)?;
+        let (name, name_span) = self.ident("a module name")?;
+        if OpKind::from_name(&name).is_some() {
+            return Err(Diag::new(
+                name_span,
+                format!("module name '{name}' collides with a built-in operation"),
+            ));
+        }
+        self.expect(&TokKind::LParen)?;
+        let mut params = Vec::new();
+        while self.peek().kind != TokKind::RParen {
+            params.push(self.ident("a param name")?);
+            if self.peek().kind == TokKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokKind::RParen)?;
+        self.expect(&TokKind::LParen)?;
+        let mut ports = Vec::new();
+        while self.peek().kind != TokKind::RParen {
+            match self.port_decl()? {
+                Some(port) => ports.push(port),
+                None => {
+                    let t = self.peek().clone();
+                    return Err(Diag::new(
+                        t.span,
+                        format!(
+                            "expected 'input' or 'output' in the port list, found {}",
+                            t.kind
+                        ),
+                    ));
+                }
+            }
+            if self.peek().kind == TokKind::Semi {
+                self.bump();
+            }
+        }
+        self.expect(&TokKind::RParen)?;
+        self.expect(&TokKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokKind::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(&TokKind::RBrace)?;
+        Ok(Module {
+            name,
+            name_span,
+            params,
+            ports,
+            body,
+        })
+    }
+
+    fn pipeline(&mut self) -> Result<HPipeline, Diag> {
         self.expect(&TokKind::Pipeline)?;
         let (name, name_span) = self.ident("a pipeline name")?;
         self.expect(&TokKind::LBrace)?;
 
-        let mut ports = Vec::new();
-        loop {
-            let dir = match self.peek().kind {
-                TokKind::Input => PortDir::Input,
-                TokKind::Output => PortDir::Output,
-                _ => break,
-            };
-            let start = self.bump().span;
-            let (pname, _) = self.ident("a port name")?;
-            self.expect(&TokKind::LBracket)?;
-            let (width, _) = self.int("a port width")?;
-            self.expect(&TokKind::RBracket)?;
-            let end = self.expect(&TokKind::Semi)?.span;
-            ports.push(Port {
+        let mut params = Vec::new();
+        while self.peek().kind == TokKind::Param {
+            self.bump();
+            let (pname, pname_span) = self.ident("a param name")?;
+            self.expect(&TokKind::Eq)?;
+            let value = self.cexpr()?;
+            self.expect(&TokKind::Semi)?;
+            params.push(ParamDecl {
                 name: pname,
-                dir,
-                width,
-                span: start.to(end),
+                name_span: pname_span,
+                value,
             });
         }
 
-        let mut stages = Vec::new();
-        while self.peek().kind == TokKind::Stage {
-            stages.push(self.stage()?);
+        let mut ports = Vec::new();
+        while let Some(mut port) = self.port_decl()? {
+            let end = self.expect(&TokKind::Semi)?.span;
+            port.span = port.span.to(end);
+            ports.push(port);
         }
-        if stages.is_empty() {
+
+        let mut items = Vec::new();
+        while matches!(self.peek().kind, TokKind::Stage | TokKind::For) {
+            items.push(self.stage_item()?);
+        }
+        if items.is_empty() {
             let t = self.peek().clone();
             return Err(Diag::new(
                 t.span,
@@ -142,15 +381,41 @@ impl Parser {
             ));
         }
         self.expect(&TokKind::RBrace)?;
-        Ok(Pipeline {
+        Ok(HPipeline {
             name,
             name_span,
+            params,
             ports,
-            stages,
+            items,
         })
     }
 
-    fn stage(&mut self) -> Result<Stage, Diag> {
+    fn stage_item(&mut self) -> Result<StageItem, Diag> {
+        if self.peek().kind == TokKind::For {
+            self.bump();
+            let (var, var_span) = self.ident("a loop variable")?;
+            self.expect(&TokKind::Eq)?;
+            let lo = self.cexpr()?;
+            self.expect(&TokKind::DotDot)?;
+            let hi = self.cexpr()?;
+            self.expect(&TokKind::LBrace)?;
+            let mut body = Vec::new();
+            while matches!(self.peek().kind, TokKind::Stage | TokKind::For) {
+                body.push(self.stage_item()?);
+            }
+            self.expect(&TokKind::RBrace)?;
+            return Ok(StageItem::For {
+                var,
+                var_span,
+                lo,
+                hi,
+                body,
+            });
+        }
+        self.stage().map(StageItem::Stage)
+    }
+
+    fn stage(&mut self) -> Result<HStage, Diag> {
         self.expect(&TokKind::Stage)?;
         let (name, name_span) = self.ident("a stage name")?;
         self.expect(&TokKind::LBrace)?;
@@ -159,50 +424,146 @@ impl Parser {
             stmts.push(self.stmt()?);
         }
         self.expect(&TokKind::RBrace)?;
-        Ok(Stage {
+        Ok(HStage {
             name,
             name_span,
             stmts,
         })
     }
 
-    fn stmt(&mut self) -> Result<Stmt, Diag> {
-        if self.peek().kind == TokKind::Let {
-            self.bump();
-            let (name, name_span) = self.ident("a binding name")?;
-            self.expect(&TokKind::Eq)?;
-            let expr = self.expr()?;
-            self.expect(&TokKind::Semi)?;
-            return Ok(Stmt::Let {
-                name,
-                name_span,
-                expr,
-            });
+    fn stmt(&mut self) -> Result<HStmt, Diag> {
+        match self.peek().kind {
+            TokKind::Let => {
+                self.bump();
+                let mut targets = vec![self.iname("a binding name")?];
+                while self.peek().kind == TokKind::Comma {
+                    self.bump();
+                    targets.push(self.iname("a binding name")?);
+                }
+                self.expect(&TokKind::Eq)?;
+                // `IDENT <` or `IDENT (` with a non-operation name on a
+                // `let` right-hand side is a module instantiation; so is
+                // any multi-target right-hand side.
+                let is_inst = match (&self.peek().kind, &self.peek2().kind) {
+                    (TokKind::Ident(_), TokKind::Lt) => true,
+                    (TokKind::Ident(name), TokKind::LParen) => OpKind::from_name(name).is_none(),
+                    _ => false,
+                };
+                if targets.len() > 1 && !is_inst {
+                    let t = self.peek().clone();
+                    return Err(Diag::new(
+                        t.span,
+                        "multiple binding targets require a module instantiation \
+                         on the right-hand side",
+                    ));
+                }
+                if is_inst {
+                    let stmt = self.inst(targets)?;
+                    self.expect(&TokKind::Semi)?;
+                    return Ok(stmt);
+                }
+                let name = targets.pop().expect("one target");
+                let expr = self.expr()?;
+                self.expect(&TokKind::Semi)?;
+                Ok(HStmt::Let { name, expr })
+            }
+            TokKind::For => {
+                self.bump();
+                let (var, var_span) = self.ident("a loop variable")?;
+                self.expect(&TokKind::Eq)?;
+                let lo = self.cexpr()?;
+                self.expect(&TokKind::DotDot)?;
+                let hi = self.cexpr()?;
+                self.expect(&TokKind::LBrace)?;
+                let mut body = Vec::new();
+                while self.peek().kind != TokKind::RBrace {
+                    body.push(self.stmt()?);
+                }
+                self.expect(&TokKind::RBrace)?;
+                Ok(HStmt::For {
+                    var,
+                    var_span,
+                    lo,
+                    hi,
+                    body,
+                })
+            }
+            _ => {
+                let (target, target_span) = self.ident("'let' or an output port name")?;
+                self.expect(&TokKind::Eq)?;
+                let expr = self.expr()?;
+                self.expect(&TokKind::Semi)?;
+                Ok(HStmt::Assign {
+                    target,
+                    target_span,
+                    expr,
+                })
+            }
         }
-        let (target, target_span) = self.ident("'let' or an output port name")?;
-        self.expect(&TokKind::Eq)?;
-        let expr = self.expr()?;
-        self.expect(&TokKind::Semi)?;
-        Ok(Stmt::Assign {
-            target,
-            target_span,
-            expr,
+    }
+
+    /// `IDENT ("<" cexpr,* ">")? "(" expr,* ")"` — the statement already
+    /// committed to an instantiation.
+    fn inst(&mut self, targets: Vec<IName>) -> Result<HStmt, Diag> {
+        let (module, module_span) = self.ident("a module name")?;
+        let mut params = Vec::new();
+        if self.peek().kind == TokKind::Lt {
+            self.bump();
+            params.push(self.cexpr()?);
+            while self.peek().kind == TokKind::Comma {
+                self.bump();
+                params.push(self.cexpr()?);
+            }
+            self.expect(&TokKind::Gt)?;
+        }
+        self.expect(&TokKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokKind::RParen {
+            args.push(self.expr()?);
+            while self.peek().kind == TokKind::Comma {
+                self.bump();
+                args.push(self.expr()?);
+            }
+        }
+        let close = self.expect(&TokKind::RParen)?;
+        Ok(HStmt::Inst {
+            targets,
+            module,
+            module_span,
+            params,
+            args,
+            span: module_span.to(close.span),
         })
     }
 
-    fn expr(&mut self) -> Result<Expr, Diag> {
-        let (name, name_span) = self.ident("an expression")?;
+    fn expr(&mut self) -> Result<HExpr, Diag> {
+        self.depth += 1;
+        let r = self.expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self) -> Result<HExpr, Diag> {
+        if self.depth > MAX_DEPTH {
+            return Err(Diag::new(
+                self.peek().span,
+                "expression nesting is too deep",
+            ));
+        }
+        let name = self.iname("an expression")?;
         match self.peek().kind {
-            TokKind::LParen => {
-                let op = OpKind::from_name(&name).ok_or_else(|| {
+            TokKind::LParen if name.holes.is_empty() => {
+                let op = OpKind::from_name(&name.base).ok_or_else(|| {
                     Diag::new(
-                        name_span,
+                        name.span,
                         format!(
-                            "unknown operation '{name}' (expected one of and, or, xor, \
-                             not, mux, add, parity, cat)"
+                            "unknown operation '{}' (expected one of and, or, xor, \
+                             not, mux, add, parity, cat)",
+                            name.base
                         ),
                     )
                 })?;
+                let name_span = name.span;
                 self.bump();
                 let mut args = vec![self.expr()?];
                 while self.peek().kind == TokKind::Comma {
@@ -229,29 +590,31 @@ impl Parser {
                         ),
                     ));
                 }
-                Ok(Expr::Op { op, args, span })
+                Ok(HExpr::Op { op, args, span })
             }
             TokKind::LBracket => {
                 self.bump();
-                let (lo, _) = self.int("a bit index")?;
+                let lo = self.cexpr()?;
                 let hi = if self.peek().kind == TokKind::DotDot {
                     self.bump();
-                    self.int("an end bit index")?.0
+                    self.cexpr()?
                 } else {
-                    lo + 1
+                    // `a[i]` is sugar for `a[i..i+1]`.
+                    CExpr::Bin {
+                        op: CBinOp::Add,
+                        lhs: Box::new(lo.clone()),
+                        rhs: Box::new(CExpr::Int {
+                            value: 1,
+                            span: lo.span(),
+                        }),
+                        span: lo.span(),
+                    }
                 };
                 let close = self.expect(&TokKind::RBracket)?;
-                Ok(Expr::Slice {
-                    name,
-                    lo,
-                    hi,
-                    span: name_span.to(close.span),
-                })
+                let span = name.span.to(close.span);
+                Ok(HExpr::Slice { name, lo, hi, span })
             }
-            _ => Ok(Expr::Ref {
-                name,
-                span: name_span,
-            }),
+            _ => Ok(HExpr::Ref { name }),
         }
     }
 }
@@ -271,30 +634,94 @@ pipeline adder2 {
 }
 ";
 
+    fn pipeline_of(src: &str) -> HPipeline {
+        parse(src).unwrap().pipeline
+    }
+
     #[test]
     fn parses_the_adder() {
-        let p = parse(ADDER).unwrap();
+        let p = pipeline_of(ADDER);
         assert_eq!(p.name, "adder2");
         assert_eq!(p.ports.len(), 2);
-        assert_eq!(p.stages.len(), 1);
-        let Stmt::Assign { target, expr, .. } = &p.stages[0].stmts[0] else {
+        assert_eq!(p.items.len(), 1);
+        let StageItem::Stage(stage) = &p.items[0] else {
+            panic!("expected a stage");
+        };
+        let HStmt::Assign { target, expr, .. } = &stage.stmts[0] else {
             panic!("expected an assignment");
         };
         assert_eq!(target, "res");
-        let Expr::Op { op, args, .. } = expr else {
+        let HExpr::Op { op, args, .. } = expr else {
             panic!("expected an op");
         };
         assert_eq!(*op, OpKind::Add);
         assert_eq!(args.len(), 3);
-        assert_eq!(
-            args[2],
-            Expr::Slice {
-                name: "op".into(),
-                lo: 4,
-                hi: 5,
-                span: args[2].span(),
-            }
-        );
+        // `op[4]` desugars to the half-open slice `op[4..4+1]`.
+        let HExpr::Slice { name, lo, hi, .. } = &args[2] else {
+            panic!("expected a slice");
+        };
+        assert_eq!(name.base, "op");
+        assert!(name.holes.is_empty());
+        assert!(matches!(lo, CExpr::Int { value: 4, .. }));
+        assert!(matches!(hi, CExpr::Bin { .. }));
+    }
+
+    #[test]
+    fn parses_modules_params_and_loops() {
+        let src = "\
+module vadd(W)(input x[W]; input y[W]; input ci[1]; output r[W + 1]) {
+  r = add(x, y, ci);
+}
+pipeline p {
+  param N = 2 * 2;
+  input a[N];
+  output s[5];
+  stage sum {
+    let c#0 = a[0];
+    for k = 0..N {
+      let c#(k + 1) = c#k;
+    }
+    let lo, hi = vadd<N - 2>(a[0..2], a[2..4], c#N);
+    s = cat(lo, hi);
+  }
+}
+";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.modules.len(), 1);
+        let m = &prog.modules[0];
+        assert_eq!(m.name, "vadd");
+        assert_eq!(m.params.len(), 1);
+        assert_eq!(m.ports.len(), 4);
+        assert!(matches!(m.ports[3].width, CExpr::Bin { .. }));
+        assert_eq!(prog.pipeline.params.len(), 1);
+        let StageItem::Stage(stage) = &prog.pipeline.items[0] else {
+            panic!("expected a stage");
+        };
+        assert!(matches!(&stage.stmts[1], HStmt::For { var, .. } if var == "k"));
+        let HStmt::Inst {
+            targets,
+            module,
+            params,
+            args,
+            ..
+        } = &stage.stmts[2]
+        else {
+            panic!("expected an instantiation, got {:?}", stage.stmts[2]);
+        };
+        assert_eq!(targets.len(), 2);
+        assert_eq!(module, "vadd");
+        assert_eq!(params.len(), 1);
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn parses_stage_level_generate_loops() {
+        let src = "pipeline p { input a[1]; output y[1];
+            for k = 0..3 { stage hop { let x = x; } }
+            stage last { y = x; } }";
+        let p = pipeline_of(src);
+        assert_eq!(p.items.len(), 2);
+        assert!(matches!(&p.items[0], StageItem::For { body, .. } if body.len() == 1));
     }
 
     #[test]
@@ -308,6 +735,9 @@ pipeline adder2 {
 
     #[test]
     fn unknown_op_is_an_error() {
+        // In *expression* position (an assignment right-hand side) an
+        // unknown call is an unknown operation, not an instantiation —
+        // instantiations are `let`-statement-only.
         let src = "pipeline p { input a[1]; output b[1]; stage s { b = nandify(a); } }";
         let err = parse(src).unwrap_err();
         assert!(err.message.contains("unknown operation"), "{}", err.message);
@@ -324,8 +754,45 @@ pipeline adder2 {
     fn op_names_are_contextual() {
         // 'add' as a port name is fine; only `add(` is an operation.
         let src = "pipeline p { input add[2]; output b[2]; stage s { b = add; } }";
-        let p = parse(src).unwrap();
+        let p = pipeline_of(src);
         assert_eq!(p.ports[0].name, "add");
+    }
+
+    #[test]
+    fn op_named_module_rejected_at_definition() {
+        let src = "module add()(input a[1]; output y[1]) { y = a; }
+            pipeline p { input a[1]; output y[1]; stage s { y = a; } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("collides"), "{}", err.message);
+    }
+
+    #[test]
+    fn multi_target_needs_instantiation() {
+        let src = "pipeline p { input a[1]; output y[1];
+            stage s { let u, v = not(a); y = u; } }";
+        let err = parse(src).unwrap_err();
+        assert!(
+            err.message.contains("module instantiation"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn bad_interpolation_hole_rejected() {
+        let src = "pipeline p { input a[1]; output y[1]; stage s { let c#; = a; y = a; } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("after '#'"), "{}", err.message);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_diag_not_a_stack_overflow() {
+        let mut src = String::from("pipeline p { input a[1]; output y[1]; stage s { y = a[");
+        src.push_str(&"(".repeat(4000));
+        assert!(parse(&src).is_err());
+        let mut src2 = String::from("pipeline p { input a[1]; output y[1]; stage s { y = ");
+        src2.push_str(&"not(".repeat(4000));
+        assert!(parse(&src2).is_err());
     }
 
     #[test]
@@ -340,5 +807,8 @@ pipeline adder2 {
         assert!(parse("").is_err());
         assert!(parse("pipeline").is_err());
         assert!(parse("pipeline p {").is_err());
+        assert!(parse("module m(").is_err());
+        assert!(parse("module m()(input a[1]) { }").is_err());
+        assert!(parse("pipeline p { for k = 0.. ").is_err());
     }
 }

@@ -16,6 +16,12 @@ pub enum TokKind {
     Stage,
     /// Keyword `let`.
     Let,
+    /// Keyword `module`.
+    Module,
+    /// Keyword `param`.
+    Param,
+    /// Keyword `for`.
+    For,
     /// An identifier (`[A-Za-z_][A-Za-z0-9_]*`, keywords excluded).
     Ident(String),
     /// An unsigned decimal integer.
@@ -40,6 +46,18 @@ pub enum TokKind {
     Eq,
     /// `..`
     DotDot,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `#`
+    Hash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
     /// End of input (synthesised once at the end of the stream).
     Eof,
 }
@@ -52,6 +70,9 @@ impl fmt::Display for TokKind {
             TokKind::Output => f.write_str("'output'"),
             TokKind::Stage => f.write_str("'stage'"),
             TokKind::Let => f.write_str("'let'"),
+            TokKind::Module => f.write_str("'module'"),
+            TokKind::Param => f.write_str("'param'"),
+            TokKind::For => f.write_str("'for'"),
             TokKind::Ident(s) => write!(f, "identifier '{s}'"),
             TokKind::Int(n) => write!(f, "integer {n}"),
             TokKind::LBrace => f.write_str("'{'"),
@@ -64,6 +85,12 @@ impl fmt::Display for TokKind {
             TokKind::Semi => f.write_str("';'"),
             TokKind::Eq => f.write_str("'='"),
             TokKind::DotDot => f.write_str("'..'"),
+            TokKind::Lt => f.write_str("'<'"),
+            TokKind::Gt => f.write_str("'>'"),
+            TokKind::Hash => f.write_str("'#'"),
+            TokKind::Plus => f.write_str("'+'"),
+            TokKind::Minus => f.write_str("'-'"),
+            TokKind::Star => f.write_str("'*'"),
             TokKind::Eof => f.write_str("end of input"),
         }
     }

@@ -1,0 +1,137 @@
+//! Golden diagnostics for the hierarchy front-end: each elaboration
+//! failure mode renders a span-pointing error (`Diag::render` — message,
+//! `line:col`, offending source line, caret underline) pinned here
+//! byte-for-byte.
+
+use msaf_lang::{expand, parser::parse};
+
+/// Parse + expand `src`, expecting elaboration to fail, and render the
+/// first diagnostic against the source.
+fn render_first(src: &str) -> String {
+    let prog = parse(src).expect("source parses; failure is in expansion");
+    let diags = expand(&prog).expect_err("expansion must fail");
+    assert!(!diags.is_empty());
+    diags[0].render(src)
+}
+
+#[test]
+fn recursive_instantiation_points_at_the_cycle() {
+    let src = "\
+module a(W)(input d[W]; output q[W]) {
+  let t = b<W>(d);
+  q = t;
+}
+module b(W)(input d[W]; output q[W]) {
+  let t = a<W>(d);
+  q = t;
+}
+pipeline p {
+  input x[4];
+  output y[4];
+  stage s {
+    let t = a<4>(x);
+    y = t;
+  }
+}
+";
+    assert_eq!(
+        render_first(src),
+        "error: recursive instantiation of module 'a' (a \u{2192} b \u{2192} a) at 6:11
+  |   let t = a<W>(d);
+  |           ^"
+    );
+}
+
+#[test]
+fn undefined_param_points_at_the_use() {
+    let src = "\
+pipeline p {
+  input x[4];
+  output y[4];
+  stage s {
+    for k = 0..N {
+      let t#k = x;
+    }
+    y = t#0;
+  }
+}
+";
+    assert_eq!(
+        render_first(src),
+        "error: 'N' is not a defined param or loop variable at 5:16
+  |     for k = 0..N {
+  |                ^"
+    );
+}
+
+#[test]
+fn empty_loop_range_is_an_error() {
+    // A zero-trip generate-loop almost always means a miscomputed bound
+    // (`0..0` elaborates no statements and every later read dangles), so
+    // the expander rejects it at the range, not downstream.
+    let src = "\
+pipeline p {
+  param N = 0;
+  input x[4];
+  output y[4];
+  stage s {
+    for k = 0..N {
+      let t#k = x;
+    }
+    y = x;
+  }
+}
+";
+    assert_eq!(
+        render_first(src),
+        "error: loop range 0..0 is empty at 6:13
+  |     for k = 0..N {
+  |             ^^^^"
+    );
+}
+
+#[test]
+fn negative_loop_bound_is_an_error() {
+    let src = "\
+pipeline p {
+  param N = 2;
+  input x[4];
+  output y[4];
+  stage s {
+    for k = 0..(N - 4) {
+      let t#k = x;
+    }
+    y = x;
+  }
+}
+";
+    assert_eq!(
+        render_first(src),
+        "error: loop range 0..-2 is empty at 6:13
+  |     for k = 0..(N - 4) {
+  |             ^^^^^^^^^"
+    );
+}
+
+#[test]
+fn instance_port_width_mismatch_points_at_the_argument() {
+    let src = "\
+module buf(W)(input d[W]; output q[W]) {
+  q = d;
+}
+pipeline p {
+  input x[4];
+  output y[8];
+  stage s {
+    let t = buf<8>(x);
+    y = t;
+  }
+}
+";
+    assert_eq!(
+        render_first(src),
+        "error: argument 1 of 'buf' has width 4, but port 'd' expects width 8 at 8:20
+  |     let t = buf<8>(x);
+  |                    ^"
+    );
+}

@@ -362,7 +362,10 @@ impl DiConsumer {
                     return None;
                 }
             }
-            scale *= self.radix;
+            // Wrapping: after the most-significant digit of a 64-bit
+            // channel (e.g. 64 binary digits) the next scale is 2^64,
+            // which is never used but would overflow the multiply.
+            scale = scale.wrapping_mul(self.radix);
         }
         Some(value)
     }
