@@ -2,9 +2,9 @@
 
 use crate::bitgen::{assemble, bind, BitgenError};
 use crate::pack::{pack, PackError, PackedDesign};
-use crate::place::{place, PlaceError, Placement};
+use crate::place::{place_traced, PlaceError, PlaceOptions, Placement};
 use crate::report::FlowReport;
-use crate::route::{route_timed, RouteError, RouteOptions};
+use crate::route::{route_traced, RouteError, RouteOptions};
 use crate::techmap::{map, MapError, MappedDesign};
 use crate::timing::{RouteTimingCtx, TimingGraph};
 use msaf_fabric::arch::ArchSpec;
@@ -12,6 +12,7 @@ use msaf_fabric::bitstream::FabricConfig;
 use msaf_fabric::rrg::Rrg;
 use msaf_fabric::utilization::Utilization;
 use msaf_netlist::Netlist;
+use msaf_trace::{Metrics, Tracer};
 
 /// Options for [`compile`].
 #[derive(Debug, Clone)]
@@ -29,6 +30,12 @@ pub struct FlowOptions {
     pub channel_width: Option<usize>,
     /// Router knobs.
     pub route: RouteOptions,
+    /// Flight recorder for the whole flow (stage spans, per-iteration
+    /// router events, annealing progress, timing sweeps). The default
+    /// no-op tracer costs one branch per instrumentation site;
+    /// `tests/trace_determinism.rs` pins that every result is
+    /// byte-identical with or without a sink installed.
+    pub tracer: Tracer,
 }
 
 impl Default for FlowOptions {
@@ -39,6 +46,7 @@ impl Default for FlowOptions {
             grid: None,
             channel_width: None,
             route: RouteOptions::default(),
+            tracer: Tracer::default(),
         }
     }
 }
@@ -108,9 +116,12 @@ fn size_grid(plbs: usize, io: usize) -> (usize, usize) {
 /// channel-width doublings before giving up (unless the width is
 /// pinned).
 pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, FlowError> {
+    let tracer = &opts.tracer;
     let stage = std::time::Instant::now();
+    let pack_span = tracer.span("flow.pack");
     let mapped = map(netlist, &opts.arch).map_err(FlowError::Map)?;
     let packed = pack(&mapped, &opts.arch).map_err(FlowError::Pack)?;
+    drop(pack_span);
     let pack_ms = stage.elapsed().as_secs_f64() * 1e3;
 
     let io = mapped.io_signals().len();
@@ -127,7 +138,16 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     arch.name = format!("{}-{w}x{h}", opts.arch.name);
 
     let stage = std::time::Instant::now();
-    let placement = place(&mapped, &packed, &arch, opts.seed).map_err(FlowError::Place)?;
+    let place_span = tracer.span("flow.place");
+    let placement = place_traced(
+        &mapped,
+        &packed,
+        &arch,
+        &PlaceOptions::seeded(opts.seed),
+        tracer,
+    )
+    .map_err(FlowError::Place)?;
+    drop(place_span);
     let place_ms = stage.elapsed().as_secs_f64() * 1e3;
 
     // Route, widening channels on congestion failure. The flow always
@@ -137,6 +157,7 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     // delay, slacks); raising `FlowOptions::route.timing_fac` makes the
     // criticalities steer the search.
     let stage = std::time::Instant::now();
+    let route_span = tracer.span("flow.route");
     let mut attempts = if opts.channel_width.is_some() { 1 } else { 4 };
     // The timing graph depends only on the mapped design — build it once
     // and clone per widening retry.
@@ -150,7 +171,8 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
             &binding.requests,
             &binding.request_signals,
         );
-        match route_timed(&rrg, &binding.requests, &opts.route, &mut ctx) {
+        ctx.set_tracer(tracer.clone());
+        match route_traced(&rrg, &binding.requests, &opts.route, Some(&mut ctx), tracer) {
             Ok(routed) => {
                 let timing = ctx.pre_route_report().clone();
                 let summary = ctx.summary();
@@ -162,15 +184,51 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
                     return Err(FlowError::Route(e));
                 }
                 arch.channel_width *= 2;
+                tracer.event("flow.widen_channel", || {
+                    vec![
+                        ("new_channel_width", arch.channel_width.into()),
+                        ("attempts_left", i64::from(attempts).into()),
+                        (
+                            "reason",
+                            "routing congestion: unresolved overuse at this width".into(),
+                        ),
+                    ]
+                });
             }
         }
     };
+    drop(route_span);
 
     let route_ms = stage.elapsed().as_secs_f64() * 1e3;
 
+    let bitgen_span = tracer.span("flow.bitgen");
     let config = assemble(binding, routed.trees);
     config.check(&rrg).map_err(FlowError::Check)?;
     let utilization = Utilization::of(&config);
+    drop(bitgen_span);
+
+    // Effort observables as a typed counter map. Sourced exclusively
+    // from the deterministic result structs (never the trace recorder),
+    // so the map is identical with tracing on or off.
+    let mut metrics = Metrics::new();
+    metrics.set("flow.source_gates", netlist.gates().len() as u64);
+    metrics.set("flow.les", mapped.les.len() as u64);
+    metrics.set("flow.pdes", mapped.pdes.len() as u64);
+    metrics.set("flow.plbs", packed.plb_count() as u64);
+    metrics.set("place.moves_attempted", placement.stats.moves_attempted);
+    metrics.set("place.moves_accepted", placement.stats.moves_accepted);
+    metrics.set("route.iterations", routed.iterations as u64);
+    metrics.set("route.nodes_popped", routed.stats.nodes_popped);
+    metrics.set("route.ripups", routed.stats.ripups);
+    metrics.set("route.conflict_colors", routed.stats.conflict_colors);
+    metrics.set("route.max_class", routed.stats.max_class);
+    metrics.set("route.wirelength", config.total_wirelength() as u64);
+    metrics.set(
+        "timing.critical_delay",
+        timing_summary.post_route_critical_delay,
+    );
+    metrics.set("timing.worst_slack", timing_summary.worst_slack);
+
     let report = FlowReport {
         design: netlist.name().to_string(),
         arch: arch.name.clone(),
@@ -201,6 +259,7 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
         utilization,
         timing,
         timing_summary,
+        metrics,
     };
 
     Ok(CompiledDesign {

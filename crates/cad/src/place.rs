@@ -31,6 +31,7 @@
 use crate::pack::PackedDesign;
 use crate::techmap::{MappedDesign, Producer, SignalId};
 use msaf_fabric::arch::ArchSpec;
+use msaf_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -461,6 +462,27 @@ pub fn place_with(
     arch: &ArchSpec,
     opts: &PlaceOptions,
 ) -> Result<Placement, PlaceError> {
+    place_traced(design, packed, arch, opts, &Tracer::default())
+}
+
+/// [`place_with`] plus a [`Tracer`] that receives one
+/// `place.temperature` event per annealing temperature step
+/// (temperature, acceptance rate, cost, range limit — i.e. progress
+/// every `moves_per_t` moves) and a running `place.cost` counter.
+/// Tracing observes only: the move sequence, acceptances and final
+/// placement are byte-identical with any sink or none (the RNG stream
+/// and cost arithmetic never see the tracer).
+///
+/// # Errors
+///
+/// See [`PlaceError`].
+pub fn place_traced(
+    design: &MappedDesign,
+    packed: &PackedDesign,
+    arch: &ArchSpec,
+    opts: &PlaceOptions,
+    tracer: &Tracer,
+) -> Result<Placement, PlaceError> {
     let capacity = arch.plb_count();
     let n = packed.plb_count();
     if n > capacity {
@@ -549,6 +571,20 @@ pub fn place_with(
             } else {
                 accepted_this_t as f64 / attempted_this_t as f64
             };
+            // Annealing progress, once per temperature step (i.e. every
+            // `moves_per_t` moves): enough to plot the cooling curve
+            // without per-move overhead.
+            tracer.event("place.temperature", || {
+                vec![
+                    ("temp", temp.into()),
+                    ("acceptance", rate.into()),
+                    ("cost", cost.into()),
+                    ("rlim", rlim.into()),
+                    ("moves", attempted_this_t.into()),
+                ]
+            });
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            tracer.counter("place.cost", cost.max(0.0) as u64);
             rlim = (rlim * (0.56 + rate)).clamp(1.0, max_dim);
             temp *= 0.8;
         }

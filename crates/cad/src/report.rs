@@ -4,6 +4,7 @@
 
 use crate::timing::{TimingReport, TimingSummary};
 use msaf_fabric::utilization::Utilization;
+use msaf_trace::Metrics;
 use std::fmt;
 
 /// Summary of one complete compile.
@@ -57,6 +58,13 @@ pub struct FlowReport {
     /// slack and the per-net criticality histogram from the routing
     /// run's timing context.
     pub timing_summary: TimingSummary,
+    /// Typed counter map of the flow's effort observables (router pops
+    /// and rip-ups, annealing moves, wirelength, ...): everything above
+    /// that is an integer, in one machine-readable place. Populated
+    /// identically whether or not a trace sink is installed — metrics
+    /// come from the deterministic result structs, never from the
+    /// recorder.
+    pub metrics: Metrics,
 }
 
 impl FlowReport {
@@ -126,6 +134,9 @@ impl fmt::Display for FlowReport {
             self.timing.levels, self.timing.critical_delay
         )?;
         writeln!(f, "routed timing    : {}", self.timing_summary)?;
+        if !self.metrics.is_empty() {
+            writeln!(f, "metrics          : {}", self.metrics)?;
+        }
         writeln!(f, "{}", self.utilization)?;
         Ok(())
     }
@@ -171,6 +182,11 @@ mod tests {
                 worst_slack: 3,
                 crit_histogram: [0; 10],
             },
+            metrics: {
+                let mut m = Metrics::new();
+                m.set("route.ripups", 6);
+                m
+            },
         };
         let text = report.to_string();
         for needle in [
@@ -181,6 +197,7 @@ mod tests {
             "negotiation",
             "stage times",
             "routed timing",
+            "metrics",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }

@@ -137,6 +137,7 @@
 use crate::conflict::{overlaps, ConflictGraph};
 use msaf_fabric::bitstream::RouteTree;
 use msaf_fabric::rrg::{NodeId, NodeSpan, RrNodeKind, Rrg};
+use msaf_trace::Tracer;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
@@ -585,7 +586,7 @@ pub fn route(
     requests: &[RouteRequest],
     opts: &RouteOptions,
 ) -> Result<RoutingResult, RouteError> {
-    route_impl(rrg, requests, opts, None)
+    route_impl(rrg, requests, opts, None, &Tracer::default())
 }
 
 /// Timing-driven routing: like [`route`], but each search's cost blends
@@ -608,7 +609,30 @@ pub fn route_timed(
     opts: &RouteOptions,
     timing: &mut dyn TimingSource,
 ) -> Result<RoutingResult, RouteError> {
-    route_impl(rrg, requests, opts, Some(timing))
+    route_impl(rrg, requests, opts, Some(timing), &Tracer::default())
+}
+
+/// The fully-instrumented entry point: [`route_timed`] (or [`route`],
+/// when `timing` is `None`) plus a [`Tracer`] that receives one
+/// `route.iteration` event per PathFinder iteration (overuse, rip-ups,
+/// nodes popped, colors), `route.class` spans around every negotiation
+/// group — on the worker threads actually routing them — and explicit
+/// `route.serial_discipline` / `route.chunk_capped` events whenever the
+/// router declines to parallelize. Tracing is observation only: results
+/// are byte-identical to the untraced entry points, sink or no sink
+/// (pinned by `tests/trace_determinism.rs`).
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route_traced(
+    rrg: &Rrg,
+    requests: &[RouteRequest],
+    opts: &RouteOptions,
+    timing: Option<&mut dyn TimingSource>,
+    tracer: &Tracer,
+) -> Result<RoutingResult, RouteError> {
+    route_impl(rrg, requests, opts, timing, tracer)
 }
 
 fn route_impl(
@@ -616,7 +640,18 @@ fn route_impl(
     requests: &[RouteRequest],
     opts: &RouteOptions,
     mut timing: Option<&mut dyn TimingSource>,
+    tracer: &Tracer,
 ) -> Result<RoutingResult, RouteError> {
+    // `MSAF_CONFLICT_DEBUG` shortcut: the historical stderr diagnostics
+    // are ordinary trace events now; the env var just installs a stderr
+    // sink when the caller didn't attach one of their own.
+    let stderr_tracer;
+    let tracer = if !tracer.enabled() && std::env::var_os("MSAF_CONFLICT_DEBUG").is_some() {
+        stderr_tracer = Tracer::stderr();
+        &stderr_tracer
+    } else {
+        tracer
+    };
     let n = rrg.len();
     let threads = opts.threads.max(1);
     let chunk_size = opts.chunk.max(1);
@@ -648,6 +683,10 @@ fn route_impl(
     let mut walk = DelayWalk::new(if timing.is_some() { n } else { 0 });
 
     for iteration in 0..opts.max_iterations {
+        // Per-iteration trace deltas (the totals keep accumulating).
+        let ripups_before = ripups;
+        let popped_before = popped;
+        let mut iter_colors = 0u32;
         let cm = CostModel {
             history: &history,
             pres_fac,
@@ -680,6 +719,22 @@ fn route_impl(
             // scattered and nearly independent.
             const MIN_CHUNKS: usize = 16;
             let eff_chunk = chunk_size.min((reroute.len() / MIN_CHUNKS).max(1));
+            if eff_chunk < chunk_size {
+                // Why parallelism did not engage at full width: committed
+                // traces must explain the cap, not silently drop to it.
+                tracer.event("route.chunk_capped", || {
+                    vec![
+                        ("iteration", iteration.into()),
+                        ("requested_chunk", chunk_size.into()),
+                        ("effective_chunk", eff_chunk.into()),
+                        ("nets", reroute.len().into()),
+                        (
+                            "reason",
+                            "len/16 floor: chunks never coarser than 1/16 of the route list".into(),
+                        ),
+                    ]
+                });
+            }
             let nchunks = reroute.len().div_ceil(eff_chunk).max(1);
             (0..nchunks)
                 .map(|j| reroute.iter().copied().skip(j).step_by(nchunks).collect())
@@ -746,18 +801,21 @@ fn route_impl(
             }
             let graph = ConflictGraph::from_members(reroute.len(), &members);
             let coloring = graph.greedy_color();
-            if std::env::var_os("MSAF_CONFLICT_DEBUG").is_some() {
+            // The former MSAF_CONFLICT_DEBUG eprintln, as a structured
+            // event (the env var now installs a stderr sink up top).
+            tracer.event("route.conflict_coloring", || {
                 let mut sizes: Vec<usize> = coloring.classes().iter().map(Vec::len).collect();
                 sizes.sort_unstable_by(|a, b| b.cmp(a));
-                eprintln!(
-                    "iter {iteration}: reroute {} hotspots {} edges {} colors {} sizes {:?}",
-                    reroute.len(),
-                    hotspots.len(),
-                    graph.edges(),
-                    coloring.num_colors,
-                    sizes
-                );
-            }
+                vec![
+                    ("iteration", iteration.into()),
+                    ("rerouted", reroute.len().into()),
+                    ("hotspots", hotspots.len().into()),
+                    ("edges", graph.edges().into()),
+                    ("colors", coloring.num_colors.into()),
+                    ("sizes", format!("{sizes:?}").into()),
+                ]
+            });
+            iter_colors = coloring.num_colors;
             conflict_colors += u64::from(coloring.num_colors);
             max_class = max_class.max(coloring.max_class() as u64);
             coloring
@@ -768,6 +826,16 @@ fn route_impl(
         } else {
             // `chunk = 1`: the historical fully-serial Gauss-Seidel
             // discipline — the goldens' escape hatch, no conflict graph.
+            tracer.event("route.serial_discipline", || {
+                vec![
+                    ("iteration", iteration.into()),
+                    ("rerouted", reroute.len().into()),
+                    (
+                        "reason",
+                        "chunk=1: historical net-by-net Gauss-Seidel, no conflict graph".into(),
+                    ),
+                ]
+            });
             reroute.iter().map(|&ri| vec![ri]).collect()
         };
         if scratches.len() >= 2 && groups.iter().any(|g| g.len() >= 2) {
@@ -782,11 +850,23 @@ fn route_impl(
                 &mut scratches,
                 &mut popped,
                 &mut ripups,
+                tracer,
             )?;
         } else {
             // Serial schedule: identical group discipline, one thread.
+            tracer.event("route.serial_execution", || {
+                let reason = if scratches.len() < 2 {
+                    "one worker: threads=1 or chunk=1"
+                } else {
+                    "no group holds 2+ nets"
+                };
+                vec![("iteration", iteration.into()), ("reason", reason.into())]
+            });
             let mut results: Vec<Option<(NetTree, u64)>> = Vec::new();
-            for group in &groups {
+            for (gi, group) in groups.iter().enumerate() {
+                let _class_span = tracer.span_args("route.class", || {
+                    vec![("class", gi.into()), ("size", group.len().into())]
+                });
                 // 1. Rip up every group member's previous tree: the
                 //    group routes against the occupancy left by earlier
                 //    groups alone, a frozen view all its searches share.
@@ -856,6 +936,21 @@ fn route_impl(
                 history[i] += opts.hist_fac * f64::from(occupancy[i] - 1);
             }
         }
+        // One event per PathFinder iteration — the converged final
+        // iteration included — plus counter tracks for the trajectory.
+        tracer.event("route.iteration", || {
+            vec![
+                ("iteration", iteration.into()),
+                ("rerouted", reroute.len().into()),
+                ("overuse", overused.into()),
+                ("ripups", (ripups - ripups_before).into()),
+                ("nodes_popped", (popped - popped_before).into()),
+                ("colors", iter_colors.into()),
+            ]
+        });
+        tracer.counter("route.overuse", overused as u64);
+        tracer.counter("route.ripups", ripups);
+        tracer.counter("route.nodes_popped", popped);
         if overused == 0 {
             let trees = trees
                 .iter()
@@ -933,6 +1028,7 @@ fn route_groups_parallel(
     scratches: &mut [Scratch],
     popped: &mut u64,
     ripups: &mut u64,
+    tracer: &Tracer,
 ) -> Result<(), RouteError> {
     // Slots sized for the largest group.
     let max_group = groups.iter().map(Vec::len).max().unwrap_or(0);
@@ -945,7 +1041,12 @@ fn route_groups_parallel(
 
     // One round's work phase: route group `j` members off the cursor
     // against the frozen occupancy. Shared by workers and coordinator.
+    // The span is emitted on whichever thread runs the round, so a
+    // trace shows each color class once per participating worker lane.
     let run_round = |j: usize, scratch: &mut Scratch| {
+        let _class_span = tracer.span_args("route.class", || {
+            vec![("class", j.into()), ("size", groups[j].len().into())]
+        });
         let occ_g = occ.read().expect("occupancy lock");
         loop {
             let k = cursor.fetch_add(1, Ordering::Relaxed);

@@ -48,6 +48,7 @@
 use crate::route::{RouteRequest, TimingSource, WIRE_DELAY};
 use crate::techmap::{MappedDesign, Producer, SignalId};
 use msaf_fabric::le::LeOutput;
+use msaf_trace::Tracer;
 
 /// Result of [`analyze`].
 #[derive(Debug, Clone, PartialEq)]
@@ -317,6 +318,11 @@ pub struct RouteTimingCtx<'a> {
     critical_net_delay_history: Vec<u64>,
     /// Request index of that net.
     critical_request: Option<usize>,
+    /// Flight recorder: one `timing.sweep` span per [`update`] call.
+    /// No-op by default; observation only (never read back).
+    ///
+    /// [`update`]: TimingSource::update
+    tracer: Tracer,
 }
 
 impl<'a> RouteTimingCtx<'a> {
@@ -399,7 +405,17 @@ impl<'a> RouteTimingCtx<'a> {
             critical_delay_history: vec![pre],
             critical_net_delay_history: Vec::new(),
             critical_request,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Installs a flight recorder: each slack sweep (one per PathFinder
+    /// iteration) emits a `timing.sweep` span carrying the resulting
+    /// critical delay and worst connection slack. The analysis itself
+    /// is oblivious to the tracer — results are identical with or
+    /// without one.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The pre-route (zero-delay) analysis as the flow-level
@@ -453,6 +469,7 @@ impl<'a> RouteTimingCtx<'a> {
 impl TimingSource for RouteTimingCtx<'_> {
     fn update(&mut self, delays: &[Vec<u64>]) {
         assert_eq!(delays.len(), self.signals.len(), "one delay row per net");
+        let sweep = self.tracer.span("timing.sweep");
         // Worst sink delay per signal (requests are per-signal unique,
         // but max-merge is robust to duplicates).
         self.net_delay.fill(0);
@@ -487,6 +504,14 @@ impl TimingSource for RouteTimingCtx<'_> {
         }
         self.worst_conn_slack = worst_conn_slack;
         self.analysis = analysis;
+        self.tracer.event("timing.sweep_result", || {
+            vec![
+                ("critical_delay", self.analysis.critical_delay.into()),
+                ("worst_conn_slack", self.worst_conn_slack.into()),
+                ("nets", self.signals.len().into()),
+            ]
+        });
+        drop(sweep);
     }
 
     fn crit(&self, request: usize) -> &[f64] {

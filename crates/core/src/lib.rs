@@ -44,6 +44,7 @@ pub use msaf_fabric as fabric;
 pub use msaf_lang as lang;
 pub use msaf_netlist as netlist;
 pub use msaf_sim as sim;
+pub use msaf_trace as trace;
 
 /// Everything needed for the common build→compile→verify loop.
 pub mod prelude {
@@ -64,8 +65,10 @@ pub mod prelude {
     pub use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, Netlist, Protocol};
     pub use msaf_sim::ditest::{di_stress, DiConfig};
     pub use msaf_sim::{
-        token_run, FixedDelay, PerKindDelay, RandomDelay, Simulator, TokenRunOptions,
+        token_run, token_run_traced, FixedDelay, PerKindDelay, RandomDelay, Simulator,
+        TokenRunOptions,
     };
+    pub use msaf_trace::{Metrics, Recorder, Tracer};
 }
 
 #[cfg(test)]

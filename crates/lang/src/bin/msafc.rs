@@ -3,6 +3,7 @@
 //! ```text
 //! msafc <file.msa> [--style qdi|wchb|bundled | --all-styles]
 //!                  [--tokens <chan>=<v,v,...>]... [--verify]
+//!                  [--trace <out.json>]
 //! ```
 //!
 //! Parses and checks the source (reporting line/column diagnostics on
@@ -11,13 +12,17 @@
 //! bitstream`) and prints one `FlowReport` row per style. With
 //! `--tokens`, the source circuit is simulated and the output token
 //! stream printed; with `--verify`, the *programmed fabric* is simulated
-//! too and checked token-for-token against the source circuit.
+//! too and checked token-for-token against the source circuit. With
+//! `--trace`, the whole run is flight-recorded (stage spans, PathFinder
+//! iteration events, annealing progress, simulator counters) and
+//! written as Chrome trace-event JSON — load it at `ui.perfetto.dev`.
 
 use msaf_cad::flow::{compile, FlowOptions};
 use msaf_cad::route::RouteOptions;
 use msaf_cad::verify::verify_tokens;
 use msaf_lang::Style;
-use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
+use msaf_sim::{token_run_traced, PerKindDelay, TokenRunOptions};
+use msaf_trace::Tracer;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -26,11 +31,12 @@ struct Args {
     styles: Vec<Style>,
     tokens: BTreeMap<String, Vec<u64>>,
     verify: bool,
+    trace: Option<String>,
 }
 
 fn usage() -> String {
     "usage: msafc <file.msa> [--style qdi|wchb|bundled | --all-styles] \
-     [--tokens <chan>=<v,v,...>]... [--verify]"
+     [--tokens <chan>=<v,v,...>]... [--verify] [--trace <out.json>]"
         .to_string()
 }
 
@@ -39,6 +45,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut styles = Vec::new();
     let mut tokens = BTreeMap::new();
     let mut verify = false;
+    let mut trace = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -66,6 +73,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 tokens.insert(chan.to_string(), vals);
             }
             "--verify" => verify = true,
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs an output path")?;
+                trace = Some(v.clone());
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'\n{}", usage()));
@@ -89,6 +100,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         styles,
         tokens,
         verify,
+        trace,
     })
 }
 
@@ -143,14 +155,25 @@ fn main() -> ExitCode {
         "{:<8} {:>6} {:>5} {:>5} {:>9} {:>5} {:>6} {:>11}",
         "style", "gates", "LEs", "PLBs", "filling", "PDEs", "wires", "route_iters"
     );
+    // With --trace, every compile and simulation below records into one
+    // recorder; the Chrome JSON is written at the end of the run.
+    let (tracer, recorder) = match &args.trace {
+        Some(_) => {
+            let (t, r) = Tracer::recorder();
+            (t, Some(r))
+        }
+        None => (Tracer::default(), None),
+    };
     // The CLI is interactive, not a golden: spend every host core
     // (results are byte-identical at any thread count, so this is pure
     // wall-time).
     let flow_opts = FlowOptions {
         route: RouteOptions::auto_threads(),
+        tracer: tracer.clone(),
         ..FlowOptions::default()
     };
     for style in &args.styles {
+        let _style_span = tracer.span_args("msafc.style", || vec![("style", style.name().into())]);
         let nl = msaf_lang::elaborate(&ast, &analysis, *style);
         let compiled = match compile(&nl, &flow_opts) {
             Ok(c) => c,
@@ -173,11 +196,12 @@ fn main() -> ExitCode {
         );
 
         if !args.tokens.is_empty() {
-            let report = match token_run(
+            let report = match token_run_traced(
                 &nl,
                 &PerKindDelay::new(),
                 &args.tokens,
                 &TokenRunOptions::default(),
+                &tracer,
             ) {
                 Ok(r) => r,
                 Err(e) => {
@@ -213,6 +237,18 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+
+    if let (Some(path), Some(rec)) = (&args.trace, &recorder) {
+        let json = rec.to_chrome_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write trace '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {} events -> {path} (load at ui.perfetto.dev)",
+            rec.len()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -81,6 +81,55 @@ pipeline p {
 }
 
 #[test]
+fn trace_flag_writes_a_wellformed_chrome_trace() {
+    let src_path = std::env::temp_dir().join("msafc_cli_trace.msa");
+    let out_path = std::env::temp_dir().join("msafc_cli_trace.json");
+    std::fs::write(
+        &src_path,
+        "\
+pipeline p {
+  input x[4];
+  output y[4];
+  stage s {
+    y = x;
+  }
+}
+",
+    )
+    .expect("write temp source");
+    let out = Command::new(env!("CARGO_BIN_EXE_msafc"))
+        .arg(&src_path)
+        .args(["--style", "qdi", "--trace"])
+        .arg(&out_path)
+        .output()
+        .expect("msafc runs");
+    let _ = std::fs::remove_file(&src_path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&out_path).expect("trace written");
+    let _ = std::fs::remove_file(&out_path);
+    // Structural validation: parses as JSON, every B has its E on the
+    // same lane in LIFO order, per-lane timestamps never go backwards.
+    let stats = msaf_trace::chrome::validate(&json).expect("well-formed trace");
+    assert!(stats.spans > 0, "no spans: {stats}");
+    for name in [
+        "msafc.style",
+        "flow.pack",
+        "flow.place",
+        "flow.route",
+        "flow.bitgen",
+        "route.iteration",
+        "place.temperature",
+        "timing.sweep",
+    ] {
+        assert!(stats.names.contains(name), "missing '{name}' in {stats}");
+    }
+}
+
+#[test]
 fn good_source_still_exits_zero() {
     let out = run_msafc_on(
         "msafc_cli_good.msa",

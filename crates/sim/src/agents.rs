@@ -20,6 +20,7 @@ use crate::delay::DelayModel;
 use crate::engine::{SimError, SimTime, Simulator};
 use crate::queue::QueueKind;
 use msaf_netlist::{Channel, ChannelDir, Encoding, NetId, Netlist};
+use msaf_trace::Tracer;
 use std::collections::{BTreeMap, VecDeque};
 
 /// One transferred token: its payload and the time its handshake completed
@@ -711,6 +712,26 @@ pub fn token_run(
     inputs: &BTreeMap<String, Vec<u64>>,
     opts: &TokenRunOptions,
 ) -> Result<TokenRunReport, TokenRunError> {
+    token_run_traced(netlist, model, inputs, opts, &Tracer::default())
+}
+
+/// [`token_run`] plus a [`Tracer`]: the run is wrapped in a `sim.run`
+/// span, the engine emits its progress counters (events, queue depth,
+/// glitches) on a fixed timestep cadence, and a final `sim.summary`
+/// event carries the effort totals including per-wheel-level queue
+/// high-water marks. Token results are byte-identical with any sink or
+/// none — tracing observes the schedule, it never perturbs it.
+///
+/// # Errors
+///
+/// See [`token_run`].
+pub fn token_run_traced(
+    netlist: &Netlist,
+    model: &dyn DelayModel,
+    inputs: &BTreeMap<String, Vec<u64>>,
+    opts: &TokenRunOptions,
+    tracer: &Tracer,
+) -> Result<TokenRunReport, TokenRunError> {
     let mut agents: Vec<Box<dyn Agent>> = Vec::new();
     let mut seen = Vec::new();
     for ch in netlist.channels() {
@@ -745,8 +766,18 @@ pub fn token_run(
         }
     }
 
+    let run_span = tracer.span_args("sim.run", || {
+        vec![
+            ("design", netlist.name().to_string().into()),
+            ("agents", agents.len().into()),
+        ]
+    });
     let mut sim = Simulator::with_queue(netlist, model, opts.queue);
-    drive_agents(&mut sim, &mut agents, opts.max_events)?;
+    sim.set_tracer(tracer.clone());
+    let driven = drive_agents(&mut sim, &mut agents, opts.max_events);
+    sim.trace_summary();
+    drop(run_span);
+    driven?;
 
     let mut outputs = BTreeMap::new();
     let mut violations = Vec::new();

@@ -40,9 +40,14 @@
 //!   [`crate::queue`] for the benchmark-driven choice).
 
 use crate::delay::DelayModel;
-use crate::queue::{Ev, EventQueue, QueueKind};
+use crate::queue::{Ev, EventQueue, QueueDepthStats, QueueKind};
 use crate::trace::Trace;
 use msaf_netlist::{FanoutIndex, GateId, GateKind, NetId, Netlist};
+use msaf_trace::Tracer;
+
+/// How often (in executed timesteps) a tracing simulator emits its
+/// progress counters. Power of two so the cadence check is a mask.
+const TRACE_CADENCE: u64 = 1024;
 
 /// Simulation timestamp, in abstract delay units.
 pub type SimTime = u64;
@@ -136,6 +141,12 @@ pub struct Simulator<'a> {
     /// Nets committed during the most recent [`Simulator::step`]
     /// (reusable buffer; drives agent sensitivity filtering).
     changed: Vec<NetId>,
+    /// Peak pending-event count seen at any timestep boundary.
+    queue_depth_hw: usize,
+    /// Flight recorder: progress counters every [`TRACE_CADENCE`]
+    /// timesteps. No-op by default; observation only — the event
+    /// schedule never depends on it.
+    tracer: Tracer,
 }
 
 impl<'a> Simulator<'a> {
@@ -209,6 +220,8 @@ impl<'a> Simulator<'a> {
             stamp: 1,
             wide_inputs: Vec::new(),
             changed: Vec::new(),
+            queue_depth_hw: 0,
+            tracer: Tracer::default(),
         };
         // Power-up: evaluate every gate once at t=0.
         for (gid, _) in netlist.iter_gates() {
@@ -275,6 +288,51 @@ impl<'a> Simulator<'a> {
     #[must_use]
     pub fn gates_evaluated(&self) -> u64 {
         self.gates_evaluated
+    }
+
+    /// Peak pending-event count observed at any timestep boundary.
+    #[must_use]
+    pub fn queue_depth_high_water(&self) -> usize {
+        self.queue_depth_hw
+    }
+
+    /// Per-wheel-level occupancy high-water marks (`None` under the
+    /// heap backend — see [`QueueDepthStats`]).
+    #[must_use]
+    pub fn queue_depth_stats(&self) -> Option<QueueDepthStats> {
+        self.queue.depth_stats()
+    }
+
+    /// Installs a flight recorder: every `TRACE_CADENCE` (1024) executed
+    /// timesteps the simulator emits `sim.events`, `sim.queue_depth`
+    /// and `sim.glitches` counters. With the default no-op tracer the
+    /// only cost is one branch per timestep, and under any sink the
+    /// event schedule is byte-identical (tracing never feeds back).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Emits a final snapshot of the simulator's effort counters
+    /// (events, steps, gate evaluations, glitches, queue high-water,
+    /// per-wheel-level peaks) as one `sim.summary` trace event. No-op
+    /// without a sink.
+    pub fn trace_summary(&self) {
+        self.tracer.event("sim.summary", || {
+            let mut args = vec![
+                ("events", self.events_processed.into()),
+                ("steps", self.steps_executed.into()),
+                ("gates_evaluated", self.gates_evaluated.into()),
+                ("glitches", self.glitches.len().into()),
+                ("queue_depth_hw", self.queue_depth_hw.into()),
+                ("now", self.now.into()),
+            ];
+            if let Some(d) = self.queue.depth_stats() {
+                args.push(("wheel_near_hw", d.high_water_near.into()));
+                args.push(("wheel_far_hw", d.high_water_far.into()));
+                args.push(("wheel_overflow_hw", d.high_water_overflow.into()));
+            }
+            args
+        });
     }
 
     /// Enables waveform recording for `net` (see [`Trace`]).
@@ -459,6 +517,14 @@ impl<'a> Simulator<'a> {
         self.stamp += 1;
         self.steps_executed += 1;
         self.changed.clear();
+        let depth = self.queue.len();
+        self.queue_depth_hw = self.queue_depth_hw.max(depth);
+        if self.tracer.enabled() && self.steps_executed.is_multiple_of(TRACE_CADENCE) {
+            self.tracer.counter("sim.events", self.events_processed);
+            self.tracer.counter("sim.queue_depth", depth as u64);
+            self.tracer
+                .counter("sim.glitches", self.glitches.len() as u64);
+        }
 
         while let Some(ev) = self.queue.pop_at(t) {
             // Generation check: a gate-output event is live iff its seq

@@ -51,9 +51,9 @@ pub mod settle;
 pub mod trace;
 pub mod vcd;
 
-pub use agents::{token_run, Token, TokenRunError, TokenRunOptions, TokenStream};
+pub use agents::{token_run, token_run_traced, Token, TokenRunError, TokenRunOptions, TokenStream};
 pub use delay::{DelayModel, FixedDelay, PerKindDelay, RandomDelay};
 pub use ditest::{DiConfig, DiReport};
 pub use engine::{Glitch, SimError, SimTime, Simulator};
-pub use queue::QueueKind;
+pub use queue::{QueueDepthStats, QueueKind};
 pub use trace::Trace;

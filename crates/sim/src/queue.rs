@@ -117,6 +117,43 @@ impl EventQueue {
             EventQueue::Wheel(w) => w.len == 0,
         }
     }
+
+    /// Pending events right now (both backends).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Wheel(w) => w.len,
+        }
+    }
+
+    /// Per-level occupancy high-water marks. `None` for the heap
+    /// backend, which has no levels (the simulator tracks the total
+    /// high-water itself via [`EventQueue::len`]).
+    pub fn depth_stats(&self) -> Option<QueueDepthStats> {
+        match self {
+            EventQueue::Heap(_) => None,
+            EventQueue::Wheel(w) => Some(QueueDepthStats {
+                high_water_near: w.hw_near,
+                high_water_far: w.hw_far,
+                high_water_overflow: w.hw_overflow,
+            }),
+        }
+    }
+}
+
+/// Peak simultaneous occupancy of each wheel level over the queue's
+/// lifetime — the observables that show which level absorbs a
+/// workload's in-flight events (dense handshake timelines should live
+/// almost entirely in the near wheel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDepthStats {
+    /// Near wheel (one-unit slots, 256-unit window).
+    pub high_water_near: usize,
+    /// Far wheel (256-unit slots, 65 536-unit horizon).
+    pub high_water_far: usize,
+    /// Overflow heap (beyond the horizon).
+    pub high_water_overflow: usize,
 }
 
 const NEAR: usize = 256;
@@ -152,6 +189,14 @@ pub(crate) struct Wheel {
     len: usize,
     /// Cached earliest pending time (kept exact on every push/pop).
     min_time: Option<SimTime>,
+    /// Current near-wheel occupancy (maintained by link/pop).
+    near_len: usize,
+    /// Current far-wheel occupancy.
+    far_len: usize,
+    /// Lifetime occupancy peaks, per level (see [`QueueDepthStats`]).
+    hw_near: usize,
+    hw_far: usize,
+    hw_overflow: usize,
 }
 
 const NONE: u32 = u32::MAX;
@@ -171,6 +216,11 @@ impl Wheel {
             base: 0,
             len: 0,
             min_time: None,
+            near_len: 0,
+            far_len: 0,
+            hw_near: 0,
+            hw_far: 0,
+            hw_overflow: 0,
         }
     }
 
@@ -201,6 +251,8 @@ impl Wheel {
         }
         self.near_tail[slot] = idx;
         self.near_occ[slot / 64] |= 1 << (slot % 64);
+        self.near_len += 1;
+        self.hw_near = self.hw_near.max(self.near_len);
     }
 
     /// Appends node `idx` to the far bucket for its time.
@@ -215,6 +267,8 @@ impl Wheel {
         }
         self.far_tail[slot] = idx;
         self.far_occ[slot / 64] |= 1 << (slot % 64);
+        self.far_len += 1;
+        self.hw_far = self.hw_far.max(self.far_len);
     }
 
     fn push(&mut self, ev: Ev) {
@@ -229,6 +283,7 @@ impl Wheel {
             }
         } else {
             self.overflow.push(Reverse(ev));
+            self.hw_overflow = self.hw_overflow.max(self.overflow.len());
         }
         self.len += 1;
         if self.min_time.is_none_or(|m| ev.time < m) {
@@ -253,6 +308,7 @@ impl Wheel {
         self.slab[idx as usize].1 = self.free;
         self.free = idx;
         self.len -= 1;
+        self.near_len -= 1;
         if next == NONE {
             self.near_tail[slot] = NONE;
             self.near_occ[slot / 64] &= !(1 << (slot % 64));
@@ -294,6 +350,8 @@ impl Wheel {
                     let next = self.slab[idx as usize].1;
                     self.slab[idx as usize].1 = NONE;
                     let time = self.slab[idx as usize].0.time;
+                    // The node leaves its far bucket; link_* re-counts it.
+                    self.far_len -= 1;
                     if time - self.base < NEAR as u64 {
                         self.link_near(idx);
                     } else {
@@ -529,6 +587,35 @@ mod tests {
                 "{kind:?}"
             );
         }
+    }
+
+    #[test]
+    fn depth_stats_track_per_level_high_water() {
+        let mut q = EventQueue::new(QueueKind::Wheel);
+        // 3 near, 2 far, 1 overflow.
+        for (seq, &t) in [5u64, 6, 7, 300, 600, 70_000].iter().enumerate() {
+            q.push(ev(t, seq as u64));
+        }
+        assert_eq!(q.len(), 6);
+        let d = q.depth_stats().unwrap();
+        assert_eq!(
+            d,
+            QueueDepthStats {
+                high_water_near: 3,
+                high_water_far: 2,
+                high_water_overflow: 1,
+            }
+        );
+        drain(&mut q);
+        // High-water marks are lifetime peaks: draining (which promotes
+        // far/overflow events into the near wheel) never lowers them.
+        let d = q.depth_stats().unwrap();
+        assert!(d.high_water_near >= 3);
+        assert_eq!(d.high_water_far, 2);
+        assert_eq!(d.high_water_overflow, 1);
+        assert_eq!(q.len(), 0);
+        // The heap backend has no levels.
+        assert!(EventQueue::new(QueueKind::Heap).depth_stats().is_none());
     }
 
     #[test]

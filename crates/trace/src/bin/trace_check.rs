@@ -1,0 +1,107 @@
+//! `trace_check` — validates a Chrome trace-event JSON file.
+//!
+//! ```text
+//! trace_check <trace.json> [--expect-span <name>]... [--expect-name <name>]...
+//! ```
+//!
+//! Exit 0 when the file parses, every `(pid, tid)` lane has balanced
+//! name-matched B/E pairs with non-decreasing timestamps, and every
+//! `--expect-*` name occurs (as a span pair for `--expect-span`, as any
+//! event for `--expect-name`). CI runs this over the `msafc --trace`
+//! smoke output before uploading it as an artifact.
+
+use msaf_trace::chrome;
+use msaf_trace::json::{self, JsonValue};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: trace_check <trace.json> [--expect-span <name>]... [--expect-name <name>]..."
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut expect_spans = Vec::new();
+    let mut expect_names = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect-span" => match it.next() {
+                Some(v) => expect_spans.push(v.clone()),
+                None => {
+                    eprintln!("--expect-span needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--expect-name" => match it.next() {
+                Some(v) => expect_names.push(v.clone()),
+                None => {
+                    eprintln!("--expect-name needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    eprintln!("more than one input file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read '{file}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match chrome::validate(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: '{file}' is not a well-formed trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{file}: {stats}");
+
+    // Presence checks, for smokes that pin specific instrumentation.
+    if !expect_spans.is_empty() || !expect_names.is_empty() {
+        let doc = json::parse(&text).expect("validated above");
+        let events = match &doc {
+            JsonValue::Arr(_) => doc.as_arr().expect("validated"),
+            _ => doc
+                .get("traceEvents")
+                .and_then(JsonValue::as_arr)
+                .expect("validated"),
+        };
+        let has = |name: &str, ph: Option<&str>| {
+            events.iter().any(|ev| {
+                ev.get("name").and_then(JsonValue::as_str) == Some(name)
+                    && ph.is_none_or(|p| ev.get("ph").and_then(JsonValue::as_str) == Some(p))
+            })
+        };
+        for name in &expect_spans {
+            if !(has(name, Some("B")) && has(name, Some("E"))) {
+                eprintln!("error: expected span '{name}' not found in '{file}'");
+                return ExitCode::FAILURE;
+            }
+        }
+        for name in &expect_names {
+            if !has(name, None) {
+                eprintln!("error: expected event '{name}' not found in '{file}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

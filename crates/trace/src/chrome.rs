@@ -1,0 +1,301 @@
+//! Chrome trace-event JSON: the writer ([`render`]) and the
+//! well-formedness checker ([`validate`]).
+//!
+//! The output is the "JSON object format" of the Trace Event spec — an
+//! object with a `traceEvents` array — using duration events (`ph:
+//! "B"`/`"E"`), thread-scoped instants (`ph: "i"`, `s: "t"`) and
+//! counters (`ph: "C"`). <https://ui.perfetto.dev> loads it directly:
+//! span pairs become nested slices per track, counters become counter
+//! tracks, instants become markers.
+//!
+//! [`validate`] checks the two structural invariants the writer (and
+//! any conforming producer) must uphold, per `(pid, tid)` lane:
+//! balanced, name-matched B/E nesting, and monotonically non-decreasing
+//! timestamps. The `trace_check` binary wraps it for CI.
+
+use crate::json::{self, JsonValue};
+use crate::{Phase, TraceEvent, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders `events` as Chrome trace-event JSON. All events land in
+/// `pid` 1 (one process), lanes split by the events' recorded `tid`s.
+#[must_use]
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ph = match ev.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"msaf\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            json::escape(ev.name),
+            ev.ts_us,
+            ev.tid
+        );
+        if ev.phase == Phase::Instant {
+            // Thread-scoped instant (the narrow marker, not a full
+            // vertical line across the whole trace).
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !ev.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in ev.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json::escape(k), render_value(v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One argument value as a JSON literal. Non-finite floats have no JSON
+/// form; they render as `null` (and never occur in practice — the flow
+/// traces temperatures, rates and costs, all finite).
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(n) if n.is_finite() => n.to_string(),
+        Value::F64(_) => "null".to_string(),
+        Value::Str(s) => format!("\"{}\"", json::escape(s)),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+/// What [`validate`] measured while checking a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Completed B/E span pairs.
+    pub spans: usize,
+    /// Counter samples.
+    pub counters: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Distinct `(pid, tid)` lanes.
+    pub lanes: usize,
+    /// Every distinct event name seen (so callers can assert specific
+    /// instrumentation is present).
+    pub names: std::collections::BTreeSet<String>,
+}
+
+impl std::fmt::Display for ChromeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events ({} span pairs, {} counter samples, {} instants) across {} lanes, {} names",
+            self.events,
+            self.spans,
+            self.counters,
+            self.instants,
+            self.lanes,
+            self.names.len()
+        )
+    }
+}
+
+/// Validates Chrome trace-event JSON: parses the document, then checks
+/// every `(pid, tid)` lane for balanced name-matched B/E pairs and
+/// non-decreasing timestamps. Accepts both the object format (a
+/// `traceEvents` field) and the bare-array format.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate(input: &str) -> Result<ChromeStats, String> {
+    let doc = json::parse(input).map_err(|e| e.to_string())?;
+    let events = match &doc {
+        JsonValue::Arr(_) => doc.as_arr().expect("checked"),
+        JsonValue::Obj(_) => doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .ok_or("object form needs a traceEvents array")?,
+        _ => return Err("top level must be an array or object".to_string()),
+    };
+
+    let mut stats = ChromeStats {
+        events: events.len(),
+        ..ChromeStats::default()
+    };
+    // Per-lane open-span stack and last timestamp.
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut names = std::collections::BTreeSet::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: String| format!("event {i}: {msg}");
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing string 'name'".into()))?;
+        if name.is_empty() {
+            return Err(ctx("empty name".into()));
+        }
+        names.insert(name.to_string());
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing string 'ph'".into()))?;
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| ctx("missing numeric 'ts'".into()))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(ctx(format!("bad ts {ts}")));
+        }
+        let pid = ev
+            .get("pid")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| ctx("missing numeric 'pid'".into()))?;
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| ctx("missing numeric 'tid'".into()))?;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let lane = (pid as u64, tid as u64);
+
+        if let Some(&prev) = last_ts.get(&lane) {
+            if ts < prev {
+                return Err(ctx(format!(
+                    "timestamp went backwards on lane {lane:?}: {prev} -> {ts}"
+                )));
+            }
+        }
+        last_ts.insert(lane, ts);
+
+        match ph {
+            "B" => stacks.entry(lane).or_default().push(name.to_string()),
+            "E" => {
+                let open = stacks
+                    .entry(lane)
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| ctx(format!("E '{name}' with no open span on {lane:?}")))?;
+                if open != name {
+                    return Err(ctx(format!("E '{name}' closes open span '{open}'")));
+                }
+                stats.spans += 1;
+            }
+            "C" => {
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(JsonValue::as_num)
+                    .ok_or_else(|| ctx(format!("counter '{name}' without numeric args.value")))?;
+                stats.counters += 1;
+            }
+            "i" | "I" => stats.instants += 1,
+            "M" => {} // metadata events are legal, uncounted
+            other => return Err(ctx(format!("unknown phase '{other}'"))),
+        }
+    }
+
+    for (lane, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed span '{open}' on lane {lane:?}"));
+        }
+    }
+    stats.lanes = last_ts.len();
+    stats.names = names;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn rendered_recorder_output_validates() {
+        let (t, rec) = Tracer::recorder();
+        {
+            let _flow = t.span("flow");
+            {
+                let _route = t.span_args("route", || vec![("nets", 12u64.into())]);
+                t.counter("overuse", 5);
+                t.event("iteration", || {
+                    vec![("i", 0u64.into()), ("reason", "first".into())]
+                });
+            }
+        }
+        let json = rec.to_chrome_json();
+        let stats = validate(&json).expect("well-formed");
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.lanes, 1);
+    }
+
+    #[test]
+    fn multithreaded_spans_balance_per_lane() {
+        let (t, rec) = Tracer::recorder();
+        {
+            let _outer = t.span("iteration");
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let t = t.clone();
+                    s.spawn(move || {
+                        let _g = t.span("class");
+                        t.counter("routed", 1);
+                    });
+                }
+            });
+        }
+        let stats = validate(&rec.to_chrome_json()).expect("well-formed");
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.lanes, 4, "coordinator + three workers");
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_and_backwards() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate(unbalanced).unwrap_err().contains("unclosed"));
+
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":0,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":1,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate(crossed).unwrap_err().contains("closes open span"));
+
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+            {"name":"a","ph":"E","ts":4,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate(backwards).unwrap_err().contains("backwards"));
+
+        // Independent lanes may interleave timestamps freely.
+        let lanes = r#"[
+            {"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+            {"name":"b","ph":"B","ts":1,"pid":1,"tid":2},
+            {"name":"b","ph":"E","ts":2,"pid":1,"tid":2},
+            {"name":"a","ph":"E","ts":6,"pid":1,"tid":1}
+        ]"#;
+        assert!(validate(lanes).is_ok());
+    }
+
+    #[test]
+    fn escapes_names_and_string_args() {
+        let (t, rec) = Tracer::recorder();
+        t.event("quote\"and\\slash", || vec![("why", "line\nbreak".into())]);
+        let json = rec.to_chrome_json();
+        validate(&json).expect("escaped output still parses");
+        assert!(json.contains("quote\\\"and\\\\slash"));
+    }
+}
