@@ -1,7 +1,7 @@
 //! Machine-readable perf snapshot: times the simulator token-throughput
 //! workloads and the CAD placement/routing workloads with
-//! [`std::time::Instant`] and writes `BENCH_sim.json` / `BENCH_cad.json`
-//! so the perf trajectory of every PR is diffable.
+//! [`std::time::Instant`] and writes `BENCH_sim.json` / `BENCH_cad.json` /
+//! `BENCH_faults.json` so the perf trajectory of every PR is diffable.
 //!
 //! Usage:
 //!
@@ -46,6 +46,15 @@
 //! `timing_fac = 0` reproduces the untimed router's counters exactly,
 //! the timed critical delay never exceeds the untimed one, and the
 //! wirelength premium stays within 5%.
+//!
+//! `BENCH_faults.json` is the robustness census: a deterministic
+//! fault-injection campaign over `adder4.msa` in every style
+//! (stuck-at, transient SEU, delay faults — see `msaf_sim::faults`).
+//! Its rows are all-structural (campaigns are byte-identical at any
+//! thread count) and carry the style contract as checked invariants:
+//! delay-insensitive styles report `delay_corrupted = 0`, bundled data
+//! reports a finite `delay_threshold`, and the 1-thread and 4-thread
+//! campaign digests must agree on every run.
 
 use msaf_cad::place::{place_with, CostMode, PlaceOptions};
 use msaf_cad::route::{route, route_timed, RouteOptions, RoutingResult};
@@ -53,7 +62,10 @@ use msaf_cad::timing::RouteTimingCtx;
 use msaf_cells::bundled::bundled_fifo;
 use msaf_cells::wchb::wchb_fifo;
 use msaf_netlist::Netlist;
-use msaf_sim::{token_run, PerKindDelay, TokenRunOptions};
+use msaf_sim::{
+    default_stimulus, run_campaign, token_run, CampaignOptions, PerKindDelay, TokenRunOptions,
+    FAULT_KINDS,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -452,6 +464,132 @@ fn cad_rows(timed: bool, filter: &str) -> CadRows {
     (rows, prows, trows, violations)
 }
 
+/// One fault-campaign row: the full classification census of
+/// `adder4.msa` in one style, plus the style's robustness contract
+/// observables. Every field is structural — campaigns are
+/// byte-identical at any thread count, so these rows never carry
+/// timings and behave the same in timed and `--check` runs.
+struct FaultRow {
+    name: String,
+    /// Whether the style is delay-insensitive (QDI/WCHB) — decides
+    /// which side of the delay-fault contract the row must satisfy.
+    di: bool,
+    faults: usize,
+    masked: usize,
+    glitch_only: usize,
+    corrupted: usize,
+    deadlocked: usize,
+    budget_exhausted: usize,
+    /// Token corruptions under delay faults alone (must be 0 for DI).
+    delay_corrupted: usize,
+    /// Smallest corrupting delay multiplier; 0 = none (the DI answer).
+    delay_threshold: u64,
+    /// [`msaf_sim::FaultReport::digest`] — pins per-fault outcomes, not
+    /// just the counts.
+    digest: u64,
+}
+
+/// Runs the committed fault campaigns (adder4.msa in every style) and
+/// asserts the robustness contract: DI styles show zero token
+/// corruptions under delay faults, bundled data has a finite
+/// corruption threshold; campaigns at 1 and 4 worker threads produce
+/// the identical digest.
+fn fault_rows(filter: &str, violations: &mut Vec<String>) -> Vec<FaultRow> {
+    let src = msaf_bench::workloads::msa_example("adder4").expect("committed example");
+    let mut rows = Vec::new();
+    for style in ["qdi", "wchb", "bundled"] {
+        let name = format!("faults_adder4_{style}");
+        if !name.contains(filter) {
+            continue;
+        }
+        let nl = msaf_bench::workloads::from_msa(src, style).expect("known style");
+        let stimulus = default_stimulus(&nl);
+        let opts = CampaignOptions::default();
+        let report =
+            run_campaign(&nl, &PerKindDelay::new(), &stimulus, &opts).expect("clean reference");
+        let par = run_campaign(
+            &nl,
+            &PerKindDelay::new(),
+            &stimulus,
+            &CampaignOptions { threads: 4, ..opts },
+        )
+        .expect("clean reference");
+        if par.digest() != report.digest() {
+            violations.push(format!(
+                "{name}: campaign digest differs between 1 and 4 worker threads \
+                 ({:#018x} vs {:#018x})",
+                report.digest(),
+                par.digest()
+            ));
+        }
+        let mut totals = msaf_sim::KindSummary::default();
+        for kind in FAULT_KINDS {
+            let s = report.summary(kind);
+            totals.faults += s.faults;
+            totals.masked += s.masked;
+            totals.glitch_only += s.glitch_only;
+            totals.corrupted += s.corrupted;
+            totals.deadlocked += s.deadlocked;
+            totals.budget_exhausted += s.budget_exhausted;
+        }
+        let di = style != "bundled";
+        let delay = report.summary("delay");
+        if di && delay.corrupted != 0 {
+            violations.push(format!(
+                "{name}: delay-insensitive style suffered {} token corruption(s) under \
+                 delay faults",
+                delay.corrupted
+            ));
+        }
+        if !di && report.delay_corruption_threshold().is_none() {
+            violations.push(format!(
+                "{name}: bundled data never corrupted under the swept delay multipliers \
+                 — the matched-delay envelope was not probed past its slack"
+            ));
+        }
+        rows.push(FaultRow {
+            name,
+            di,
+            faults: totals.faults,
+            masked: totals.masked,
+            glitch_only: totals.glitch_only,
+            corrupted: totals.corrupted,
+            deadlocked: totals.deadlocked,
+            budget_exhausted: totals.budget_exhausted,
+            delay_corrupted: delay.corrupted,
+            delay_threshold: report.delay_corruption_threshold().unwrap_or(0),
+            digest: report.digest(),
+        });
+    }
+    rows
+}
+
+fn render_faults(rows: &[FaultRow]) -> String {
+    let mut json = "{\n  \"workloads\": [\n".to_string();
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"di\": {}, \"faults\": {}, \"masked\": {}, \
+             \"glitch_only\": {}, \"corrupted\": {}, \"deadlocked\": {}, \
+             \"budget_exhausted\": {}, \"delay_corrupted\": {}, \"delay_threshold\": {}, \
+             \"digest\": \"{:#018x}\"}}{}\n",
+            r.name,
+            r.di,
+            r.faults,
+            r.masked,
+            r.glitch_only,
+            r.corrupted,
+            r.deadlocked,
+            r.budget_exhausted,
+            r.delay_corrupted,
+            r.delay_threshold,
+            r.digest,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
 /// The capturing host's available parallelism, recorded in every
 /// snapshot so `--check` can tell speedup numbers from 1-CPU
 /// determinism-overhead numbers.
@@ -808,6 +946,49 @@ fn check(outdir: &str, filter: &str) -> ExitCode {
         Err(e) => mismatches.push(format!("{cad_path}: cannot read: {e}")),
     }
 
+    let faults_path = format!("{outdir}/BENCH_faults.json");
+    match std::fs::read_to_string(&faults_path) {
+        Ok(committed) => {
+            let mut violations = Vec::new();
+            for r in fault_rows(filter, &mut violations) {
+                let line = committed_row(&committed, &r.name);
+                if line.is_none() {
+                    mismatches.push(format!("{faults_path}: row '{}' missing", r.name));
+                    continue;
+                }
+                for (field, value) in [
+                    ("faults", r.faults as u64),
+                    ("masked", r.masked as u64),
+                    ("glitch_only", r.glitch_only as u64),
+                    ("corrupted", r.corrupted as u64),
+                    ("deadlocked", r.deadlocked as u64),
+                    ("budget_exhausted", r.budget_exhausted as u64),
+                    ("delay_corrupted", r.delay_corrupted as u64),
+                    ("delay_threshold", r.delay_threshold),
+                ] {
+                    diff_field(&mut mismatches, &faults_path, &r.name, line, field, value);
+                }
+                diff_field_str(
+                    &mut mismatches,
+                    &faults_path,
+                    &r.name,
+                    line,
+                    "digest",
+                    &format!("{:#018x}", r.digest),
+                );
+                if !line.is_some_and(|l| l.contains(&format!("\"di\": {}", r.di))) {
+                    mismatches.push(format!(
+                        "{faults_path}: {}.di: committed snapshot disagrees with current {}",
+                        r.name, r.di
+                    ));
+                }
+                rows_checked += 1;
+            }
+            mismatches.extend(violations);
+        }
+        Err(e) => mismatches.push(format!("{faults_path}: cannot read: {e}")),
+    }
+
     if mismatches.is_empty() {
         println!("bench_summary --check: OK ({rows_checked} rows structurally unchanged)");
         ExitCode::SUCCESS
@@ -856,9 +1037,11 @@ fn main() -> ExitCode {
         // snapshot would fail the next --check as "rows missing".
         let sim_json = render_sim(&sim_rows(true, &filter));
         print!("BENCH_sim.json (filtered '{filter}', not written):\n{sim_json}");
-        let (rows, prows, trows, violations) = cad_rows(true, &filter);
+        let (rows, prows, trows, mut violations) = cad_rows(true, &filter);
         let cad_json = render_cad(&rows, &prows, &trows);
         print!("BENCH_cad.json (filtered '{filter}', not written):\n{cad_json}");
+        let faults_json = render_faults(&fault_rows(&filter, &mut violations));
+        print!("BENCH_faults.json (filtered '{filter}', not written):\n{faults_json}");
         return report_violations(&violations);
     }
 
@@ -866,12 +1049,17 @@ fn main() -> ExitCode {
     std::fs::write(format!("{outdir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     print!("BENCH_sim.json:\n{sim_json}");
 
-    let (rows, prows, trows, violations) = cad_rows(true, &filter);
+    let (rows, prows, trows, mut violations) = cad_rows(true, &filter);
     let cad_json = render_cad(&rows, &prows, &trows);
     // Written even when the timing contract is violated (a reviewer
     // needs the drifted snapshot to diff), but the run still fails.
     std::fs::write(format!("{outdir}/BENCH_cad.json"), &cad_json).expect("write BENCH_cad.json");
     print!("BENCH_cad.json:\n{cad_json}");
+
+    let faults_json = render_faults(&fault_rows(&filter, &mut violations));
+    std::fs::write(format!("{outdir}/BENCH_faults.json"), &faults_json)
+        .expect("write BENCH_faults.json");
+    print!("BENCH_faults.json:\n{faults_json}");
     report_violations(&violations)
 }
 

@@ -5,6 +5,7 @@
 
 use msaf_bench::workloads::fa_tokens;
 use msaf_cells::fulladder::{full_adder_reference, micropipeline_full_adder, qdi_full_adder};
+use msaf_sim::ditest::{di_stress, DiConfig};
 use msaf_sim::{token_run, RandomDelay, TokenRunOptions};
 use std::collections::BTreeMap;
 
@@ -53,6 +54,38 @@ fn main() {
                 ""
             }
         );
+    }
+    println!();
+    println!("per-value glitch histogram (hazard pulses keyed by the output");
+    println!("data value in flight — a non-flat histogram is a data-dependent");
+    println!("side-channel signature):");
+    let mut inputs = BTreeMap::new();
+    inputs.insert("op".to_string(), fa_tokens());
+    let cfg = DiConfig {
+        seeds: (0..SEEDS).collect(),
+        delay_lo: 1,
+        delay_hi: 25,
+        ..DiConfig::default()
+    };
+    for (name, nl) in [
+        ("qdi_full_adder", qdi_full_adder()),
+        ("micropipeline_fa_taps20", micropipeline_full_adder(20)),
+    ] {
+        match di_stress(&nl, &inputs, &cfg) {
+            Ok(report) => {
+                let hist: Vec<String> = report
+                    .glitches_by_value
+                    .iter()
+                    .map(|(v, n)| format!("{v}:{n}"))
+                    .collect();
+                println!(
+                    "  {name:<24}: {} glitches total [{}]",
+                    report.total_glitches,
+                    hist.join(" ")
+                );
+            }
+            Err(e) => println!("  {name:<24}: reference run failed: {e}"),
+        }
     }
     println!();
     println!("reading: QDI correctness is delay-independent; bundled data is a");

@@ -62,6 +62,16 @@ pub enum FlowError {
     Place(PlaceError),
     /// Routing failed at the final channel width.
     Route(RouteError),
+    /// Routing failed at every channel width the widening policy tried
+    /// (graceful degradation: the error names how far the flow got).
+    RouteExhausted {
+        /// Channel-width attempts made (initial + widenings).
+        attempts: usize,
+        /// The final (widest) channel width that still failed.
+        final_channel_width: usize,
+        /// The router error at the final width.
+        last: RouteError,
+    },
     /// Bit generation failed.
     Bitgen(BitgenError),
     /// The final bitstream failed its own consistency check (a flow bug).
@@ -75,6 +85,15 @@ impl std::fmt::Display for FlowError {
             FlowError::Pack(e) => write!(f, "pack: {e}"),
             FlowError::Place(e) => write!(f, "place: {e}"),
             FlowError::Route(e) => write!(f, "route: {e}"),
+            FlowError::RouteExhausted {
+                attempts,
+                final_channel_width,
+                last,
+            } => write!(
+                f,
+                "route: unroutable after {attempts} channel-width attempts \
+                 (final width {final_channel_width}): {last}"
+            ),
             FlowError::Bitgen(e) => write!(f, "bitgen: {e}"),
             FlowError::Check(e) => write!(f, "bitstream check: {e}"),
         }
@@ -158,7 +177,8 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     // criticalities steer the search.
     let stage = std::time::Instant::now();
     let route_span = tracer.span("flow.route");
-    let mut attempts = if opts.channel_width.is_some() { 1 } else { 4 };
+    let total_attempts = if opts.channel_width.is_some() { 1 } else { 4 };
+    let mut attempts = total_attempts;
     // The timing graph depends only on the mapped design — build it once
     // and clone per widening retry.
     let graph = TimingGraph::build(&mapped);
@@ -181,13 +201,23 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
             Err(e) => {
                 attempts -= 1;
                 if attempts == 0 {
-                    return Err(FlowError::Route(e));
+                    // Pinned width: the caller asked for exactly this
+                    // width, report the router error directly. Adaptive
+                    // width: every widening failed — name the envelope.
+                    if total_attempts == 1 {
+                        return Err(FlowError::Route(e));
+                    }
+                    return Err(FlowError::RouteExhausted {
+                        attempts: total_attempts,
+                        final_channel_width: arch.channel_width,
+                        last: e,
+                    });
                 }
                 arch.channel_width *= 2;
                 tracer.event("flow.widen_channel", || {
                     vec![
                         ("new_channel_width", arch.channel_width.into()),
-                        ("attempts_left", i64::from(attempts).into()),
+                        ("attempts_left", attempts.into()),
                         (
                             "reason",
                             "routing congestion: unresolved overuse at this width".into(),
@@ -351,6 +381,46 @@ mod tests {
         };
         let compiled = compile(&qdi_full_adder(), &opts).unwrap();
         assert_eq!(compiled.report.grid, (6, 6));
+    }
+
+    #[test]
+    fn widening_exhaustion_is_a_structured_error_with_a_trace_trail() {
+        // Starve the router (one PathFinder iteration, dense pinned
+        // grid) so every channel-width attempt fails: the flow must
+        // degrade gracefully into an error naming the final width, with
+        // one flow.widen_channel event per widening — never a panic.
+        let (tracer, recorder) = Tracer::recorder();
+        let mut opts = FlowOptions {
+            grid: Some((8, 8)),
+            tracer,
+            ..FlowOptions::default()
+        };
+        opts.route.max_iterations = 1;
+        let initial_width = opts.arch.channel_width;
+        let err = compile(&qdi_ripple_adder(4), &opts).unwrap_err();
+        match &err {
+            FlowError::RouteExhausted {
+                attempts,
+                final_channel_width,
+                ..
+            } => {
+                assert_eq!(*attempts, 4);
+                assert_eq!(*final_channel_width, initial_width * 8);
+            }
+            other => panic!("expected RouteExhausted, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("after 4 channel-width attempts")
+                && msg.contains(&format!("final width {}", initial_width * 8)),
+            "error must name the envelope: {msg}"
+        );
+        let widens = recorder
+            .events()
+            .iter()
+            .filter(|e| e.name == "flow.widen_channel")
+            .count();
+        assert_eq!(widens, 3, "one widening event per doubling");
     }
 
     #[test]

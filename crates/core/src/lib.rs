@@ -63,10 +63,11 @@ pub mod prelude {
     pub use msaf_fabric::utilization::Utilization;
     pub use msaf_lang::{compile_msa, Style};
     pub use msaf_netlist::{Channel, ChannelDir, Encoding, GateKind, Netlist, Protocol};
-    pub use msaf_sim::ditest::{di_stress, DiConfig};
+    pub use msaf_sim::ditest::{attribute_glitches, di_stress, DiConfig};
     pub use msaf_sim::{
-        token_run, token_run_traced, FixedDelay, PerKindDelay, RandomDelay, Simulator,
-        TokenRunOptions,
+        default_stimulus, run_campaign, run_campaign_traced, token_run, token_run_traced,
+        CampaignOptions, Fault, FaultOutcome, FaultReport, FixedDelay, PerKindDelay, RandomDelay,
+        Simulator, StallDiagnosis, TokenRunError, TokenRunOptions, FAULT_KINDS,
     };
     pub use msaf_trace::{Metrics, Recorder, Tracer};
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! msafc <file.msa> [--style qdi|wchb|bundled | --all-styles]
 //!                  [--tokens <chan>=<v,v,...>]... [--verify]
-//!                  [--trace <out.json>]
+//!                  [--faults] [--trace <out.json>]
 //! ```
 //!
 //! Parses and checks the source (reporting line/column diagnostics on
@@ -13,6 +13,10 @@
 //! `--tokens`, the source circuit is simulated and the output token
 //! stream printed; with `--verify`, the *programmed fabric* is simulated
 //! too and checked token-for-token against the source circuit. With
+//! `--faults`, a deterministic fault-injection campaign (stuck-at,
+//! transient SEU, delay faults) runs against the source circuit and a
+//! per-style classification table is printed — a QDI style that lets a
+//! delay fault corrupt a token is a hard error. With
 //! `--trace`, the whole run is flight-recorded (stage spans, PathFinder
 //! iteration events, annealing progress, simulator counters) and
 //! written as Chrome trace-event JSON — load it at `ui.perfetto.dev`.
@@ -21,7 +25,10 @@ use msaf_cad::flow::{compile, FlowOptions};
 use msaf_cad::route::RouteOptions;
 use msaf_cad::verify::verify_tokens;
 use msaf_lang::Style;
-use msaf_sim::{token_run_traced, PerKindDelay, TokenRunOptions};
+use msaf_sim::{
+    default_stimulus, run_campaign_traced, token_run_traced, CampaignOptions, PerKindDelay,
+    TokenRunOptions,
+};
 use msaf_trace::Tracer;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -31,12 +38,13 @@ struct Args {
     styles: Vec<Style>,
     tokens: BTreeMap<String, Vec<u64>>,
     verify: bool,
+    faults: bool,
     trace: Option<String>,
 }
 
 fn usage() -> String {
     "usage: msafc <file.msa> [--style qdi|wchb|bundled | --all-styles] \
-     [--tokens <chan>=<v,v,...>]... [--verify] [--trace <out.json>]"
+     [--tokens <chan>=<v,v,...>]... [--verify] [--faults] [--trace <out.json>]"
         .to_string()
 }
 
@@ -45,6 +53,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut styles = Vec::new();
     let mut tokens = BTreeMap::new();
     let mut verify = false;
+    let mut faults = false;
     let mut trace = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -73,6 +82,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 tokens.insert(chan.to_string(), vals);
             }
             "--verify" => verify = true,
+            "--faults" => faults = true,
             "--trace" => {
                 let v = it.next().ok_or("--trace needs an output path")?;
                 trace = Some(v.clone());
@@ -100,6 +110,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         styles,
         tokens,
         verify,
+        faults,
         trace,
     })
 }
@@ -233,6 +244,52 @@ fn main() -> ExitCode {
                     Err(e) => {
                         eprintln!("error: verification failed for style {style}: {e}");
                         return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+
+        if args.faults {
+            let stimulus = if args.tokens.is_empty() {
+                default_stimulus(&nl)
+            } else {
+                args.tokens.clone()
+            };
+            let opts = CampaignOptions {
+                threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+                ..CampaignOptions::default()
+            };
+            let report =
+                match run_campaign_traced(&nl, &PerKindDelay::new(), &stimulus, &opts, &tracer) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: fault campaign failed for style {style}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            println!("  fault campaign ({style}):");
+            for line in report.render_table().lines() {
+                println!("    {line}");
+            }
+            let delay_corrupted = report.summary("delay").corrupted;
+            if style.is_delay_insensitive() {
+                if delay_corrupted == 0 {
+                    println!("    delay envelope: OK (DI style, no delay fault corrupts a token)");
+                } else {
+                    eprintln!(
+                        "error: DI contract violated for style {style}: {delay_corrupted} \
+                         delay fault(s) corrupted tokens"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                match report.delay_corruption_threshold() {
+                    Some(mult) => println!(
+                        "    delay envelope: corrupts at x{mult} slowdown \
+                         (matched-delay slack exceeded)"
+                    ),
+                    None => {
+                        println!("    delay envelope: no corruption within the swept multipliers")
                     }
                 }
             }

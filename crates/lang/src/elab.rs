@@ -70,6 +70,16 @@ impl Style {
             _ => return None,
         })
     }
+
+    /// True for styles whose correctness does not rest on a timing
+    /// assumption (QDI/WCHB). Bundled data trusts its matched delays —
+    /// the axis the fault campaign's delay sweep probes: DI styles must
+    /// show zero token corruptions under any per-gate slowdown, bundled
+    /// must show a finite corruption threshold.
+    #[must_use]
+    pub fn is_delay_insensitive(&self) -> bool {
+        !matches!(self, Style::Bundled)
+    }
 }
 
 impl fmt::Display for Style {

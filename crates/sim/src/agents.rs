@@ -17,6 +17,7 @@
 //!   element must cover.
 
 use crate::delay::DelayModel;
+use crate::diagnose::{render_stalls, StallDiagnosis};
 use crate::engine::{SimError, SimTime, Simulator};
 use crate::queue::QueueKind;
 use msaf_netlist::{Channel, ChannelDir, Encoding, NetId, Netlist};
@@ -132,6 +133,12 @@ pub trait Agent {
     }
     /// Channel this agent serves.
     fn channel_name(&self) -> &str;
+    /// Describes the handshake this agent is blocked in, if any — taken
+    /// at quiescence by the driver loop's stall watchdog. `None` means
+    /// the agent is idle between tokens (nothing to report).
+    fn diagnose(&self, _sim: &Simulator<'_>) -> Option<StallDiagnosis> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -284,6 +291,28 @@ impl Agent for DiProducer {
     fn channel_name(&self) -> &str {
         &self.name
     }
+
+    fn diagnose(&self, sim: &Simulator<'_>) -> Option<StallDiagnosis> {
+        // A token counts as "through" once its full 4-phase handshake
+        // completed; in the WaitAck* states one is still in flight.
+        let (waiting_for, in_flight) = match self.state {
+            ProducerState::SendNext if self.tokens.is_empty() => return None,
+            ProducerState::SendNext => ("waiting for ack to fall before the next token", 0),
+            ProducerState::WaitAckHigh => ("waiting for ack to rise", 1),
+            ProducerState::WaitAckLow => ("waiting for ack to fall", 1),
+            ProducerState::Done => return None,
+        };
+        let mut nets = vec![self.ack];
+        nets.extend(self.groups.iter().flatten().copied());
+        Some(StallDiagnosis {
+            channel: self.name.clone(),
+            role: "producer",
+            waiting_for,
+            tokens_done: self.completed.tokens.len() - in_flight,
+            tokens_expected: Some(self.completed.tokens.len() + self.tokens.len()),
+            frontier: StallDiagnosis::frontier_of(sim, &nets),
+        })
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -415,6 +444,30 @@ impl Agent for DiConsumer {
     fn channel_name(&self) -> &str {
         &self.name
     }
+
+    fn diagnose(&self, sim: &Simulator<'_>) -> Option<StallDiagnosis> {
+        let waiting_for = match self.state {
+            ConsumerState::WaitValid => {
+                // Idle between tokens unless a partial codeword is stuck
+                // on the rails (some digit resolved, others never will).
+                if !self.groups.iter().flatten().any(|&r| sim.value(r)) {
+                    return None;
+                }
+                "waiting for a complete codeword"
+            }
+            ConsumerState::WaitNeutral => "waiting for rails to return to neutral",
+        };
+        let mut nets: Vec<NetId> = self.groups.iter().flatten().copied().collect();
+        nets.push(self.ack);
+        Some(StallDiagnosis {
+            channel: self.name.clone(),
+            role: "consumer",
+            waiting_for,
+            tokens_done: self.stream.tokens.len(),
+            tokens_expected: None,
+            frontier: StallDiagnosis::frontier_of(sim, &nets),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -520,6 +573,26 @@ impl Agent for BundledProducer {
     fn channel_name(&self) -> &str {
         &self.name
     }
+
+    fn diagnose(&self, sim: &Simulator<'_>) -> Option<StallDiagnosis> {
+        let (waiting_for, in_flight) = match self.state {
+            ProducerState::SendNext if self.tokens.is_empty() => return None,
+            ProducerState::SendNext => ("waiting for ack to fall before the next token", 0),
+            ProducerState::WaitAckHigh => ("waiting for ack to rise", 1),
+            ProducerState::WaitAckLow => ("waiting for ack and req to fall", 1),
+            ProducerState::Done => return None,
+        };
+        let mut nets = vec![self.ack, self.req];
+        nets.extend_from_slice(&self.data);
+        Some(StallDiagnosis {
+            channel: self.name.clone(),
+            role: "producer",
+            waiting_for,
+            tokens_done: self.completed.tokens.len() - in_flight,
+            tokens_expected: Some(self.completed.tokens.len() + self.tokens.len()),
+            frontier: StallDiagnosis::frontier_of(sim, &nets),
+        })
+    }
 }
 
 /// 4-phase consumer for a bundled-data output channel: samples data on
@@ -607,6 +680,23 @@ impl Agent for BundledConsumer {
     fn channel_name(&self) -> &str {
         &self.name
     }
+
+    fn diagnose(&self, sim: &Simulator<'_>) -> Option<StallDiagnosis> {
+        let waiting_for = match self.state {
+            ConsumerState::WaitValid => return None,
+            ConsumerState::WaitNeutral => "waiting for req to fall",
+        };
+        let mut nets = vec![self.req, self.ack];
+        nets.extend_from_slice(&self.data);
+        Some(StallDiagnosis {
+            channel: self.name.clone(),
+            role: "consumer",
+            waiting_for,
+            tokens_done: self.stream.tokens.len(),
+            tokens_expected: None,
+            frontier: StallDiagnosis::frontier_of(sim, &nets),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -641,28 +731,57 @@ impl Default for TokenRunOptions {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokenRunError {
     /// The circuit stopped responding before all input tokens were
-    /// consumed — a handshake deadlock.
+    /// consumed — a handshake deadlock. Each stalled agent contributes a
+    /// diagnosis naming the channel, phase and frontier nets.
     Deadlock {
         /// Time of the deadlock.
         at: SimTime,
-        /// Channels whose producers still held tokens.
-        stuck_channels: Vec<String>,
+        /// Per-agent stall diagnoses, in channel declaration order.
+        stalls: Vec<StallDiagnosis>,
     },
-    /// The underlying simulation exceeded its event budget.
-    Sim(SimError),
+    /// The underlying simulation failed (event budget exhausted). The
+    /// stall watchdog still reports every agent blocked mid-handshake at
+    /// the moment the budget ran out.
+    Sim {
+        /// The engine error.
+        error: SimError,
+        /// Agents blocked mid-handshake when the budget ran out.
+        stalls: Vec<StallDiagnosis>,
+    },
     /// `inputs` referenced a channel name not present in the netlist.
     UnknownChannel(String),
     /// An input channel was given no token vector.
     MissingInput(String),
 }
 
+impl TokenRunError {
+    /// Names of the stalled channels, if this error carries diagnoses.
+    #[must_use]
+    pub fn stalled_channels(&self) -> Vec<&str> {
+        match self {
+            TokenRunError::Deadlock { stalls, .. } | TokenRunError::Sim { stalls, .. } => {
+                stalls.iter().map(|s| s.channel.as_str()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
 impl std::fmt::Display for TokenRunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TokenRunError::Deadlock { at, stuck_channels } => {
-                write!(f, "handshake deadlock at t={at} on {stuck_channels:?}")
+            TokenRunError::Deadlock { at, stalls } => {
+                write!(f, "handshake deadlock at t={at}: ")?;
+                render_stalls(f, stalls)
             }
-            TokenRunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            TokenRunError::Sim { error, stalls } => {
+                write!(f, "simulation failed: {error}")?;
+                if !stalls.is_empty() {
+                    write!(f, "; stalled: ")?;
+                    render_stalls(f, stalls)?;
+                }
+                Ok(())
+            }
             TokenRunError::UnknownChannel(c) => write!(f, "unknown channel '{c}'"),
             TokenRunError::MissingInput(c) => write!(f, "no tokens for input channel '{c}'"),
         }
@@ -673,7 +792,10 @@ impl std::error::Error for TokenRunError {}
 
 impl From<SimError> for TokenRunError {
     fn from(e: SimError) -> Self {
-        TokenRunError::Sim(e)
+        TokenRunError::Sim {
+            error: e,
+            stalls: Vec::new(),
+        }
     }
 }
 
@@ -686,6 +808,10 @@ pub struct TokenRunReport {
     pub violations: Vec<ProtocolViolation>,
     /// Inertially filtered pulses during the run (hazard indicator).
     pub glitches: usize,
+    /// When each glitch happened, in commit order — lets callers
+    /// attribute hazards to the token in flight (see
+    /// [`crate::ditest::DiReport::glitches_by_value`]).
+    pub glitch_times: Vec<SimTime>,
     /// Simulation time when the run went quiescent.
     pub end_time: SimTime,
     /// Committed events.
@@ -732,6 +858,37 @@ pub fn token_run_traced(
     opts: &TokenRunOptions,
     tracer: &Tracer,
 ) -> Result<TokenRunReport, TokenRunError> {
+    let mut agents = build_agents(netlist, inputs, opts)?;
+    let run_span = tracer.span_args("sim.run", || {
+        vec![
+            ("design", netlist.name().to_string().into()),
+            ("agents", agents.len().into()),
+        ]
+    });
+    let mut sim = Simulator::with_queue(netlist, model, opts.queue);
+    sim.set_tracer(tracer.clone());
+    let driven = drive_agents(&mut sim, &mut agents, opts.max_events);
+    sim.trace_summary();
+    drop(run_span);
+    driven?;
+    Ok(collect_report(&sim, &agents))
+}
+
+/// Builds the standard agent set for a netlist's channel annotations: a
+/// producer per input channel (fed from `inputs`), a consumer per output
+/// channel, protocol chosen by encoding. Shared by [`token_run`] and the
+/// fault-campaign runner, which needs the agents around a simulator it
+/// has injected faults into.
+///
+/// # Errors
+///
+/// [`TokenRunError::MissingInput`] / [`TokenRunError::UnknownChannel`]
+/// when `inputs` does not match the netlist's input channels.
+pub fn build_agents(
+    netlist: &Netlist,
+    inputs: &BTreeMap<String, Vec<u64>>,
+    opts: &TokenRunOptions,
+) -> Result<Vec<Box<dyn Agent>>, TokenRunError> {
     let mut agents: Vec<Box<dyn Agent>> = Vec::new();
     let mut seen = Vec::new();
     for ch in netlist.channels() {
@@ -765,37 +922,30 @@ pub fn token_run_traced(
             return Err(TokenRunError::UnknownChannel(name.clone()));
         }
     }
+    Ok(agents)
+}
 
-    let run_span = tracer.span_args("sim.run", || {
-        vec![
-            ("design", netlist.name().to_string().into()),
-            ("agents", agents.len().into()),
-        ]
-    });
-    let mut sim = Simulator::with_queue(netlist, model, opts.queue);
-    sim.set_tracer(tracer.clone());
-    let driven = drive_agents(&mut sim, &mut agents, opts.max_events);
-    sim.trace_summary();
-    drop(run_span);
-    driven?;
-
+/// Assembles a [`TokenRunReport`] from a driven simulator + agent set
+/// (shared with the fault-campaign runner).
+pub(crate) fn collect_report(sim: &Simulator<'_>, agents: &[Box<dyn Agent>]) -> TokenRunReport {
     let mut outputs = BTreeMap::new();
     let mut violations = Vec::new();
-    for agent in &agents {
+    for agent in agents {
         if let Some(s) = agent.stream() {
             outputs.insert(agent.channel_name().to_string(), s.clone());
         }
         violations.extend_from_slice(agent.violations());
     }
-    Ok(TokenRunReport {
+    TokenRunReport {
         outputs,
         violations,
         glitches: sim.glitches().len(),
+        glitch_times: sim.glitches().iter().map(|g| g.time).collect(),
         end_time: sim.now(),
         events: sim.events_processed(),
         steps: sim.steps_executed(),
         evaluations: sim.gates_evaluated(),
-    })
+    }
 }
 
 /// Core agent/simulator interleaving loop, reusable for custom agent sets.
@@ -810,7 +960,10 @@ pub fn drive_agents(
     max_events: u64,
 ) -> Result<(), TokenRunError> {
     // Let the circuit power up before the environment engages.
-    sim.settle(max_events)?;
+    if let Err(error) = sim.settle(max_events) {
+        let stalls = collect_stalls(sim, agents);
+        return Err(TokenRunError::Sim { error, stalls });
+    }
 
     // Dense per-agent sensitivity masks (None ⇒ always react). Built
     // once; the per-timestep wake test is |changed| × |agents| bit reads.
@@ -852,17 +1005,15 @@ pub fn drive_agents(
                 agent.react(sim, &mut actions);
             }
             if actions.is_empty() {
-                let stuck: Vec<String> = agents
-                    .iter()
-                    .filter(|a| !a.done())
-                    .map(|a| a.channel_name().to_string())
-                    .collect();
-                if stuck.is_empty() {
+                if agents.iter().all(|a| a.done()) {
                     return Ok(());
                 }
+                // Stall watchdog: quiescent with tokens outstanding.
+                // Every blocked agent names its channel, phase and
+                // frontier nets.
                 return Err(TokenRunError::Deadlock {
                     at: sim.now(),
-                    stuck_channels: stuck,
+                    stalls: collect_stalls(sim, agents),
                 });
             }
             for &(net, value, delay) in actions.sets() {
@@ -870,10 +1021,13 @@ pub fn drive_agents(
             }
         }
         if sim.events_processed() > max_events {
-            return Err(TokenRunError::Sim(SimError::EventLimit {
-                limit: max_events,
-                at: sim.now(),
-            }));
+            return Err(TokenRunError::Sim {
+                error: SimError::EventLimit {
+                    limit: max_events,
+                    at: sim.now(),
+                },
+                stalls: collect_stalls(sim, agents),
+            });
         }
         sim.step();
         // Wake an agent iff one of its watched nets just changed.
@@ -884,6 +1038,11 @@ pub fn drive_agents(
             };
         }
     }
+}
+
+/// Every agent's stall diagnosis, in agent (channel declaration) order.
+fn collect_stalls(sim: &Simulator<'_>, agents: &[Box<dyn Agent>]) -> Vec<StallDiagnosis> {
+    agents.iter().filter_map(|a| a.diagnose(sim)).collect()
 }
 
 #[cfg(test)]
@@ -1006,9 +1165,27 @@ mod tests {
             &TokenRunOptions::default(),
         )
         .unwrap_err();
-        match err {
-            TokenRunError::Deadlock { stuck_channels, .. } => {
-                assert_eq!(stuck_channels, vec!["in".to_string()]);
+        match &err {
+            TokenRunError::Deadlock { stalls, .. } => {
+                assert_eq!(err.stalled_channels(), vec!["in"]);
+                let stall = &stalls[0];
+                assert_eq!(stall.role, "producer");
+                assert_eq!(stall.waiting_for, "waiting for ack to rise");
+                assert_eq!((stall.tokens_done, stall.tokens_expected), (0, Some(2)));
+                // Frontier: ack stuck low, first token's true rail up.
+                let vals: Vec<(&str, bool)> = stall
+                    .frontier
+                    .iter()
+                    .map(|n| (n.name.as_str(), n.value))
+                    .collect();
+                assert!(
+                    vals.contains(&("z_y", false)),
+                    "ack net in frontier: {vals:?}"
+                );
+                assert!(
+                    vals.contains(&("in_t", true)),
+                    "rails in frontier: {vals:?}"
+                );
             }
             other => panic!("expected deadlock, got {other}"),
         }

@@ -8,7 +8,7 @@
 //! passes; a bundled-data design without sufficient matched delay fails —
 //! the X3 robustness experiment of DESIGN.md.
 
-use crate::agents::{token_run, TokenRunError, TokenRunOptions};
+use crate::agents::{token_run, TokenRunError, TokenRunOptions, TokenRunReport};
 use crate::delay::RandomDelay;
 use msaf_netlist::Netlist;
 use std::collections::BTreeMap;
@@ -72,6 +72,12 @@ pub struct DiReport {
     pub failures: Vec<DiFailure>,
     /// Total glitches observed across all runs (hazard indicator).
     pub total_glitches: usize,
+    /// Glitch counts keyed by the output data value in flight when the
+    /// glitch happened, summed across all completed runs. A non-flat
+    /// histogram is the data-dependent hazard signature the
+    /// secure-async-FPGA line of work measures (power/EM side channels
+    /// leak through exactly these pulses).
+    pub glitches_by_value: BTreeMap<u64, usize>,
 }
 
 impl DiReport {
@@ -80,6 +86,31 @@ impl DiReport {
     pub fn is_delay_insensitive(&self) -> bool {
         self.failures.is_empty()
     }
+}
+
+/// Attributes each glitch of a completed run to the output token in
+/// flight when it fired: a glitch at time *g* belongs to the first
+/// output token committed at or after *g* (glitches after the last
+/// token belong to the last token — the return-to-zero tail of its
+/// handshake). Returns an empty map when the run produced no tokens.
+#[must_use]
+pub fn attribute_glitches(report: &TokenRunReport) -> BTreeMap<u64, usize> {
+    let mut boundaries: Vec<(u64, u64)> = report
+        .outputs
+        .values()
+        .flat_map(|s| s.tokens.iter().map(|t| (t.time, t.value)))
+        .collect();
+    boundaries.sort_unstable();
+    let mut map = BTreeMap::new();
+    if boundaries.is_empty() {
+        return map;
+    }
+    for &g in &report.glitch_times {
+        let idx = boundaries.partition_point(|&(t, _)| t < g);
+        let (_, value) = boundaries[idx.min(boundaries.len() - 1)];
+        *map.entry(value).or_insert(0) += 1;
+    }
+    map
 }
 
 /// Runs the token experiment once per seed with random per-gate delays and
@@ -113,6 +144,7 @@ pub fn di_stress(
 
     let mut failures = Vec::new();
     let mut total_glitches = reference_run.glitches;
+    let mut glitches_by_value = attribute_glitches(&reference_run);
     let mut runs = 1;
     for seed in seeds {
         runs += 1;
@@ -120,6 +152,9 @@ pub fn di_stress(
         match token_run(netlist, &model, inputs, &config.opts) {
             Ok(report) => {
                 total_glitches += report.glitches;
+                for (value, count) in attribute_glitches(&report) {
+                    *glitches_by_value.entry(value).or_insert(0) += count;
+                }
                 for (channel, want) in &reference {
                     let got = report
                         .outputs
@@ -145,6 +180,7 @@ pub fn di_stress(
         reference,
         failures,
         total_glitches,
+        glitches_by_value,
     })
 }
 
@@ -199,6 +235,10 @@ mod tests {
         assert!(report.is_delay_insensitive(), "{:?}", report.failures);
         assert_eq!(report.runs, 8);
         assert_eq!(report.reference["out"], vec![1, 0, 0, 1]);
+        // Every glitch of every completed run is attributed to exactly
+        // one data value (every run here produced tokens).
+        let attributed: usize = report.glitches_by_value.values().sum();
+        assert_eq!(attributed, report.total_glitches);
     }
 
     #[test]

@@ -141,6 +141,17 @@ pub struct Simulator<'a> {
     /// Nets committed during the most recent [`Simulator::step`]
     /// (reusable buffer; drives agent sensitivity filtering).
     changed: Vec<NetId>,
+    /// Stuck-at clamps: a clamped net refuses any commit to the opposite
+    /// value. Dense per-net; `clamp_count` gates the hot-path check so an
+    /// unfaulted run pays one integer compare per commit.
+    clamps: Vec<Option<bool>>,
+    clamp_count: usize,
+    /// Scheduled transient upsets (SEU): at each `(time, net)` the net's
+    /// committed value is inverted, bypassing the driver's generation
+    /// check — a later driver event may overwrite it, which is exactly
+    /// the transient-recovery physics. Kept in insertion order; the list
+    /// is tiny (one entry per injected fault), so `step` scans it.
+    flips: Vec<(SimTime, NetId)>,
     /// Peak pending-event count seen at any timestep boundary.
     queue_depth_hw: usize,
     /// Flight recorder: progress counters every [`TRACE_CADENCE`]
@@ -220,6 +231,9 @@ impl<'a> Simulator<'a> {
             stamp: 1,
             wide_inputs: Vec::new(),
             changed: Vec::new(),
+            clamps: vec![None; n_nets],
+            clamp_count: 0,
+            flips: Vec::new(),
             queue_depth_hw: 0,
             tracer: Tracer::default(),
         };
@@ -392,9 +406,15 @@ impl<'a> Simulator<'a> {
     }
 
     /// Applies one committed net change, returns whether the value changed.
+    /// This is the single commit path: stuck-at clamps veto here, so a
+    /// clamped net holds its fault value against drivers, primary-input
+    /// schedules and SEU flips alike.
     #[inline]
     fn apply(&mut self, net: NetId, value: bool) -> bool {
         if self.values[net.index()] == value {
+            return false;
+        }
+        if self.clamp_count != 0 && self.clamps[net.index()].is_some_and(|v| v != value) {
             return false;
         }
         self.values[net.index()] = value;
@@ -402,6 +422,63 @@ impl<'a> Simulator<'a> {
         self.changed.push(net);
         self.trace.record(net, self.now, value);
         true
+    }
+
+    /// Clamps `net` to `value` (stuck-at fault): the net takes `value`
+    /// now and every future commit to the opposite value is silently
+    /// refused at the commit path until [`Simulator::unclamp_net`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn clamp_net(&mut self, net: NetId, value: bool) {
+        if self.clamps[net.index()].is_none() {
+            self.clamp_count += 1;
+        }
+        self.clamps[net.index()] = Some(value);
+        // Force the fault value in immediately (the clamp check passes —
+        // it only vetoes the *opposite* value) and let fanout react.
+        self.stamp += 1;
+        if self.apply(net, value) {
+            let stamp = self.stamp;
+            for &g in self.fanout.gates_of(net) {
+                if self.dirty_stamp[g.index()] != stamp {
+                    self.dirty_stamp[g.index()] = stamp;
+                    self.dirty.push(g);
+                }
+            }
+        }
+        self.evaluate_dirty();
+    }
+
+    /// Removes a stuck-at clamp from `net`. The net keeps its current
+    /// value until a driver or input event next commits to it.
+    pub fn unclamp_net(&mut self, net: NetId) {
+        if self.clamps[net.index()].take().is_some() {
+            self.clamp_count -= 1;
+        }
+    }
+
+    /// Schedules a transient single-event upset: at time `at` the
+    /// committed value of `net` is inverted, bypassing the driver's
+    /// generation check. A subsequent driver transition may overwrite
+    /// the upset (transient recovery); a clamp on the same net masks it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulator's past.
+    pub fn schedule_flip(&mut self, net: NetId, at: SimTime) {
+        assert!(
+            at >= self.now,
+            "flip at t={at} is in the past (now={})",
+            self.now
+        );
+        self.flips.push((at, net));
+    }
+
+    /// Earliest scheduled SEU flip, if any.
+    fn next_flip_time(&self) -> Option<SimTime> {
+        self.flips.iter().map(|&(t, _)| t).min()
     }
 
     /// The nets whose committed value changed during the last
@@ -509,8 +586,11 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns `false` when the queue is empty (quiescent).
     pub fn step(&mut self) -> bool {
-        let Some(t) = self.queue.peek_time() else {
-            return false;
+        let t = match (self.queue.peek_time(), self.next_flip_time()) {
+            (Some(q), Some(f)) => q.min(f),
+            (Some(q), None) => q,
+            (None, Some(f)) => f,
+            (None, None) => return false,
         };
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
@@ -524,6 +604,32 @@ impl<'a> Simulator<'a> {
             self.tracer.counter("sim.queue_depth", depth as u64);
             self.tracer
                 .counter("sim.glitches", self.glitches.len() as u64);
+        }
+
+        // Injected upsets fire first at their timestep; a driver event at
+        // the same instant then wins (instantaneous recovery), which is
+        // the conservative reading of a transient fault.
+        if !self.flips.is_empty() {
+            let mut i = 0;
+            while i < self.flips.len() {
+                let (at, net) = self.flips[i];
+                if at != t {
+                    i += 1;
+                    continue;
+                }
+                self.flips.remove(i);
+                self.events_processed += 1;
+                let upset = !self.values[net.index()];
+                if self.apply(net, upset) {
+                    let stamp = self.stamp;
+                    for &g in self.fanout.gates_of(net) {
+                        if self.dirty_stamp[g.index()] != stamp {
+                            self.dirty_stamp[g.index()] = stamp;
+                            self.dirty.push(g);
+                        }
+                    }
+                }
+            }
         }
 
         while let Some(ev) = self.queue.pop_at(t) {
@@ -607,16 +713,21 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// True when no events are pending.
+    /// True when no events (including scheduled SEU flips) are pending.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.queue.is_empty()
+        self.queue.is_empty() && self.flips.is_empty()
     }
 
-    /// Time of the next pending event, if any.
+    /// Time of the next pending event or scheduled SEU flip, if any.
     #[must_use]
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek_time()
+        match (self.queue.peek_time(), self.next_flip_time()) {
+            (Some(q), Some(f)) => Some(q.min(f)),
+            (Some(q), None) => Some(q),
+            (None, Some(f)) => Some(f),
+            (None, None) => None,
+        }
     }
 }
 
@@ -855,6 +966,89 @@ mod tests {
         sim.set_input(ins[7], false, 1);
         settle_all(&mut sim);
         assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn clamped_net_holds_against_its_driver() {
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("stuck");
+            let a = nl.add_input("a");
+            let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+            let (_, z) = nl.add_gate_new(GateKind::Not, "n", &[y]);
+            nl.mark_output(z);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(2), q);
+            settle_all(&mut sim);
+            sim.clamp_net(y, false);
+            sim.set_input(a, true, 1);
+            settle_all(&mut sim);
+            assert!(!sim.value(y), "stuck-at-0 net must refuse the driver");
+            assert!(sim.value(z), "downstream logic sees the fault value");
+            // Releasing the clamp does not retroactively commit; the next
+            // driver edge does.
+            sim.unclamp_net(y);
+            sim.set_input(a, false, 1);
+            sim.set_input(a, true, 2);
+            settle_all(&mut sim);
+            assert!(sim.value(y));
+            assert!(!sim.value(z));
+        });
+    }
+
+    #[test]
+    fn clamp_forces_value_and_fanout_reacts() {
+        let mut nl = Netlist::new("stuck1");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+        let (_, z) = nl.add_gate_new(GateKind::Not, "n", &[y]);
+        nl.mark_output(z);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(2));
+        settle_all(&mut sim);
+        assert!(sim.value(z));
+        sim.clamp_net(y, true);
+        settle_all(&mut sim);
+        assert!(sim.value(y), "stuck-at-1 forces the value in immediately");
+        assert!(!sim.value(z), "fanout re-evaluates off the fault value");
+    }
+
+    #[test]
+    fn seu_flip_fires_and_driver_recovers() {
+        with_both_queues(|q| {
+            let mut nl = Netlist::new("seu");
+            let a = nl.add_input("a");
+            let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+            nl.mark_output(y);
+            let mut sim = Simulator::with_queue(&nl, &FixedDelay::new(1), q);
+            settle_all(&mut sim);
+            // Upset with no driver activity: the flip lands and sticks
+            // (the buffer's inputs did not change, so nothing restores it
+            // until its input wiggles).
+            sim.schedule_flip(y, sim.now() + 5);
+            assert!(!sim.is_quiescent(), "a pending flip is a pending event");
+            assert_eq!(sim.next_event_time(), Some(5));
+            settle_all(&mut sim);
+            assert!(sim.value(y), "upset committed");
+            // The buffer saw its output contradict its input evaluation?
+            // No — gates re-evaluate only when *inputs* change; wiggle the
+            // input and the driver restores the true value.
+            sim.set_input(a, true, 1);
+            sim.set_input(a, false, 3);
+            settle_all(&mut sim);
+            assert!(!sim.value(y), "driver recovered the upset");
+        });
+    }
+
+    #[test]
+    fn clamp_masks_scheduled_flip() {
+        let mut nl = Netlist::new("seu_masked");
+        let a = nl.add_input("a");
+        let (_, y) = nl.add_gate_new(GateKind::Buf, "b", &[a]);
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl, &FixedDelay::new(1));
+        settle_all(&mut sim);
+        sim.clamp_net(y, false);
+        sim.schedule_flip(y, sim.now() + 2);
+        settle_all(&mut sim);
+        assert!(!sim.value(y), "clamp vetoes the upset at the commit path");
     }
 
     #[test]

@@ -44,8 +44,10 @@
 
 pub mod agents;
 pub mod delay;
+pub mod diagnose;
 pub mod ditest;
 pub mod engine;
+pub mod faults;
 pub mod queue;
 pub mod settle;
 pub mod trace;
@@ -53,7 +55,12 @@ pub mod vcd;
 
 pub use agents::{token_run, token_run_traced, Token, TokenRunError, TokenRunOptions, TokenStream};
 pub use delay::{DelayModel, FixedDelay, PerKindDelay, RandomDelay};
+pub use diagnose::{FrontierNet, StallDiagnosis};
 pub use ditest::{DiConfig, DiReport};
 pub use engine::{Glitch, SimError, SimTime, Simulator};
+pub use faults::{
+    default_stimulus, run_campaign, run_campaign_traced, CampaignOptions, Fault, FaultOutcome,
+    FaultReport, FaultResult, KindSummary, FAULT_KINDS,
+};
 pub use queue::{QueueDepthStats, QueueKind};
 pub use trace::Trace;
