@@ -1,0 +1,138 @@
+//! The content-addressed artifact store.
+//!
+//! Keys are stage-qualified content hashes (see [`crate::Stage::key`]);
+//! values are artifact JSON. The store is deliberately a dumb string
+//! map: artifacts carry their own digests, the flow decides what a key
+//! means, and a store never invents or mutates entries — so any
+//! implementation (in-memory, on-disk, remote tier) is interchangeable
+//! without touching the flow.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Where serialized stage artifacts live. Implementations must be
+/// thread-safe: the compile server's workers share one store.
+pub trait ArtifactStore: Send + Sync {
+    /// Fetches the artifact stored under `key`, if any.
+    fn get(&self, key: &str) -> Option<String>;
+
+    /// Stores `json` under `key` (last write wins; identical compiles
+    /// write identical bytes, so races between workers are benign).
+    fn put(&self, key: &str, json: String);
+}
+
+/// Cumulative counters of one store's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `get` calls that found an entry.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: u64,
+    /// Total JSON bytes currently held.
+    pub bytes: u64,
+}
+
+/// The in-memory store: a mutexed map plus hit/miss counters — the
+/// "hot tier" a farm deployment would back with warm/durable tiers.
+#[derive(Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All keys currently held, in arbitrary order (tests poison
+    /// entries through this; the flow itself never enumerates).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned lock.
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        self.map
+            .lock()
+            .expect("store lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Current traffic and occupancy counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous operation panicked mid-insert (poisoned
+    /// lock).
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let map = self.map.lock().expect("store lock");
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: map.len() as u64,
+            bytes: map.values().map(|v| v.len() as u64).sum(),
+        }
+    }
+}
+
+impl ArtifactStore for MemStore {
+    fn get(&self, key: &str) -> Option<String> {
+        let found = self.map.lock().ok().and_then(|map| map.get(key).cloned());
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn put(&self, key: &str, json: String) {
+        if let Ok(mut map) = self.map.lock() {
+            map.insert(key.to_string(), json);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_stats() {
+        let store = MemStore::new();
+        assert_eq!(store.get("k"), None);
+        store.put("k", "{\"v\":1}".to_string());
+        assert_eq!(store.get("k").as_deref(), Some("{\"v\":1}"));
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, 7);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = MemStore::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let store = &store;
+                s.spawn(move || {
+                    for j in 0..50 {
+                        store.put(&format!("k{}", j % 8), format!("v{i}"));
+                        let _ = store.get(&format!("k{}", j % 8));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.stats().entries, 8);
+    }
+}

@@ -1,0 +1,259 @@
+//! Conversions between the CAD flow's live result structs and the
+//! plain-data artifact mirrors in `msaf-artifact`.
+//!
+//! The artifact crate deliberately knows nothing about `msaf-cad`'s
+//! internals (the dependency points the other way), so the mapping
+//! between a live [`Placement`] — `HashMap` pad bindings and all — and
+//! its canonical serialized form lives here. Every conversion pair is
+//! a strict inverse: `restore(checkpoint(x))` reproduces `x` exactly,
+//! which is what lets [`crate::flow::compile_cached`] treat a cache hit
+//! as equivalent to recomputation.
+
+use crate::pack::{PackedDesign, PackedPlb};
+use crate::place::{PlaceStats, Placement};
+use crate::route::{RouteStats, RoutingResult};
+use crate::techmap::SignalId;
+use crate::timing::{TimingReport, TimingSummary};
+use msaf_artifact::{
+    BitstreamArtifact, PackArtifact, PackedPlbArtifact, PlaceArtifact, RouteArtifact,
+    TimingArtifact,
+};
+use msaf_fabric::bitstream::FabricConfig;
+
+/// Checkpoints a packed design.
+#[must_use]
+pub fn checkpoint_pack(packed: &PackedDesign) -> PackArtifact {
+    PackArtifact {
+        plbs: packed
+            .plbs
+            .iter()
+            .map(|plb| PackedPlbArtifact {
+                les: plb.les.clone(),
+                pde: plb.pde,
+            })
+            .collect(),
+    }
+}
+
+/// Restores a packed design from its checkpoint.
+#[must_use]
+pub fn restore_pack(art: &PackArtifact) -> PackedDesign {
+    PackedDesign {
+        plbs: art
+            .plbs
+            .iter()
+            .map(|plb| PackedPlb {
+                les: plb.les.clone(),
+                pde: plb.pde,
+            })
+            .collect(),
+    }
+}
+
+/// Checkpoints a placement. Pad bindings leave the `HashMap` as
+/// `(signal index, pad index)` pairs sorted by signal index so the
+/// serialized form — and therefore the artifact digest — is canonical
+/// regardless of hash iteration order.
+#[must_use]
+pub fn checkpoint_place(placement: &Placement) -> PlaceArtifact {
+    let mut pads: Vec<(usize, usize)> = placement
+        .pad_of_signal
+        .iter()
+        .map(|(sig, pad)| (sig.index(), *pad))
+        .collect();
+    pads.sort_unstable();
+    PlaceArtifact {
+        plb_pos: placement.plb_pos.clone(),
+        pads,
+        cost: placement.cost,
+        moves_attempted: placement.stats.moves_attempted,
+        moves_accepted: placement.stats.moves_accepted,
+    }
+}
+
+/// Restores a placement from its checkpoint.
+#[must_use]
+pub fn restore_place(art: &PlaceArtifact) -> Placement {
+    Placement {
+        plb_pos: art.plb_pos.clone(),
+        pad_of_signal: art
+            .pads
+            .iter()
+            .map(|&(sig, pad)| (SignalId::from_index(sig), pad))
+            .collect(),
+        cost: art.cost,
+        stats: PlaceStats {
+            moves_attempted: art.moves_attempted,
+            moves_accepted: art.moves_accepted,
+        },
+    }
+}
+
+/// Checkpoints a routing result together with the channel width the
+/// widening loop converged at and the timing numbers the report needs,
+/// so a cache hit restores the complete routing story — trees, search
+/// counters, retries and slack analysis — in one artifact.
+#[must_use]
+pub fn checkpoint_route(
+    routed: &RoutingResult,
+    channel_width: usize,
+    timing: &TimingReport,
+    summary: &TimingSummary,
+) -> RouteArtifact {
+    RouteArtifact {
+        channel_width,
+        iterations: routed.iterations,
+        nodes_popped: routed.stats.nodes_popped,
+        ripups: routed.stats.ripups,
+        conflict_colors: routed.stats.conflict_colors,
+        max_class: routed.stats.max_class,
+        trees: routed.trees.clone(),
+        timing: TimingArtifact {
+            levels: timing.levels,
+            pre_route_critical_delay: timing.critical_delay,
+            critical_signal: timing.critical_signal.clone(),
+            post_route_critical_delay: summary.post_route_critical_delay,
+            worst_slack: summary.worst_slack,
+            crit_histogram: summary.crit_histogram,
+        },
+    }
+}
+
+/// Restores the routing result from its checkpoint. The converged
+/// channel width is read separately by the flow (it reshapes the
+/// architecture before rebuilding the routing-resource graph).
+#[must_use]
+pub fn restore_route(art: &RouteArtifact) -> RoutingResult {
+    RoutingResult {
+        trees: art.trees.clone(),
+        iterations: art.iterations,
+        stats: RouteStats {
+            nodes_popped: art.nodes_popped,
+            ripups: art.ripups,
+            conflict_colors: art.conflict_colors,
+            max_class: art.max_class,
+        },
+    }
+}
+
+/// Restores the pre-route timing report from a route checkpoint.
+#[must_use]
+pub fn restore_timing_report(art: &RouteArtifact) -> TimingReport {
+    TimingReport {
+        levels: art.timing.levels,
+        critical_delay: art.timing.pre_route_critical_delay,
+        critical_signal: art.timing.critical_signal.clone(),
+    }
+}
+
+/// Restores the routed timing summary from a route checkpoint.
+#[must_use]
+pub fn restore_timing_summary(art: &RouteArtifact) -> TimingSummary {
+    TimingSummary {
+        pre_route_critical_delay: art.timing.pre_route_critical_delay,
+        post_route_critical_delay: art.timing.post_route_critical_delay,
+        worst_slack: art.timing.worst_slack,
+        crit_histogram: art.timing.crit_histogram,
+    }
+}
+
+/// Checkpoints a final fabric configuration.
+#[must_use]
+pub fn checkpoint_bitstream(config: &FabricConfig) -> BitstreamArtifact {
+    BitstreamArtifact {
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pack_round_trips() {
+        let packed = PackedDesign {
+            plbs: vec![
+                PackedPlb {
+                    les: vec![0, 2],
+                    pde: Some(1),
+                },
+                PackedPlb {
+                    les: vec![1],
+                    pde: None,
+                },
+            ],
+        };
+        let back = restore_pack(&checkpoint_pack(&packed));
+        assert_eq!(back.plbs.len(), 2);
+        assert_eq!(back.plbs[0].les, vec![0, 2]);
+        assert_eq!(back.plbs[0].pde, Some(1));
+        assert_eq!(back.plbs[1].pde, None);
+    }
+
+    #[test]
+    fn place_round_trips_and_pads_are_canonical() {
+        let mut pad_of_signal = HashMap::new();
+        pad_of_signal.insert(SignalId::from_index(7), 1);
+        pad_of_signal.insert(SignalId::from_index(2), 0);
+        pad_of_signal.insert(SignalId::from_index(11), 2);
+        let placement = Placement {
+            plb_pos: vec![(1, 1), (2, 3)],
+            pad_of_signal,
+            cost: 19.0,
+            stats: PlaceStats {
+                moves_attempted: 500,
+                moves_accepted: 123,
+            },
+        };
+        let art = checkpoint_place(&placement);
+        assert_eq!(
+            art.pads,
+            vec![(2, 0), (7, 1), (11, 2)],
+            "pads sorted by signal index"
+        );
+        let back = restore_place(&art);
+        assert_eq!(back.plb_pos, placement.plb_pos);
+        assert_eq!(back.pad_of_signal, placement.pad_of_signal);
+        assert_eq!(back.cost, placement.cost);
+        assert_eq!(back.stats.moves_accepted, 123);
+        // Checkpointing the restored placement is byte-stable.
+        assert_eq!(checkpoint_place(&back), art);
+    }
+
+    #[test]
+    fn route_round_trips_with_timing() {
+        let routed = RoutingResult {
+            trees: vec![],
+            iterations: 4,
+            stats: RouteStats {
+                nodes_popped: 900,
+                ripups: 12,
+                conflict_colors: 5,
+                max_class: 3,
+            },
+        };
+        let timing = TimingReport {
+            levels: 3,
+            critical_delay: 14,
+            critical_signal: Some("s9".into()),
+        };
+        let summary = TimingSummary {
+            pre_route_critical_delay: 14,
+            post_route_critical_delay: 22,
+            worst_slack: 2,
+            crit_histogram: [0, 1, 0, 0, 2, 0, 0, 0, 0, 3],
+        };
+        let art = checkpoint_route(&routed, 16, &timing, &summary);
+        assert_eq!(art.channel_width, 16);
+        let back = restore_route(&art);
+        assert_eq!(back.iterations, 4);
+        assert_eq!(back.stats.ripups, 12);
+        let t = restore_timing_report(&art);
+        assert_eq!(t.critical_delay, 14);
+        assert_eq!(t.critical_signal.as_deref(), Some("s9"));
+        let s = restore_timing_summary(&art);
+        assert_eq!(s.post_route_critical_delay, 22);
+        assert_eq!(s.crit_histogram[9], 3);
+    }
+}

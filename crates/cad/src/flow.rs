@@ -1,12 +1,15 @@
 //! The end-to-end compile flow: netlist in, programmed fabric out.
 
 use crate::bitgen::{assemble, bind, BitgenError};
+use crate::checkpoint;
 use crate::pack::{pack, PackError, PackedDesign};
 use crate::place::{place_traced, PlaceError, PlaceOptions, Placement};
 use crate::report::FlowReport;
 use crate::route::{route_traced, RouteError, RouteOptions};
 use crate::techmap::{map, MapError, MappedDesign};
 use crate::timing::{RouteTimingCtx, TimingGraph};
+use msaf_artifact::digest::Fnv64;
+use msaf_artifact::{Artifact, ArtifactStore, BitstreamArtifact, PackArtifact, Stage};
 use msaf_fabric::arch::ArchSpec;
 use msaf_fabric::bitstream::FabricConfig;
 use msaf_fabric::rrg::Rrg;
@@ -126,6 +129,91 @@ fn size_grid(plbs: usize, io: usize) -> (usize, usize) {
     ArchSpec::size_for(plbs, io)
 }
 
+/// Whether one stage of a [`compile_cached`] run was restored from the
+/// artifact store or recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// Restored from a cached artifact.
+    Hit,
+    /// Computed (and checkpointed into the store).
+    Miss,
+}
+
+impl StageOutcome {
+    /// `"hit"` / `"miss"` — the spelling the compile server streams.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageOutcome::Hit => "hit",
+            StageOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Per-stage cache outcomes of one [`compile_cached`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Packing stage.
+    pub pack: StageOutcome,
+    /// Placement stage.
+    pub place: StageOutcome,
+    /// Routing stage.
+    pub route: StageOutcome,
+    /// Bit-generation stage.
+    pub bitgen: StageOutcome,
+}
+
+impl CacheReport {
+    const ALL_MISS: CacheReport = CacheReport {
+        pack: StageOutcome::Miss,
+        place: StageOutcome::Miss,
+        route: StageOutcome::Miss,
+        bitgen: StageOutcome::Miss,
+    };
+
+    /// True when every stage was restored from the store — the compile
+    /// server's "second compile was free" fact.
+    #[must_use]
+    pub fn all_hits(&self) -> bool {
+        self.stages().iter().all(|&(_, o)| o == StageOutcome::Hit)
+    }
+
+    /// `(stage name, outcome)` pairs in pipeline order.
+    #[must_use]
+    pub fn stages(&self) -> [(&'static str, StageOutcome); 4] {
+        [
+            (Stage::Pack.name(), self.pack),
+            (Stage::Place.name(), self.place),
+            (Stage::Route.name(), self.route),
+            (Stage::Bitgen.name(), self.bitgen),
+        ]
+    }
+}
+
+/// The content-addressed cache context threaded through the flow: the
+/// store plus the digest of everything upstream of the first stage (the
+/// source text and style, hashed by the caller).
+struct CacheCtx<'a> {
+    store: &'a dyn ArtifactStore,
+    source_digest: u64,
+}
+
+impl CacheCtx<'_> {
+    /// Looks up and deserializes a stage artifact. A missing entry and
+    /// a malformed/shape-mismatched one are the same thing — a miss —
+    /// so a format change (or a corrupted store) degrades to
+    /// recomputation, never to a compile error.
+    fn get<A: Artifact>(&self, key: &str) -> Option<A> {
+        self.store
+            .get(key)
+            .and_then(|json| A::from_json(&json).ok())
+    }
+
+    fn put<A: Artifact>(&self, key: &str, artifact: &A) {
+        self.store.put(key, artifact.to_json());
+    }
+}
+
 /// Compiles `netlist` onto the architecture family of
 /// [`FlowOptions::arch`].
 ///
@@ -135,11 +223,97 @@ fn size_grid(plbs: usize, io: usize) -> (usize, usize) {
 /// channel-width doublings before giving up (unless the width is
 /// pinned).
 pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, FlowError> {
+    compile_inner(netlist, opts, None).map(|(compiled, _)| compiled)
+}
+
+/// [`compile`] with content-addressed per-stage caching.
+///
+/// `source_digest` must capture everything upstream of the flow that
+/// determines its input — for `.msa` sources that is the source text
+/// plus the elaborated style. Each stage's cache key then chains the
+/// upstream stage's key and artifact digest with the options that stage
+/// actually reads, so any change — source, seed, grid, architecture,
+/// router knobs — lands every downstream stage on a fresh key.
+/// [`RouteOptions::threads`] and the negotiation chunk are deliberately
+/// *kept* in the route key only insofar as they change results: thread
+/// count never does (the determinism contract), so it is excluded;
+/// `chunk` changes the recorded negotiation statistics, so it is
+/// included.
+///
+/// A cache hit restores the stage artifact instead of recomputing; the
+/// restored flow still rebuilds the routing-resource graph, re-binds,
+/// and re-runs the bitstream consistency check, so a poisoned store
+/// surfaces as a checked error rather than a silently wrong fabric.
+///
+/// # Errors
+///
+/// Exactly the [`compile`] error surface — cache problems are misses,
+/// not errors.
+pub fn compile_cached(
+    netlist: &Netlist,
+    opts: &FlowOptions,
+    store: &dyn ArtifactStore,
+    source_digest: u64,
+) -> Result<(CompiledDesign, CacheReport), FlowError> {
+    compile_inner(
+        netlist,
+        opts,
+        Some(CacheCtx {
+            store,
+            source_digest,
+        }),
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn compile_inner(
+    netlist: &Netlist,
+    opts: &FlowOptions,
+    cache: Option<CacheCtx<'_>>,
+) -> Result<(CompiledDesign, CacheReport), FlowError> {
     let tracer = &opts.tracer;
+    let mut outcomes = CacheReport::ALL_MISS;
+
+    // Stage key chain. Each stage's input digest folds in the previous
+    // stage's input digest *and* artifact digest, so a hit at stage N
+    // implies the entire upstream line matched.
+    let pack_input = cache.as_ref().map(|ctx| {
+        let mut h = Fnv64::new();
+        h.write_u64(ctx.source_digest);
+        h.write_str(&format!("{:?}", opts.arch));
+        h.finish()
+    });
+
     let stage = std::time::Instant::now();
     let pack_span = tracer.span("flow.pack");
     let mapped = map(netlist, &opts.arch).map_err(FlowError::Map)?;
-    let packed = pack(&mapped, &opts.arch).map_err(FlowError::Pack)?;
+    let pack_key = pack_input.map(|d| Stage::Pack.key(d));
+    let mut pack_art: Option<PackArtifact> = None;
+    let packed = match (&cache, &pack_key) {
+        (Some(ctx), Some(key)) => {
+            if let Some(art) = ctx.get::<PackArtifact>(key) {
+                outcomes.pack = StageOutcome::Hit;
+                let packed = checkpoint::restore_pack(&art);
+                pack_art = Some(art);
+                packed
+            } else {
+                let packed = pack(&mapped, &opts.arch).map_err(FlowError::Pack)?;
+                let art = checkpoint::checkpoint_pack(&packed);
+                ctx.put(key, &art);
+                pack_art = Some(art);
+                packed
+            }
+        }
+        _ => pack(&mapped, &opts.arch).map_err(FlowError::Pack)?,
+    };
+    if cache.is_some() {
+        tracer.event("flow.cache", || {
+            vec![
+                ("stage", "pack".into()),
+                ("outcome", outcomes.pack.name().into()),
+            ]
+        });
+    }
     drop(pack_span);
     let pack_ms = stage.elapsed().as_secs_f64() * 1e3;
 
@@ -156,16 +330,62 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     }
     arch.name = format!("{}-{w}x{h}", opts.arch.name);
 
+    let place_input = match (pack_input, &pack_art) {
+        (Some(pi), Some(art)) => {
+            let mut hasher = Fnv64::new();
+            hasher.write_u64(pi);
+            hasher.write_u64(art.digest());
+            hasher.write_u64(opts.seed);
+            hasher.write_u64(w as u64);
+            hasher.write_u64(h as u64);
+            Some(hasher.finish())
+        }
+        _ => None,
+    };
+
     let stage = std::time::Instant::now();
     let place_span = tracer.span("flow.place");
-    let placement = place_traced(
-        &mapped,
-        &packed,
-        &arch,
-        &PlaceOptions::seeded(opts.seed),
-        tracer,
-    )
-    .map_err(FlowError::Place)?;
+    let place_key = place_input.map(|d| Stage::Place.key(d));
+    let mut place_art: Option<msaf_artifact::PlaceArtifact> = None;
+    let placement = match (&cache, &place_key) {
+        (Some(ctx), Some(key)) => {
+            if let Some(art) = ctx.get::<msaf_artifact::PlaceArtifact>(key) {
+                outcomes.place = StageOutcome::Hit;
+                let placement = checkpoint::restore_place(&art);
+                place_art = Some(art);
+                placement
+            } else {
+                let placement = place_traced(
+                    &mapped,
+                    &packed,
+                    &arch,
+                    &PlaceOptions::seeded(opts.seed),
+                    tracer,
+                )
+                .map_err(FlowError::Place)?;
+                let art = checkpoint::checkpoint_place(&placement);
+                ctx.put(key, &art);
+                place_art = Some(art);
+                placement
+            }
+        }
+        _ => place_traced(
+            &mapped,
+            &packed,
+            &arch,
+            &PlaceOptions::seeded(opts.seed),
+            tracer,
+        )
+        .map_err(FlowError::Place)?,
+    };
+    if cache.is_some() {
+        tracer.event("flow.cache", || {
+            vec![
+                ("stage", "place".into()),
+                ("outcome", outcomes.place.name().into()),
+            ]
+        });
+    }
     drop(place_span);
     let place_ms = stage.elapsed().as_secs_f64() * 1e3;
 
@@ -175,6 +395,27 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     // untimed router and the context only measures (post-route critical
     // delay, slacks); raising `FlowOptions::route.timing_fac` makes the
     // criticalities steer the search.
+    let route_input = match (place_input, &place_art) {
+        (Some(pi), Some(art)) => {
+            let mut hasher = Fnv64::new();
+            hasher.write_u64(pi);
+            hasher.write_u64(art.digest());
+            // Thread count is excluded from the key: routing results
+            // are byte-identical at any thread count (the determinism
+            // contract pinned by tests/trace_determinism.rs), so it
+            // must not fragment the cache. Everything else in the
+            // options — including `chunk`, which changes the recorded
+            // negotiation statistics — feeds in.
+            let mut keyed = opts.route;
+            keyed.threads = 1;
+            hasher.write_str(&format!("{keyed:?}"));
+            hasher.write_str(&format!("{:?}", opts.channel_width));
+            Some(hasher.finish())
+        }
+        _ => None,
+    };
+    let route_key = route_input.map(|d| Stage::Route.key(d));
+
     let stage = std::time::Instant::now();
     let route_span = tracer.span("flow.route");
     let total_attempts = if opts.channel_width.is_some() { 1 } else { 4 };
@@ -182,59 +423,131 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
     // The timing graph depends only on the mapped design — build it once
     // and clone per widening retry.
     let graph = TimingGraph::build(&mapped);
-    let (rrg, binding, routed, timing, timing_summary) = loop {
+    let restored = match (&cache, &route_key) {
+        (Some(ctx), Some(key)) => ctx.get::<msaf_artifact::RouteArtifact>(key),
+        _ => None,
+    };
+    let (rrg, binding, routed, timing, timing_summary, route_art) = if let Some(art) = restored {
+        // Restored: jump straight to the channel width the widening
+        // loop converged at — the retries are part of what the
+        // checkpoint remembers. Binding is recomputed (it is cheap and
+        // pins the restored trees to real routing-resource nodes).
+        outcomes.route = StageOutcome::Hit;
+        arch.channel_width = art.channel_width;
         let rrg = Rrg::build(&arch);
         let binding = bind(&mapped, &packed, &placement, &arch, &rrg).map_err(FlowError::Bitgen)?;
-        let mut ctx = RouteTimingCtx::with_graph(
-            graph.clone(),
-            &mapped,
-            &binding.requests,
-            &binding.request_signals,
-        );
-        ctx.set_tracer(tracer.clone());
-        match route_traced(&rrg, &binding.requests, &opts.route, Some(&mut ctx), tracer) {
-            Ok(routed) => {
-                let timing = ctx.pre_route_report().clone();
-                let summary = ctx.summary();
-                break (rrg, binding, routed, timing, summary);
-            }
-            Err(e) => {
-                attempts -= 1;
-                if attempts == 0 {
-                    // Pinned width: the caller asked for exactly this
-                    // width, report the router error directly. Adaptive
-                    // width: every widening failed — name the envelope.
-                    if total_attempts == 1 {
-                        return Err(FlowError::Route(e));
+        let routed = checkpoint::restore_route(&art);
+        let timing = checkpoint::restore_timing_report(&art);
+        let summary = checkpoint::restore_timing_summary(&art);
+        (rrg, binding, routed, timing, summary, Some(art))
+    } else {
+        let (rrg, binding, routed, timing, summary) = loop {
+            let rrg = Rrg::build(&arch);
+            let binding =
+                bind(&mapped, &packed, &placement, &arch, &rrg).map_err(FlowError::Bitgen)?;
+            let mut ctx = RouteTimingCtx::with_graph(
+                graph.clone(),
+                &mapped,
+                &binding.requests,
+                &binding.request_signals,
+            );
+            ctx.set_tracer(tracer.clone());
+            match route_traced(&rrg, &binding.requests, &opts.route, Some(&mut ctx), tracer) {
+                Ok(routed) => {
+                    let timing = ctx.pre_route_report().clone();
+                    let summary = ctx.summary();
+                    break (rrg, binding, routed, timing, summary);
+                }
+                Err(e) => {
+                    attempts -= 1;
+                    if attempts == 0 {
+                        // Pinned width: the caller asked for exactly this
+                        // width, report the router error directly. Adaptive
+                        // width: every widening failed — name the envelope.
+                        if total_attempts == 1 {
+                            return Err(FlowError::Route(e));
+                        }
+                        return Err(FlowError::RouteExhausted {
+                            attempts: total_attempts,
+                            final_channel_width: arch.channel_width,
+                            last: e,
+                        });
                     }
-                    return Err(FlowError::RouteExhausted {
-                        attempts: total_attempts,
-                        final_channel_width: arch.channel_width,
-                        last: e,
+                    arch.channel_width *= 2;
+                    tracer.event("flow.widen_channel", || {
+                        vec![
+                            ("new_channel_width", arch.channel_width.into()),
+                            ("attempts_left", attempts.into()),
+                            (
+                                "reason",
+                                "routing congestion: unresolved overuse at this width".into(),
+                            ),
+                        ]
                     });
                 }
-                arch.channel_width *= 2;
-                tracer.event("flow.widen_channel", || {
-                    vec![
-                        ("new_channel_width", arch.channel_width.into()),
-                        ("attempts_left", attempts.into()),
-                        (
-                            "reason",
-                            "routing congestion: unresolved overuse at this width".into(),
-                        ),
-                    ]
-                });
             }
-        }
+        };
+        let route_art = match (&cache, &route_key) {
+            (Some(ctx), Some(key)) => {
+                let art =
+                    checkpoint::checkpoint_route(&routed, arch.channel_width, &timing, &summary);
+                ctx.put(key, &art);
+                Some(art)
+            }
+            _ => None,
+        };
+        (rrg, binding, routed, timing, summary, route_art)
     };
+    if cache.is_some() {
+        tracer.event("flow.cache", || {
+            vec![
+                ("stage", "route".into()),
+                ("outcome", outcomes.route.name().into()),
+            ]
+        });
+    }
     drop(route_span);
 
     let route_ms = stage.elapsed().as_secs_f64() * 1e3;
 
+    let bitgen_input = match (route_input, &route_art) {
+        (Some(ri), Some(art)) => {
+            let mut hasher = Fnv64::new();
+            hasher.write_u64(ri);
+            hasher.write_u64(art.digest());
+            Some(hasher.finish())
+        }
+        _ => None,
+    };
+    let bitgen_key = bitgen_input.map(|d| Stage::Bitgen.key(d));
+
     let bitgen_span = tracer.span("flow.bitgen");
-    let config = assemble(binding, routed.trees);
+    let cached_config = match (&cache, &bitgen_key) {
+        (Some(ctx), Some(key)) => ctx.get::<BitstreamArtifact>(key).map(|art| art.config),
+        _ => None,
+    };
+    let config = if let Some(config) = cached_config {
+        outcomes.bitgen = StageOutcome::Hit;
+        config
+    } else {
+        let config = assemble(binding, routed.trees);
+        if let (Some(ctx), Some(key)) = (&cache, &bitgen_key) {
+            ctx.put(key, &checkpoint::checkpoint_bitstream(&config));
+        }
+        config
+    };
+    // Always re-checked, restored or not: a poisoned or stale store
+    // entry must surface as a structured error, never a bad fabric.
     config.check(&rrg).map_err(FlowError::Check)?;
     let utilization = Utilization::of(&config);
+    if cache.is_some() {
+        tracer.event("flow.cache", || {
+            vec![
+                ("stage", "bitgen".into()),
+                ("outcome", outcomes.bitgen.name().into()),
+            ]
+        });
+    }
     drop(bitgen_span);
 
     // Effort observables as a typed counter map. Sourced exclusively
@@ -292,14 +605,17 @@ pub fn compile(netlist: &Netlist, opts: &FlowOptions) -> Result<CompiledDesign, 
         metrics,
     };
 
-    Ok(CompiledDesign {
-        arch,
-        mapped,
-        packed,
-        placement,
-        config,
-        report,
-    })
+    Ok((
+        CompiledDesign {
+            arch,
+            mapped,
+            packed,
+            placement,
+            config,
+            report,
+        },
+        outcomes,
+    ))
 }
 
 #[cfg(test)]
@@ -421,6 +737,128 @@ mod tests {
             .filter(|e| e.name == "flow.widen_channel")
             .count();
         assert_eq!(widens, 3, "one widening event per doubling");
+    }
+
+    #[test]
+    fn cached_compile_is_equivalent_and_hits_on_repeat() {
+        use msaf_artifact::digest::digest_trees;
+        use msaf_artifact::MemStore;
+
+        let netlist = qdi_ripple_adder(2);
+        let opts = FlowOptions::default();
+        let baseline = compile(&netlist, &opts).unwrap();
+
+        let store = MemStore::new();
+        let source_digest = 0xfeed_beef;
+        let (first, first_outcomes) =
+            compile_cached(&netlist, &opts, &store, source_digest).unwrap();
+        assert!(
+            first_outcomes
+                .stages()
+                .iter()
+                .all(|&(_, o)| o == StageOutcome::Miss),
+            "cold store: every stage computed"
+        );
+        // Cached flow, cold store == plain compile, bit for bit.
+        assert_eq!(first.config.to_json(), baseline.config.to_json());
+        assert_eq!(
+            digest_trees(&first.config.routes),
+            digest_trees(&baseline.config.routes)
+        );
+
+        let (second, second_outcomes) =
+            compile_cached(&netlist, &opts, &store, source_digest).unwrap();
+        assert!(
+            second_outcomes.all_hits(),
+            "warm store: every stage restored, got {second_outcomes:?}"
+        );
+        assert_eq!(second.config.to_json(), baseline.config.to_json());
+        assert_eq!(
+            second.report.route_iterations,
+            baseline.report.route_iterations
+        );
+        assert_eq!(
+            second.report.timing_summary.post_route_critical_delay,
+            baseline.report.timing_summary.post_route_critical_delay
+        );
+        assert_eq!(second.report.place_cost, baseline.report.place_cost);
+        let stats = store.stats();
+        assert_eq!(stats.entries, 4, "one artifact per stage");
+        assert!(stats.hits >= 4);
+    }
+
+    #[test]
+    fn cache_keys_isolate_seed_and_source() {
+        use msaf_artifact::MemStore;
+
+        let netlist = qdi_full_adder();
+        let store = MemStore::new();
+        let opts = FlowOptions::default();
+        compile_cached(&netlist, &opts, &store, 1).unwrap();
+
+        // Different source digest: nothing may hit.
+        let (_, outcomes) = compile_cached(&netlist, &opts, &store, 2).unwrap();
+        assert!(
+            outcomes
+                .stages()
+                .iter()
+                .all(|&(_, o)| o == StageOutcome::Miss),
+            "source change must miss every stage, got {outcomes:?}"
+        );
+
+        // Different seed, same source: pack hits (seed-independent),
+        // placement and everything downstream misses.
+        let reseeded = FlowOptions {
+            seed: 99,
+            ..FlowOptions::default()
+        };
+        let (_, outcomes) = compile_cached(&netlist, &reseeded, &store, 1).unwrap();
+        assert_eq!(outcomes.pack, StageOutcome::Hit);
+        assert_eq!(outcomes.place, StageOutcome::Miss);
+        assert_eq!(outcomes.route, StageOutcome::Miss);
+        assert_eq!(outcomes.bitgen, StageOutcome::Miss);
+    }
+
+    #[test]
+    fn corrupt_store_entries_degrade_to_misses() {
+        use msaf_artifact::MemStore;
+
+        let netlist = qdi_full_adder();
+        let store = MemStore::new();
+        compile_cached(&netlist, &FlowOptions::default(), &store, 7).unwrap();
+        // Poison every entry with unparseable JSON: the flow must
+        // recompute everything and still succeed.
+        for key in store.keys() {
+            store.put(&key, "{\"corrupt\": tru".to_string());
+        }
+        let (compiled, outcomes) =
+            compile_cached(&netlist, &FlowOptions::default(), &store, 7).unwrap();
+        assert!(
+            outcomes
+                .stages()
+                .iter()
+                .all(|&(_, o)| o == StageOutcome::Miss),
+            "corrupt entries are misses, got {outcomes:?}"
+        );
+        assert!(compiled.report.wirelength > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_fragment_the_cache() {
+        use msaf_artifact::MemStore;
+
+        let netlist = qdi_full_adder();
+        let store = MemStore::new();
+        let mut one = FlowOptions::default();
+        one.route.threads = 1;
+        compile_cached(&netlist, &one, &store, 3).unwrap();
+        let mut four = FlowOptions::default();
+        four.route.threads = 4;
+        let (_, outcomes) = compile_cached(&netlist, &four, &store, 3).unwrap();
+        assert!(
+            outcomes.all_hits(),
+            "threads is excluded from cache keys, got {outcomes:?}"
+        );
     }
 
     #[test]

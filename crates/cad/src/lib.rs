@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bitgen;
+pub mod checkpoint;
 pub mod conflict;
 pub mod flow;
 pub mod pack;
@@ -39,6 +40,8 @@ pub mod techmap;
 pub mod timing;
 pub mod verify;
 
-pub use flow::{compile, CompiledDesign, FlowError, FlowOptions};
+pub use flow::{
+    compile, compile_cached, CacheReport, CompiledDesign, FlowError, FlowOptions, StageOutcome,
+};
 pub use report::FlowReport;
 pub use techmap::{MapError, MappedDesign, SignalId};

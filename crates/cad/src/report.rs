@@ -4,6 +4,7 @@
 
 use crate::timing::{TimingReport, TimingSummary};
 use msaf_fabric::utilization::Utilization;
+use msaf_trace::json::JsonWriter;
 use msaf_trace::Metrics;
 use std::fmt;
 
@@ -73,6 +74,90 @@ impl FlowReport {
     #[must_use]
     pub fn filling_ratio(&self) -> f64 {
         self.utilization.filling.input_pin
+    }
+
+    /// Renders the report as a single JSON object — the machine
+    /// counterpart of the `Display` table. `msafc --json` and the
+    /// compile server's response envelope both emit this document, so
+    /// scripted consumers get one schema regardless of which front end
+    /// produced the compile.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        #[allow(clippy::cast_possible_truncation)]
+        fn as_u64(v: usize) -> u64 {
+            v as u64
+        }
+        let mut w = JsonWriter::object();
+        w.field_str("design", &self.design);
+        w.field_str("arch", &self.arch);
+        w.field_u64("source_gates", as_u64(self.source_gates));
+        w.field_u64("les", as_u64(self.les));
+        w.field_u64("les_paired", as_u64(self.les_paired));
+        w.field_u64("lut2_used", as_u64(self.lut2_used));
+        w.field_u64("pdes", as_u64(self.pdes));
+        w.field_u64("plbs", as_u64(self.plbs));
+        w.begin_array("grid");
+        w.item_u64(as_u64(self.grid.0));
+        w.item_u64(as_u64(self.grid.1));
+        w.end();
+        w.field_f64("place_cost", self.place_cost);
+        w.field_u64("route_iterations", as_u64(self.route_iterations));
+        w.field_u64("route_ripups", self.route_ripups);
+        w.field_u64("route_colors", self.route_colors);
+        w.field_u64("route_max_class", self.route_max_class);
+        w.field_f64("conflict_serial_frac", self.conflict_serial_frac());
+        w.field_u64("wirelength", as_u64(self.wirelength));
+        w.field_f64("pack_ms", self.pack_ms);
+        w.field_f64("place_ms", self.place_ms);
+        w.field_f64("route_ms", self.route_ms);
+        w.field_f64("filling_ratio", self.filling_ratio());
+        w.begin_object("utilization");
+        w.field_u64("plbs_total", as_u64(self.utilization.plbs_total));
+        w.field_u64("plbs_used", as_u64(self.utilization.plbs_used));
+        w.field_u64("les_total", as_u64(self.utilization.les_total));
+        w.field_u64("les_used", as_u64(self.utilization.les_used));
+        w.field_u64(
+            "le_input_pins_used",
+            as_u64(self.utilization.le_input_pins_used),
+        );
+        w.field_u64("le_outputs_used", as_u64(self.utilization.le_outputs_used));
+        w.field_u64("lut2_used", as_u64(self.utilization.lut2_used));
+        w.field_u64("pdes_used", as_u64(self.utilization.pdes_used));
+        w.field_u64("wirelength", as_u64(self.utilization.wirelength));
+        w.begin_object("filling");
+        w.field_f64("input_pin", self.utilization.filling.input_pin);
+        w.field_f64("output_tap", self.utilization.filling.output_tap);
+        w.field_f64("plb_slot", self.utilization.filling.plb_slot);
+        w.end();
+        w.end();
+        w.begin_object("timing");
+        w.field_u64("levels", as_u64(self.timing.levels));
+        w.field_u64("critical_delay", self.timing.critical_delay);
+        match &self.timing.critical_signal {
+            Some(s) => w.field_str("critical_signal", s),
+            None => w.field_raw("critical_signal", "null"),
+        }
+        w.field_u64(
+            "pre_route_critical_delay",
+            self.timing_summary.pre_route_critical_delay,
+        );
+        w.field_u64(
+            "post_route_critical_delay",
+            self.timing_summary.post_route_critical_delay,
+        );
+        w.field_u64("worst_slack", self.timing_summary.worst_slack);
+        w.begin_array("crit_histogram");
+        for &bin in &self.timing_summary.crit_histogram {
+            w.item_u64(as_u64(bin));
+        }
+        w.end();
+        w.end();
+        w.begin_object("metrics");
+        for (name, value) in self.metrics.iter() {
+            w.field_u64(name, value);
+        }
+        w.end();
+        w.finish()
     }
 
     /// Serialized-conflict fraction of the congested iterations:
@@ -207,5 +292,31 @@ mod tests {
             "negotiation line malformed:\n{text}"
         );
         assert_eq!(report.conflict_serial_frac(), 0.5);
+
+        let json = report.to_json();
+        let v = msaf_trace::json::parse(&json).expect("to_json parses");
+        assert_eq!(v.get("design").unwrap().as_str(), Some("d"));
+        assert_eq!(v.get("route_ripups").unwrap().as_num(), Some(6.0));
+        assert_eq!(
+            v.get("grid").unwrap().as_arr().map(<[_]>::len),
+            Some(2),
+            "grid is a 2-array"
+        );
+        assert_eq!(
+            v.get("timing")
+                .unwrap()
+                .get("post_route_critical_delay")
+                .unwrap()
+                .as_num(),
+            Some(12.0)
+        );
+        assert_eq!(
+            v.get("metrics")
+                .unwrap()
+                .get("route.ripups")
+                .unwrap()
+                .as_num(),
+            Some(6.0)
+        );
     }
 }

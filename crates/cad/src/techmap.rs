@@ -35,6 +35,16 @@ impl SignalId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a `SignalId` from a raw index — the inverse of
+    /// [`SignalId::index`], used when restoring placements from
+    /// serialized artifacts. The index is not validated against any
+    /// particular design; callers pair it with the design the index
+    /// was taken from.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
 }
 
 impl std::fmt::Display for SignalId {

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use msaf_artifact as artifact;
 pub use msaf_cad as cad;
 pub use msaf_cells as cells;
 pub use msaf_fabric as fabric;
@@ -48,7 +49,10 @@ pub use msaf_trace as trace;
 
 /// Everything needed for the common build→compile→verify loop.
 pub mod prelude {
-    pub use msaf_cad::flow::{compile, CompiledDesign, FlowError, FlowOptions};
+    pub use msaf_artifact::{Artifact, ArtifactStore, MemStore};
+    pub use msaf_cad::flow::{
+        compile, compile_cached, CacheReport, CompiledDesign, FlowError, FlowOptions, StageOutcome,
+    };
     pub use msaf_cad::report::FlowReport;
     pub use msaf_cad::techmap::map;
     pub use msaf_cad::verify::{verify_tokens, VerifyReport};

@@ -3,7 +3,7 @@
 //! ```text
 //! msafc <file.msa> [--style qdi|wchb|bundled | --all-styles]
 //!                  [--tokens <chan>=<v,v,...>]... [--verify]
-//!                  [--faults] [--trace <out.json>]
+//!                  [--faults] [--trace <out.json>] [--json]
 //! ```
 //!
 //! Parses and checks the source (reporting line/column diagnostics on
@@ -20,6 +20,9 @@
 //! `--trace`, the whole run is flight-recorded (stage spans, PathFinder
 //! iteration events, annealing progress, simulator counters) and
 //! written as Chrome trace-event JSON — load it at `ui.perfetto.dev`.
+//! With `--json`, the per-style table is replaced by one machine-
+//! readable `FlowReport` JSON object per line (the same schema the
+//! compile server's result envelope embeds).
 
 use msaf_cad::flow::{compile, FlowOptions};
 use msaf_cad::route::RouteOptions;
@@ -40,11 +43,12 @@ struct Args {
     verify: bool,
     faults: bool,
     trace: Option<String>,
+    json: bool,
 }
 
 fn usage() -> String {
     "usage: msafc <file.msa> [--style qdi|wchb|bundled | --all-styles] \
-     [--tokens <chan>=<v,v,...>]... [--verify] [--faults] [--trace <out.json>]"
+     [--tokens <chan>=<v,v,...>]... [--verify] [--faults] [--trace <out.json>] [--json]"
         .to_string()
 }
 
@@ -55,6 +59,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut verify = false;
     let mut faults = false;
     let mut trace = None;
+    let mut json = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -83,6 +88,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--verify" => verify = true,
             "--faults" => faults = true,
+            "--json" => json = true,
             "--trace" => {
                 let v = it.next().ok_or("--trace needs an output path")?;
                 trace = Some(v.clone());
@@ -112,6 +118,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         verify,
         faults,
         trace,
+        json,
     })
 }
 
@@ -162,10 +169,12 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "{:<8} {:>6} {:>5} {:>5} {:>9} {:>5} {:>6} {:>11}",
-        "style", "gates", "LEs", "PLBs", "filling", "PDEs", "wires", "route_iters"
-    );
+    if !args.json {
+        println!(
+            "{:<8} {:>6} {:>5} {:>5} {:>9} {:>5} {:>6} {:>11}",
+            "style", "gates", "LEs", "PLBs", "filling", "PDEs", "wires", "route_iters"
+        );
+    }
     // With --trace, every compile and simulation below records into one
     // recorder; the Chrome JSON is written at the end of the run.
     let (tracer, recorder) = match &args.trace {
@@ -194,17 +203,23 @@ fn main() -> ExitCode {
             }
         };
         let r = &compiled.report;
-        println!(
-            "{:<8} {:>6} {:>5} {:>5} {:>8.1}% {:>5} {:>6} {:>11}",
-            style.name(),
-            r.source_gates,
-            r.les,
-            r.plbs,
-            100.0 * r.filling_ratio(),
-            r.pdes,
-            r.wirelength,
-            r.route_iterations,
-        );
+        if args.json {
+            // One NDJSON line per style — the same schema the compile
+            // server embeds in its result envelope.
+            println!("{}", r.to_json());
+        } else {
+            println!(
+                "{:<8} {:>6} {:>5} {:>5} {:>8.1}% {:>5} {:>6} {:>11}",
+                style.name(),
+                r.source_gates,
+                r.les,
+                r.plbs,
+                100.0 * r.filling_ratio(),
+                r.pdes,
+                r.wirelength,
+                r.route_iterations,
+            );
+        }
 
         if !args.tokens.is_empty() {
             let report = match token_run_traced(

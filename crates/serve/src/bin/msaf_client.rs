@@ -1,0 +1,199 @@
+//! `msaf-client` — command-line client for `msaf-served`.
+//!
+//! ```text
+//! msaf-client health   [--addr HOST:PORT]
+//! msaf-client stats    [--addr HOST:PORT]
+//! msaf-client shutdown [--addr HOST:PORT]
+//! msaf-client compile FILE --style qdi|wchb|bundled
+//!                     [--addr HOST:PORT] [--seed N] [--timing-fac F]
+//!                     [--expect hit|miss] [--quiet]
+//! ```
+//!
+//! `compile` relays every streamed NDJSON line to stderr (silence with
+//! `--quiet`) and prints a small grep-friendly summary to stdout:
+//!
+//! ```text
+//! design: fir4_qdi
+//! stages: pack=hit place=hit route=hit bitgen=hit
+//! all_hits: true
+//! bitstream_digest: 0x9f…
+//! ```
+//!
+//! Exit codes: 0 success, 1 compile/transport failure, 2 usage error,
+//! 3 `--expect` mismatch — so CI can assert cache behaviour without a
+//! JSON tool.
+
+use msaf_serve::client;
+
+struct CompileArgs {
+    file: String,
+    style: String,
+    addr: String,
+    seed: u64,
+    timing_fac: f64,
+    expect: Option<String>,
+    quiet: bool,
+}
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: msaf-client health|stats|shutdown [--addr HOST:PORT]\n\
+         \u{20}      msaf-client compile FILE --style qdi|wchb|bundled [--addr HOST:PORT]\n\
+         \u{20}                  [--seed N] [--timing-fac F] [--expect hit|miss] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("msaf-client: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_compile_args(rest: &[String]) -> CompileArgs {
+    let mut args = CompileArgs {
+        file: String::new(),
+        style: String::new(),
+        addr: DEFAULT_ADDR.to_string(),
+        seed: 1,
+        timing_fac: 0.0,
+        expect: None,
+        quiet: false,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--style" => args.style = it.next().cloned().unwrap_or_else(|| usage()),
+            "--addr" => args.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--timing-fac" => {
+                args.timing_fac = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--expect" => {
+                let v = it.next().cloned().unwrap_or_else(|| usage());
+                if v != "hit" && v != "miss" {
+                    usage();
+                }
+                args.expect = Some(v);
+            }
+            "--quiet" => args.quiet = true,
+            other if !other.starts_with("--") && args.file.is_empty() => {
+                args.file = other.to_string();
+            }
+            _ => usage(),
+        }
+    }
+    if args.file.is_empty() || args.style.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn addr_from(rest: &[String]) -> String {
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--addr" {
+            return it.next().cloned().unwrap_or_else(|| usage());
+        }
+    }
+    DEFAULT_ADDR.to_string()
+}
+
+fn run_compile(args: &CompileArgs) -> i32 {
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(source) => source,
+        Err(e) => fail(&format!("cannot read {}: {e}", args.file)),
+    };
+    let envelope = client::compile_envelope(&source, &args.style, args.seed, args.timing_fac);
+    let quiet = args.quiet;
+    let outcome = client::compile_streaming(&args.addr, &envelope, |line| {
+        if !quiet {
+            eprintln!("{line}");
+        }
+    });
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => fail(&format!("compile request failed: {e}")),
+    };
+    if !outcome.ok {
+        eprintln!(
+            "msaf-client: compile failed: {}",
+            outcome.error.as_deref().unwrap_or("unknown error")
+        );
+        return 1;
+    }
+    if let Some(design) = outcome
+        .report
+        .as_ref()
+        .and_then(|r| r.get("design"))
+        .and_then(msaf_trace::json::JsonValue::as_str)
+    {
+        println!("design: {design}");
+    }
+    let stages: Vec<String> = outcome
+        .cached
+        .iter()
+        .map(|(stage, result)| format!("{stage}={result}"))
+        .collect();
+    println!("stages: {}", stages.join(" "));
+    println!("all_hits: {}", outcome.all_hits);
+    println!(
+        "bitstream_digest: {}",
+        outcome.bitstream_digest.as_deref().unwrap_or("none")
+    );
+    match args.expect.as_deref() {
+        Some("hit") if !outcome.all_hits => {
+            eprintln!("msaf-client: expected all-stage cache hits, got partial/none");
+            3
+        }
+        Some("miss") if outcome.all_hits => {
+            eprintln!("msaf-client: expected cache misses, got all hits");
+            3
+        }
+        _ => 0,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else { usage() };
+    let rest = &argv[1..];
+    let code = match command.as_str() {
+        "health" => match client::get(&addr_from(rest), "/healthz") {
+            Ok(r) if r.status == 200 => {
+                println!("{}", r.body.trim());
+                0
+            }
+            Ok(r) => fail(&format!("unhealthy: HTTP {}", r.status)),
+            Err(e) => fail(&format!("health check failed: {e}")),
+        },
+        "stats" => match client::get(&addr_from(rest), "/stats") {
+            Ok(r) if r.status == 200 => {
+                println!("{}", r.body.trim());
+                0
+            }
+            Ok(r) => fail(&format!("stats failed: HTTP {}", r.status)),
+            Err(e) => fail(&format!("stats failed: {e}")),
+        },
+        "shutdown" => match client::post(&addr_from(rest), "/shutdown", "{}") {
+            Ok(r) if r.status == 200 => {
+                println!("{}", r.body.trim());
+                0
+            }
+            Ok(r) => fail(&format!("shutdown failed: HTTP {}", r.status)),
+            Err(e) => fail(&format!("shutdown failed: {e}")),
+        },
+        "compile" => run_compile(&parse_compile_args(rest)),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

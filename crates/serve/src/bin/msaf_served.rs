@@ -1,0 +1,69 @@
+//! `msaf-served` — the MSAF compile server daemon.
+//!
+//! ```text
+//! msaf-served [--addr 127.0.0.1:7171] [--workers N]
+//! ```
+//!
+//! Binds the address, prints one `listening on <addr>` line to stdout
+//! (what readiness probes wait for), then serves until a
+//! `POST /shutdown` arrives.
+
+use msaf_serve::Server;
+use std::io::Write;
+
+struct Args {
+    addr: String,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_string(),
+        workers: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr needs a value")?;
+            }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("usage: msaf-served [--addr HOST:PORT] [--workers N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("msaf-served: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(&args.addr, args.workers) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("msaf-served: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("msaf-served: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("shut down cleanly");
+}

@@ -1,0 +1,216 @@
+//! Client-side helpers: issue requests against a running server and
+//! parse the NDJSON compile stream. Shared by the `msaf-client` binary
+//! and the end-to-end service tests.
+
+use msaf_trace::json::{parse, JsonValue, JsonWriter};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side socket timeouts. Compiles served from a warm cache are
+/// milliseconds; a cold large compile in a debug build stays well under
+/// this.
+const IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A non-streaming exchange: status code + body.
+#[derive(Debug)]
+pub struct SimpleResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+fn exchange(addr: &str, head_and_body: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(head_and_body.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    Ok(raw)
+}
+
+fn split_response(raw: &str) -> std::io::Result<SimpleResponse> {
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body separator")
+    })?;
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    Ok(SimpleResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+/// `GET`s a path.
+///
+/// # Errors
+///
+/// Socket failures and malformed responses.
+pub fn get(addr: &str, path: &str) -> std::io::Result<SimpleResponse> {
+    let raw = exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    )?;
+    split_response(&raw)
+}
+
+/// `POST`s a JSON body to a path.
+///
+/// # Errors
+///
+/// Socket failures and malformed responses.
+pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<SimpleResponse> {
+    let raw = exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )?;
+    split_response(&raw)
+}
+
+/// Builds a compile envelope (the server validates it again — this
+/// helper just gets the escaping right).
+#[must_use]
+pub fn compile_envelope(source: &str, style: &str, seed: u64, timing_fac: f64) -> String {
+    let mut w = JsonWriter::object();
+    w.field_str("kind", "compile");
+    w.field_str("source", source);
+    w.field_str("style", style);
+    w.field_u64("seed", seed);
+    w.field_f64("timing_fac", timing_fac);
+    w.finish()
+}
+
+/// The parsed outcome of one streamed compile.
+#[derive(Debug)]
+pub struct CompileOutcome {
+    /// Whether the compile succeeded.
+    pub ok: bool,
+    /// Error text when `ok` is false.
+    pub error: Option<String>,
+    /// `(stage, "hit"|"miss")` in pipeline order.
+    pub cached: Vec<(String, String)>,
+    /// True when every stage was served from the artifact cache.
+    pub all_hits: bool,
+    /// `0x…` digest of the final bitstream JSON.
+    pub bitstream_digest: Option<String>,
+    /// Names of every streamed trace event, in arrival order.
+    pub trace_names: Vec<String>,
+    /// The full report object from the result line.
+    pub report: Option<JsonValue>,
+    /// Every NDJSON line as received (for logs and debugging).
+    pub lines: Vec<String>,
+}
+
+/// Streams one compile: posts the envelope, collects trace lines until
+/// the server closes the socket, and parses the final `result` line.
+/// `on_line` sees every raw NDJSON line as it is parsed (the CLI uses
+/// this to relay progress; pass `|_| {}` to ignore).
+///
+/// # Errors
+///
+/// Socket failures, non-200 responses (body carried in the error
+/// message), and streams missing a `result` line.
+pub fn compile_streaming(
+    addr: &str,
+    envelope: &str,
+    mut on_line: impl FnMut(&str),
+) -> std::io::Result<CompileOutcome> {
+    let raw = exchange(
+        addr,
+        &format!(
+            "POST /compile HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{envelope}",
+            envelope.len()
+        ),
+    )?;
+    let response = split_response(&raw)?;
+    if response.status != 200 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("HTTP {}: {}", response.status, response.body.trim()),
+        ));
+    }
+
+    let mut outcome = CompileOutcome {
+        ok: false,
+        error: None,
+        cached: Vec::new(),
+        all_hits: false,
+        bitstream_digest: None,
+        trace_names: Vec::new(),
+        report: None,
+        lines: Vec::new(),
+    };
+    let mut saw_result = false;
+    for line in response.body.lines().filter(|l| !l.trim().is_empty()) {
+        on_line(line);
+        outcome.lines.push(line.to_string());
+        let Ok(value) = parse(line) else { continue };
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("trace") => {
+                if let Some(name) = value.get("name").and_then(JsonValue::as_str) {
+                    outcome.trace_names.push(name.to_string());
+                }
+            }
+            Some("result") => {
+                saw_result = true;
+                outcome.ok = value.get("ok") == Some(&JsonValue::Bool(true));
+                outcome.error = value
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string);
+                if let Some(JsonValue::Obj(stages)) = value.get("cached") {
+                    // Re-order the map into pipeline order for display.
+                    for stage in ["pack", "place", "route", "bitgen"] {
+                        if let Some(outcome_str) = stages.get(stage).and_then(JsonValue::as_str) {
+                            outcome
+                                .cached
+                                .push((stage.to_string(), outcome_str.to_string()));
+                        }
+                    }
+                }
+                outcome.all_hits = value.get("all_hits") == Some(&JsonValue::Bool(true));
+                outcome.bitstream_digest = value
+                    .get("bitstream_digest")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string);
+                outcome.report = value.get("report").cloned();
+            }
+            _ => {}
+        }
+    }
+    if !saw_result {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "stream ended without a result line",
+        ));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_escapes_source() {
+        let env = compile_envelope("pipeline \"q\" {\n}", "qdi", 3, 0.25);
+        let v = parse(&env).expect("envelope is valid JSON");
+        assert_eq!(
+            v.get("source").unwrap().as_str(),
+            Some("pipeline \"q\" {\n}")
+        );
+        assert_eq!(v.get("seed").unwrap().as_num(), Some(3.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! # msaf-serve
+//!
+//! A long-running compile server for the MSAF CAD flow: POST `.msa`
+//! source at it, watch the flow's trace events stream back as
+//! newline-delimited JSON, and get a final result line with the
+//! bitstream digest and the full flow report. Every stage artifact
+//! (packed netlist, placement, routed trees, bitstream) is
+//! content-address-cached in a shared [`msaf_artifact::MemStore`], so
+//! a repeat compile of the same source × style × options is a chain of
+//! restores — the second response reports `"all_hits": true` with a
+//! byte-identical bitstream digest.
+//!
+//! The transport is a hand-rolled HTTP/1.1 subset over
+//! [`std::net::TcpListener`] ([`http`]) — the workspace builds with no
+//! registry access, and the server needs only `Content-Length` bodies
+//! plus close-delimited streaming. Requests are typed envelopes
+//! ([`envelope`]) validated structurally *before* dispatch: unknown
+//! kinds, unknown fields and type violations are rejected with named
+//! reasons and never reach the worker pool.
+//!
+//! Endpoints:
+//!
+//! | method | path        | behaviour                                   |
+//! |--------|-------------|---------------------------------------------|
+//! | GET    | `/healthz`  | `{"ok":true}` — readiness probe             |
+//! | GET    | `/stats`    | compile count + artifact-store counters      |
+//! | POST   | `/compile`  | NDJSON stream: trace lines, then a result    |
+//! | POST   | `/shutdown` | latch shutdown, drain workers, exit          |
+//!
+//! Binaries: `msaf-served` (the daemon) and `msaf-client` (compile,
+//! health, stats, shutdown subcommands — what CI's service gate
+//! drives).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod envelope;
+pub mod http;
+pub mod server;
+pub mod sink;
+
+pub use envelope::{parse_compile, CompileRequest};
+pub use server::Server;

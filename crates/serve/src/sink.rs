@@ -1,0 +1,103 @@
+//! The NDJSON progress stream: a [`TraceSink`] that forwards the CAD
+//! flow's trace events over the client's socket, one JSON object per
+//! line, interleaved ahead of the final result line.
+
+use msaf_trace::json::JsonWriter;
+use msaf_trace::{Phase, TraceEvent, TraceSink, Value};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+/// Streams trace events as NDJSON lines:
+/// `{"type":"trace","phase":"B","name":"flow.pack","ts_us":…,"tid":…,"args":{…}}`.
+///
+/// The sink shares the response socket with the request handler (which
+/// writes the final `result` line through the same mutex), honours the
+/// sink contract — it never panics — and treats write errors as "the
+/// client hung up": the compile keeps running so its artifacts still
+/// land in the cache.
+pub struct NdjsonSink {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl NdjsonSink {
+    /// Wraps a shared response socket.
+    #[must_use]
+    pub fn new(stream: Arc<Mutex<TcpStream>>) -> Self {
+        Self { stream }
+    }
+}
+
+/// Renders one trace event as a single NDJSON line (no trailing
+/// newline).
+#[must_use]
+pub fn event_line(ev: &TraceEvent) -> String {
+    let mut w = JsonWriter::object();
+    w.field_str("type", "trace");
+    w.field_str(
+        "phase",
+        match ev.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        },
+    );
+    w.field_str("name", ev.name);
+    w.field_u64("ts_us", ev.ts_us);
+    w.field_u64("tid", ev.tid);
+    w.begin_object("args");
+    for (key, value) in &ev.args {
+        match value {
+            Value::U64(v) => w.field_u64(key, *v),
+            Value::I64(v) => w.field_raw(key, &v.to_string()),
+            Value::F64(v) => w.field_f64(key, *v),
+            Value::Str(v) => w.field_str(key, v),
+            Value::Bool(v) => w.field_bool(key, *v),
+        }
+    }
+    w.end();
+    w.finish()
+}
+
+impl TraceSink for NdjsonSink {
+    fn record(&self, ev: TraceEvent) {
+        let line = event_line(&ev);
+        if let Ok(mut stream) = self.stream.lock() {
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.write_all(b"\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msaf_trace::json::parse;
+
+    #[test]
+    fn event_lines_are_one_json_object_each() {
+        let ev = TraceEvent {
+            name: "route.iteration",
+            phase: Phase::Instant,
+            ts_us: 42,
+            tid: 0,
+            args: vec![
+                ("iter", Value::U64(3)),
+                ("overused", Value::I64(-1)),
+                ("frac", Value::F64(0.5)),
+                ("stage", Value::Str("negotiation".into())),
+                ("done", Value::Bool(false)),
+            ],
+        };
+        let line = event_line(&ev);
+        assert!(!line.contains('\n'));
+        let v = parse(&line).expect("line parses");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("trace"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("route.iteration"));
+        let args = v.get("args").unwrap();
+        assert_eq!(args.get("iter").unwrap().as_num(), Some(3.0));
+        assert_eq!(args.get("overused").unwrap().as_num(), Some(-1.0));
+        assert_eq!(args.get("stage").unwrap().as_str(), Some("negotiation"));
+    }
+}

@@ -284,28 +284,25 @@ impl FaultReport {
     }
 
     /// FNV-1a digest over every classified row (site, kind, outcome,
-    /// extra glitches). Stable across thread counts and platforms.
+    /// extra glitches). Stable across thread counts and platforms. The
+    /// byte stream is unchanged from the historical private loop, so
+    /// every digest pinned in `BENCH_faults.json` survives the move to
+    /// the shared hasher.
     #[must_use]
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |s: &str| {
-            for byte in s.bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        eat(&self.design);
+        let mut h = msaf_artifact::digest::Fnv64::new();
+        h.write_str(&self.design);
         for r in &self.results {
-            eat("\n");
-            eat(r.fault.kind());
-            eat("|");
-            eat(&r.site);
-            eat("|");
-            eat(&r.outcome.label());
-            eat("|");
-            eat(&r.extra_glitches.to_string());
+            h.write_str("\n");
+            h.write_str(r.fault.kind());
+            h.write_str("|");
+            h.write_str(&r.site);
+            h.write_str("|");
+            h.write_str(&r.outcome.label());
+            h.write_str("|");
+            h.write_str(&r.extra_glitches.to_string());
         }
-        h
+        h.finish()
     }
 
     /// Renders the per-class campaign table (the `msafc --faults` view).

@@ -294,6 +294,156 @@ impl Parser<'_> {
     }
 }
 
+/// A minimal streaming JSON writer — the shared counterpart of this
+/// module's reader. `FlowReport::to_json`, the compile server's
+/// response envelopes and the NDJSON progress stream all write through
+/// it, so there is exactly one place that gets escaping and comma
+/// placement right.
+///
+/// The writer is a plain builder over nested objects/arrays; `finish`
+/// closes every open scope and returns the document. Numbers are
+/// emitted via Rust's `Display`, which for finite `f64` is valid JSON;
+/// non-finite floats are written as `null` (strict JSON has no NaN).
+///
+/// ```
+/// use msaf_trace::json::JsonWriter;
+///
+/// let mut w = JsonWriter::object();
+/// w.field_str("name", "fir4");
+/// w.begin_array("sizes");
+/// w.item_u64(1);
+/// w.item_u64(2);
+/// w.end();
+/// let doc = w.finish();
+/// assert_eq!(doc, r#"{"name":"fir4","sizes":[1,2]}"#);
+/// msaf_trace::json::parse(&doc).expect("well-formed");
+/// ```
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    /// Open scopes: `true` = array, `false` = object; paired with
+    /// whether the scope already has a member (comma placement).
+    stack: Vec<(bool, bool)>,
+}
+
+impl JsonWriter {
+    /// Starts a document whose root is an object.
+    #[must_use]
+    pub fn object() -> Self {
+        Self {
+            out: "{".to_string(),
+            stack: vec![(false, false)],
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some((_, has_members)) = self.stack.last_mut() {
+            if *has_members {
+                self.out.push(',');
+            }
+            *has_members = true;
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.comma();
+        self.out.push('"');
+        self.out.push_str(&escape(key));
+        self.out.push_str("\":");
+    }
+
+    fn number_f64(out: &mut String, v: f64) {
+        if v.is_finite() {
+            out.push_str(&v.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    /// Writes a string field on the current object.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.out.push('"');
+        self.out.push_str(&escape(v));
+        self.out.push('"');
+    }
+
+    /// Writes an unsigned integer field on the current object.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float field on the current object (`null` if
+    /// non-finite).
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.key(key);
+        Self::number_f64(&mut self.out, v);
+    }
+
+    /// Writes a boolean field on the current object.
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.key(key);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a pre-serialized JSON value as a field — the escape hatch
+    /// for embedding one document in another (e.g. an artifact's JSON
+    /// inside a response envelope). The caller vouches that `raw` is
+    /// well-formed.
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.out.push_str(raw);
+    }
+
+    /// Opens a nested object field; close with [`JsonWriter::end`].
+    pub fn begin_object(&mut self, key: &str) {
+        self.key(key);
+        self.out.push('{');
+        self.stack.push((false, false));
+    }
+
+    /// Opens a nested array field; close with [`JsonWriter::end`].
+    pub fn begin_array(&mut self, key: &str) {
+        self.key(key);
+        self.out.push('[');
+        self.stack.push((true, false));
+    }
+
+    /// Writes an unsigned integer element on the current array.
+    pub fn item_u64(&mut self, v: u64) {
+        self.comma();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a string element on the current array.
+    pub fn item_str(&mut self, v: &str) {
+        self.comma();
+        self.out.push('"');
+        self.out.push_str(&escape(v));
+        self.out.push('"');
+    }
+
+    /// Closes the innermost open object/array. The root scope is closed
+    /// by [`JsonWriter::finish`], not by `end`.
+    pub fn end(&mut self) {
+        if self.stack.len() > 1 {
+            let (is_array, _) = self.stack.pop().expect("non-empty stack");
+            self.out.push(if is_array { ']' } else { '}' });
+        }
+    }
+
+    /// Closes every open scope and returns the finished document.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        while self.stack.len() > 1 {
+            self.end();
+        }
+        self.out.push('}');
+        self.out
+    }
+}
+
 /// Escapes `s` for embedding in a JSON string literal (quotes not
 /// included). The writer half of this module's reader.
 #[must_use]
@@ -352,5 +502,49 @@ mod tests {
         let nasty = "a\"b\\c\nd\te\u{0007}f";
         let doc = format!("\"{}\"", escape(nasty));
         assert_eq!(parse(&doc).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn writer_produces_parseable_nested_documents() {
+        let mut w = JsonWriter::object();
+        w.field_str("name", "a\"b");
+        w.field_u64("count", 42);
+        w.field_f64("cost", -1.5);
+        w.field_f64("nan", f64::NAN);
+        w.field_bool("ok", true);
+        w.begin_object("inner");
+        w.begin_array("xs");
+        w.item_u64(1);
+        w.item_str("two");
+        w.end();
+        w.field_raw("raw", "[0,null]");
+        // finish() closes the still-open inner object.
+        let doc = w.finish();
+        let v = parse(&doc).expect("writer output parses");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("count").unwrap().as_num(), Some(42.0));
+        assert_eq!(v.get("cost").unwrap().as_num(), Some(-1.5));
+        assert_eq!(v.get("nan"), Some(&JsonValue::Null));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        let inner = v.get("inner").unwrap();
+        let xs = inner.get("xs").unwrap().as_arr().unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[1].as_str(), Some("two"));
+        assert_eq!(
+            inner.get("raw").unwrap().as_arr().unwrap()[1],
+            JsonValue::Null
+        );
+    }
+
+    #[test]
+    fn writer_empty_object_and_array() {
+        let mut w = JsonWriter::object();
+        w.begin_array("empty");
+        w.end();
+        w.begin_object("hollow");
+        w.end();
+        let doc = w.finish();
+        assert_eq!(doc, r#"{"empty":[],"hollow":{}}"#);
+        parse(&doc).expect("well-formed");
     }
 }

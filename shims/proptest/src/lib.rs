@@ -86,6 +86,29 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors
+    /// `proptest::strategy::Strategy::prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 /// Types with a canonical full-domain strategy (`any::<T>()`).
@@ -156,6 +179,44 @@ macro_rules! range_strategy {
 }
 
 range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        // 53 uniform mantissa bits scaled into [start, end).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option<S::Value>`: `None` roughly one draw in four (the real
+    /// proptest defaults to a `None` fraction too).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
 
 macro_rules! tuple_strategy {
     ($(($($s:ident : $i:tt),+))*) => {$(
@@ -371,6 +432,19 @@ mod tests {
         fn tuples_and_assume((a, b) in (any::<u8>(), any::<u8>())) {
             prop_assume!(a != b);
             prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn maps_options_and_floats(
+            even in (0u64..10).prop_map(|v| v * 2),
+            opt in crate::option::of(0usize..5),
+            f in 0.0f64..1.0,
+        ) {
+            prop_assert_eq!(even % 2, 0);
+            if let Some(v) = opt {
+                prop_assert!(v < 5);
+            }
+            prop_assert!((0.0..1.0).contains(&f), "f {}", f);
         }
     }
 

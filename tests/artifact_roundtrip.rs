@@ -1,0 +1,195 @@
+//! Cross-crate contract tests for the artifact layer (`msaf-artifact` +
+//! `msaf_cad::checkpoint`): serialize → deserialize → re-digest is the
+//! identity, over both randomized artifact contents and real compiled
+//! workloads, and the bitstream artifact digests of the committed
+//! `adder4.msa` example are pinned per style (the compile server's
+//! "byte-identical bitstream" fact as a golden).
+
+use msaf::artifact::digest::{digest_trees, fnv1a};
+use msaf::artifact::{
+    BitstreamArtifact, PackArtifact, PackedPlbArtifact, PlaceArtifact, RouteArtifact,
+    TimingArtifact,
+};
+use msaf::cad::checkpoint;
+use msaf::fabric::rrg::RrNodeKind;
+use msaf::prelude::*;
+use proptest::prelude::*;
+
+const ADDER4: &str = include_str!("../examples/msa/adder4.msa");
+
+/// A proptest strategy for routing-resource node kinds covering every
+/// coordinate-carrying variant the router actually emits.
+fn node_kind() -> impl Strategy<Value = RrNodeKind> {
+    (0usize..4, 0usize..4, 0usize..6, 0usize..3).prop_map(|(x, y, t, v)| match v {
+        0 => RrNodeKind::Opin { x, y, pin: t },
+        1 => RrNodeKind::Ipin { x, y, pin: t },
+        _ => RrNodeKind::HWire { x, y, t },
+    })
+}
+
+fn route_tree() -> impl Strategy<Value = msaf::fabric::bitstream::RouteTree> {
+    (
+        (0u64..10_000).prop_map(|v| format!("n{v}")),
+        node_kind(),
+        proptest::collection::vec(node_kind(), 1..5),
+    )
+        .prop_map(|(net, source, nodes)| msaf::fabric::bitstream::RouteTree {
+            net,
+            source,
+            sinks: vec![*nodes.last().expect("non-empty")],
+            edges: nodes.windows(2).map(|w| (w[0], w[1])).collect(),
+            nodes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Randomized artifact contents: JSON round-trips reproduce the
+    // struct and its digest exactly, for every artifact kind.
+    #[test]
+    fn random_artifacts_round_trip_with_stable_digests(
+        les in proptest::collection::vec(
+            proptest::collection::vec(0usize..64, 0..3), 1..6),
+        pde_host in proptest::option::of(0usize..6),
+        positions in proptest::collection::vec((0usize..8, 0usize..8), 1..6),
+        pads in proptest::collection::vec((0usize..32, 0usize..16), 0..5),
+        cost in 0.0f64..1e4,
+        trees in proptest::collection::vec(route_tree(), 0..4),
+        counters in (0u64..1000, 0u64..100, 0u64..50, 0u64..10),
+    ) {
+        let pack = PackArtifact {
+            plbs: les
+                .into_iter()
+                .enumerate()
+                .map(|(i, les)| PackedPlbArtifact {
+                    les,
+                    pde: pde_host.filter(|&h| h == i),
+                })
+                .collect(),
+        };
+        let back = PackArtifact::from_json(&pack.to_json()).expect("pack round-trips");
+        prop_assert_eq!(&back, &pack);
+        prop_assert_eq!(back.digest(), pack.digest());
+
+        let mut sorted_pads = pads;
+        sorted_pads.sort_unstable();
+        sorted_pads.dedup_by_key(|&mut (s, _)| s);
+        let place = PlaceArtifact {
+            plb_pos: positions,
+            pads: sorted_pads,
+            cost,
+            moves_attempted: counters.0,
+            moves_accepted: counters.1,
+        };
+        let back = PlaceArtifact::from_json(&place.to_json()).expect("place round-trips");
+        prop_assert_eq!(&back, &place);
+        prop_assert_eq!(back.digest(), place.digest());
+
+        let route = RouteArtifact {
+            channel_width: 12,
+            iterations: 3,
+            nodes_popped: counters.0,
+            ripups: counters.2,
+            conflict_colors: counters.3,
+            max_class: counters.3,
+            trees,
+            timing: TimingArtifact {
+                levels: 4,
+                pre_route_critical_delay: counters.1,
+                critical_signal: Some("s0".to_string()),
+                post_route_critical_delay: counters.1 + 3,
+                worst_slack: 1,
+                crit_histogram: [0, 1, 0, 2, 0, 0, 0, 0, 0, 3],
+            },
+        };
+        let back = RouteArtifact::from_json(&route.to_json()).expect("route round-trips");
+        prop_assert_eq!(back.digest(), route.digest());
+        // The historical route-tree identity survives the round trip too.
+        prop_assert_eq!(digest_trees(&back.trees), digest_trees(&route.trees));
+        prop_assert_eq!(back, route);
+    }
+
+    // Real workloads: checkpoint → serialize → deserialize → restore →
+    // re-checkpoint is the identity for every stage of a real compile,
+    // across adder widths, seeds and styles.
+    #[test]
+    fn compiled_workload_checkpoints_round_trip(
+        bits in 1usize..3,
+        seed in 1u64..4,
+        style_idx in 0usize..3,
+    ) {
+        let style = Style::ALL[style_idx];
+        let src = format!(
+            "pipeline rt {{ input a[{bits}]; output y[1]; stage s {{ y = parity(a); }} }}"
+        );
+        let nl = compile_msa(&src, style).expect("compiles");
+        let opts = FlowOptions { seed, ..FlowOptions::default() };
+        let compiled = compile(&nl, &opts).expect("flow succeeds");
+
+        let pack_art = checkpoint::checkpoint_pack(&compiled.packed);
+        let pack_back = PackArtifact::from_json(&pack_art.to_json()).expect("pack json");
+        prop_assert_eq!(
+            checkpoint::checkpoint_pack(&checkpoint::restore_pack(&pack_back)).digest(),
+            pack_art.digest()
+        );
+
+        let place_art = checkpoint::checkpoint_place(&compiled.placement);
+        let place_back = PlaceArtifact::from_json(&place_art.to_json()).expect("place json");
+        prop_assert_eq!(
+            checkpoint::checkpoint_place(&checkpoint::restore_place(&place_back)).digest(),
+            place_art.digest()
+        );
+
+        let bit_art = checkpoint::checkpoint_bitstream(&compiled.config);
+        let bit_back = BitstreamArtifact::from_json(&bit_art.to_json()).expect("bitstream json");
+        prop_assert_eq!(bit_back.digest(), bit_art.digest());
+        prop_assert_eq!(
+            digest_trees(&bit_back.config.routes),
+            digest_trees(&compiled.config.routes)
+        );
+    }
+}
+
+/// The pinned bitstream-artifact digests of `examples/msa/adder4.msa`,
+/// one per style (seed 1, default options). These are drift detectors
+/// exactly like the route goldens: an intentional change to mapping,
+/// packing, placement, routing, bitgen, or the artifact JSON format
+/// shows up here and is re-pinned consciously (`ARTIFACT_FORMAT_VERSION`
+/// bumps ride along).
+#[test]
+fn adder4_bitstream_digests_are_pinned_per_style() {
+    const PINNED: [(&str, u64); 3] = [
+        ("qdi", 0x4a30_a09c_9c42_ed33),
+        ("wchb", 0x95e7_747b_72b1_8954),
+        ("bundled", 0x53e7_348b_c6f7_5060),
+    ];
+    for (style_name, expected) in PINNED {
+        let style = Style::from_name(style_name).expect("known style");
+        let nl = compile_msa(ADDER4, style).expect("adder4 compiles");
+        let compiled = compile(&nl, &FlowOptions::default()).expect("flow succeeds");
+        let digest = checkpoint::checkpoint_bitstream(&compiled.config).digest();
+        assert_eq!(
+            digest, expected,
+            "{style_name}: bitstream artifact digest drifted (got {digest:#018x}); \
+             re-pin only for an intentional flow or format change"
+        );
+        // The digest is also what a cached server compile reports: a
+        // repeat compile through a store restores the identical bytes.
+        let store = MemStore::new();
+        let src_digest = fnv1a(ADDER4.as_bytes());
+        let (first, _) =
+            compile_cached(&nl, &FlowOptions::default(), &store, src_digest).expect("cached flow");
+        let (second, outcomes) = compile_cached(&nl, &FlowOptions::default(), &store, src_digest)
+            .expect("cached flow repeat");
+        assert!(outcomes.all_hits());
+        assert_eq!(
+            checkpoint::checkpoint_bitstream(&first.config).digest(),
+            checkpoint::checkpoint_bitstream(&second.config).digest()
+        );
+        assert_eq!(
+            checkpoint::checkpoint_bitstream(&first.config).digest(),
+            digest
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //!   conflict graphs at all, so its colored-negotiation stats stay
 //!   zero.
 
+use msaf::artifact::digest::digest_trees as digest;
 use msaf::cad::bitgen::bind;
 use msaf::cad::pack::pack;
 use msaf::cad::place::place;
@@ -26,22 +27,8 @@ use msaf::cad::route::{route, route_timed, RouteOptions, RouteRequest, RouteStat
 use msaf::cad::techmap::{map, MappedDesign, SignalId};
 use msaf::cad::timing::RouteTimingCtx;
 use msaf::fabric::arch::ArchSpec;
-use msaf::fabric::bitstream::RouteTree;
 use msaf::fabric::rrg::Rrg;
 use msaf::prelude::*;
-
-/// FNV-1a over the debug rendering of every route tree, in request
-/// order (same identity the route goldens pin).
-fn digest(trees: &[RouteTree]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for t in trees {
-        for byte in format!("{t:?}").bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
 
 /// One fabric-scale routing workload, built exactly as `bench_summary`
 /// builds it: `.msa` source → elaborate → map → pack → place (seed 7)

@@ -18,6 +18,7 @@
 //!   the deterministic-chunk design (workers share only an atomic work
 //!   cursor; occupancy merges in request order at chunk boundaries).
 
+use msaf::artifact::digest::digest_trees as digest;
 use msaf::cad::bitgen::bind;
 use msaf::cad::pack::pack;
 use msaf::cad::place::place;
@@ -28,20 +29,6 @@ use msaf::fabric::arch::ArchSpec;
 use msaf::fabric::bitstream::RouteTree;
 use msaf::fabric::rrg::Rrg;
 use msaf::prelude::*;
-
-/// FNV-1a over the debug rendering of every route tree, in request
-/// order — a stable, dependency-free "byte identity" for a routing
-/// solution (node kinds, tree shapes, and edge order all feed in).
-fn digest(trees: &[RouteTree]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for t in trees {
-        for byte in format!("{t:?}").bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
 
 /// A routable workload: netlist → map → pack → place (seed 7) → bind,
 /// on the given grid. Also returns the mapped design and per-request

@@ -9,28 +9,15 @@
 //! accidentally branching on `tracer.enabled()` (or on recorded data)
 //! in a result-bearing path.
 
+use msaf::artifact::digest::digest_trees as digest;
 use msaf::cad::flow::{compile, FlowOptions};
 use msaf::cad::place::{place_traced, PlaceOptions};
 use msaf::cad::route::{route, route_traced, RouteOptions, RouteRequest};
 use msaf::cad::techmap::map;
 use msaf::fabric::arch::ArchSpec;
-use msaf::fabric::bitstream::RouteTree;
 use msaf::fabric::rrg::Rrg;
 use msaf::prelude::*;
 use std::collections::BTreeMap;
-
-/// FNV-1a over the debug rendering of every route tree (same digest as
-/// `tests/route_goldens.rs`).
-fn digest(trees: &[RouteTree]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for t in trees {
-        for byte in format!("{t:?}").bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
 
 /// The `route_qdi_adder_4b` workload (paper arch 8×8, placement seed 7).
 fn adder_workload() -> (Rrg, Vec<RouteRequest>) {
